@@ -1,0 +1,120 @@
+#include "bench_common.h"
+
+#include "pretrain/concept_injection.h"
+#include "util/stopwatch.h"
+
+namespace ncl::bench {
+
+std::string CorpusName(Corpus corpus) {
+  return corpus == Corpus::kHospitalX ? "hospital-x" : "MIMIC-III";
+}
+
+std::vector<std::vector<linking::EvalQuery>> ToEvalGroups(
+    const std::vector<std::vector<datagen::LabeledQuery>>& groups) {
+  std::vector<std::vector<linking::EvalQuery>> eval_groups;
+  eval_groups.reserve(groups.size());
+  for (const auto& group : groups) {
+    std::vector<linking::EvalQuery> eval;
+    eval.reserve(group.size());
+    for (const auto& q : group) {
+      eval.push_back(linking::EvalQuery{q.tokens, q.concept_id});
+    }
+    eval_groups.push_back(std::move(eval));
+  }
+  return eval_groups;
+}
+
+std::unique_ptr<Pipeline> BuildPipeline(const PipelineConfig& config) {
+  auto pipeline = std::make_unique<Pipeline>();
+  pipeline->config = config;
+
+  datagen::DatasetConfig data_config;
+  // MIMIC-III's base ontology shape is smaller than hospital-x's (ICD-9 vs
+  // ICD-10); compensate so both corpora land at comparable working sizes
+  // for a given scale knob.
+  data_config.scale =
+      config.corpus == Corpus::kMimicIII ? config.scale * 1.5 : config.scale;
+  data_config.num_query_groups = config.num_query_groups;
+  data_config.queries_per_group = config.queries_per_group;
+  data_config.purposive_per_group = config.queries_per_group / 6;
+  // A clinician-note corpus dense enough for the held-out vocabulary to get
+  // useful embeddings (the rewriter's recall hinges on it).
+  data_config.notes_per_concept = 12;
+  data_config.seed = config.seed;
+  pipeline->data = config.corpus == Corpus::kHospitalX
+                       ? datagen::MakeHospitalX(data_config)
+                       : datagen::MakeMimicIII(data_config);
+
+  for (const auto& snippet : pipeline->data.labeled) {
+    pipeline->aliases.emplace_back(snippet.concept_id, snippet.tokens);
+  }
+
+  // --- Pre-training phase (§4.2): unlabeled notes + injected labeled data.
+  Stopwatch pretrain_watch;
+  std::vector<std::vector<std::string>> corpus;
+  size_t unlabeled_keep = static_cast<size_t>(
+      static_cast<double>(pipeline->data.unlabeled.size()) *
+      config.unlabeled_fraction);
+  for (size_t i = 0; i < unlabeled_keep; ++i) {
+    corpus.push_back(pipeline->data.unlabeled[i]);
+  }
+  for (const auto& snippet : pipeline->data.labeled) {
+    corpus.push_back(pretrain::InjectConceptId(
+        snippet.tokens, pipeline->data.onto.Get(snippet.concept_id).code));
+  }
+  if (config.use_pretraining) {
+    pretrain::CbowConfig cbow;
+    cbow.dim = config.dim;
+    cbow.epochs = config.cbow_epochs;
+    cbow.window = 10;      // Appendix B.2 settings
+    cbow.negatives = 10;
+    cbow.learning_rate = 0.05;
+    cbow.seed = config.seed + 5;
+    pipeline->embeddings = pretrain::TrainCbow(corpus, cbow);
+  }
+  pipeline->pretrain_seconds = pretrain_watch.ElapsedSeconds();
+
+  // --- COM-AID refinement phase.
+  comaid::ComAidConfig model_config;
+  model_config.dim = config.dim;
+  model_config.beta = config.beta;
+  model_config.text_attention = config.text_attention;
+  model_config.structural_attention = config.structural_attention;
+  model_config.seed = config.seed + 9;
+  std::vector<std::vector<std::string>> extra;
+  for (const auto& [id, tokens] : pipeline->aliases) extra.push_back(tokens);
+  pipeline->model = std::make_unique<comaid::ComAidModel>(
+      model_config, &pipeline->data.onto, extra);
+  if (config.use_pretraining) {
+    pipeline->model->InitializeEmbeddings(pipeline->embeddings);
+  }
+
+  Stopwatch train_watch;
+  comaid::TrainConfig train_config;
+  train_config.epochs = config.train_epochs;
+  train_config.shuffle_seed = config.seed + 13;
+  comaid::ComAidTrainer trainer(train_config);
+  std::vector<comaid::TrainingPair> pairs =
+      config.train_on_residuals
+          ? comaid::MakeResidualAugmentedPairs(*pipeline->model, pipeline->aliases)
+          : comaid::MakeTrainingPairs(*pipeline->model, pipeline->aliases);
+  trainer.Train(pipeline->model.get(), pairs);
+  pipeline->train_seconds = train_watch.ElapsedSeconds();
+
+  // --- Online components.
+  linking::CandidateGeneratorConfig cg_config;
+  cg_config.index_aliases = config.index_aliases;
+  pipeline->candidates = std::make_unique<linking::CandidateGenerator>(
+      pipeline->data.onto, pipeline->aliases, cg_config);
+  // The query rewriter is itself a product of the pre-training phase (§5
+  // rewrites through the pre-trained embedding space); COM-AID^-o1 has no
+  // pre-training and therefore no rewriter.
+  if (config.use_pretraining) {
+    pipeline->rewriter = std::make_unique<linking::QueryRewriter>(
+        pipeline->candidates->vocabulary(), pipeline->embeddings);
+  }
+  pipeline->eval_groups = ToEvalGroups(pipeline->data.query_groups);
+  return pipeline;
+}
+
+}  // namespace ncl::bench

@@ -1,0 +1,89 @@
+// Shared experiment pipeline for the bench harnesses.
+//
+// Every figure's bench assembles the same stack — dataset synthesis,
+// embedding pre-training with concept-id injection, COM-AID training,
+// Phase-I index and query rewriter — with different knobs. BuildPipeline
+// centralises that; individual benches then sweep parameters and print
+// paper-style tables. Quick defaults run in seconds; NCL_BENCH_FULL=1
+// enlarges the sweeps (see util/env.h).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comaid/model.h"
+#include "comaid/trainer.h"
+#include "datagen/dataset.h"
+#include "linking/candidate_generator.h"
+#include "linking/metrics.h"
+#include "linking/ncl_linker.h"
+#include "linking/query_rewriter.h"
+#include "pretrain/cbow.h"
+
+namespace ncl::bench {
+
+/// Which dataset substitute to build.
+enum class Corpus { kHospitalX, kMimicIII };
+
+/// All knobs of one experiment pipeline.
+struct PipelineConfig {
+  Corpus corpus = Corpus::kHospitalX;
+  double scale = 0.6;           ///< dataset scale factor
+  size_t dim = 32;               ///< d: embedding & hidden width
+  int32_t beta = 2;              ///< structural-context depth
+  bool text_attention = true;
+  bool structural_attention = true;
+  bool use_pretraining = true;   ///< false => COM-AID^-o1 (Fig. 8)
+  size_t train_epochs = 10;
+  /// Augment training with residual pairs: for every alias, also train on
+  /// the alias minus the words of its concept's canonical description —
+  /// the exact target distribution Phase II scores (§5's shared-word
+  /// removal), including the empty-residue/<eos> case.
+  bool train_on_residuals = true;
+  size_t cbow_epochs = 12;
+  size_t num_query_groups = 2;   ///< paper: 10
+  size_t queries_per_group = 80; ///< paper: 484
+  double unlabeled_fraction = 1.0;  ///< Fig. 13(b) sweep
+  /// Index aliases in the Phase-I TF-IDF index. Off by default: §5 matches
+  /// the query against the concepts' canonical descriptions, which is what
+  /// produces the paper's coverage-vs-k curve.
+  bool index_aliases = false;
+  uint64_t seed = 2018;
+};
+
+/// An assembled pipeline (heap-allocated: the model keeps pointers into the
+/// dataset's ontology, so the bundle must not move).
+struct Pipeline {
+  PipelineConfig config;
+  datagen::Dataset data;
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases;
+  pretrain::WordEmbeddings embeddings;
+  std::unique_ptr<comaid::ComAidModel> model;
+  std::unique_ptr<linking::CandidateGenerator> candidates;
+  std::unique_ptr<linking::QueryRewriter> rewriter;
+  std::vector<std::vector<linking::EvalQuery>> eval_groups;
+
+  /// Wall-clock seconds of each offline phase (Fig. 12).
+  double pretrain_seconds = 0.0;
+  double train_seconds = 0.0;
+
+  /// An NCL linker over this pipeline.
+  linking::NclLinker MakeLinker(linking::NclConfig link_config = {}) const {
+    return linking::NclLinker(model.get(), candidates.get(), rewriter.get(),
+                              link_config);
+  }
+};
+
+/// Build the full stack. Deterministic for a given config.
+std::unique_ptr<Pipeline> BuildPipeline(const PipelineConfig& config);
+
+/// Convert datagen query groups to metric eval queries.
+std::vector<std::vector<linking::EvalQuery>> ToEvalGroups(
+    const std::vector<std::vector<datagen::LabeledQuery>>& groups);
+
+/// Dataset display name.
+std::string CorpusName(Corpus corpus);
+
+}  // namespace ncl::bench

@@ -1,0 +1,104 @@
+// Figure 11 (Appendix B.1) — online concept linking time analysis.
+//
+// The online pipeline splits into OR (out-of-vocabulary word replacement),
+// CR (candidate retrieval), ED (encode-decode scoring, multithreaded), and
+// RT (ranking). Reported: mean per-query time of each part (a, b) as the
+// candidate count k grows from 10 to 50, and (c, d) as the query length |q|
+// grows from 1 to 6, on both datasets.
+//
+// Expected shape: total time grows with k, dominated by ED (more candidate
+// encode-decode runs); ED and CR grow with |q| (longer decode sequences and
+// more postings walked); hospital-x is slower than MIMIC-III because its
+// canonical descriptions are longer.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/env.h"
+#include "util/table_writer.h"
+
+using namespace ncl;
+using namespace ncl::bench;
+
+namespace {
+
+/// Mean per-query phase timings over a query set.
+linking::PhaseTimings MeanTimings(const linking::NclLinker& linker,
+                                  const std::vector<linking::EvalQuery>& queries) {
+  linking::PhaseTimings total;
+  for (const auto& query : queries) {
+    linking::PhaseTimings t;
+    linker.LinkDetailed(query.tokens, &t);
+    total.rewrite_us += t.rewrite_us;
+    total.retrieve_us += t.retrieve_us;
+    total.score_us += t.score_us;
+    total.rank_us += t.rank_us;
+  }
+  double n = static_cast<double>(queries.size());
+  total.rewrite_us /= n;
+  total.retrieve_us /= n;
+  total.score_us /= n;
+  total.rank_us /= n;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = BenchFullMode();
+  const double scale = full ? 0.8 : 0.35;
+
+  for (Corpus corpus : {Corpus::kHospitalX, Corpus::kMimicIII}) {
+    PipelineConfig config;
+    config.corpus = corpus;
+    config.scale = scale;
+    config.train_epochs = 3;  // timings need a model, not a good one
+    auto pipeline = BuildPipeline(config);
+    const auto& queries = pipeline->eval_groups[0];
+
+    // --- (a, b): vary k. ---------------------------------------------------
+    TableWriter table_k("Fig 11(a/b)  Per-query time vs k [us], " +
+                            CorpusName(corpus),
+                        {"k", "OR", "CR", "ED", "RT", "total"});
+    for (size_t k : {10u, 20u, 30u, 40u, 50u}) {
+      linking::NclConfig link_config;
+      link_config.k = k;
+      link_config.scoring_threads = 10;  // Appendix B.1 thread count
+      linking::NclLinker linker = pipeline->MakeLinker(link_config);
+      linking::PhaseTimings t = MeanTimings(linker, queries);
+      table_k.AddRow(std::to_string(k),
+                     {t.rewrite_us, t.retrieve_us, t.score_us, t.rank_us,
+                      t.total_us()},
+                     1);
+    }
+    table_k.Print();
+
+    // --- (c, d): vary |q|. ------------------------------------------------
+    TableWriter table_q("Fig 11(c/d)  Per-query time vs |q| [us], " +
+                            CorpusName(corpus),
+                        {"|q|", "OR", "CR", "ED", "RT", "total"});
+    for (size_t len = 1; len <= 6; ++len) {
+      // Truncate/pad real queries to the target length.
+      std::vector<linking::EvalQuery> sized;
+      for (const auto& query : queries) {
+        if (query.tokens.size() < len) continue;
+        linking::EvalQuery q = query;
+        q.tokens.resize(len);
+        sized.push_back(std::move(q));
+        if (sized.size() == 40) break;
+      }
+      if (sized.empty()) continue;
+      linking::NclConfig link_config;
+      link_config.k = 20;
+      link_config.scoring_threads = 10;
+      linking::NclLinker linker = pipeline->MakeLinker(link_config);
+      linking::PhaseTimings t = MeanTimings(linker, sized);
+      table_q.AddRow(std::to_string(len),
+                     {t.rewrite_us, t.retrieve_us, t.score_us, t.rank_us,
+                      t.total_us()},
+                     1);
+    }
+    table_q.Print();
+  }
+  return 0;
+}

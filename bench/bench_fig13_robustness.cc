@@ -1,0 +1,71 @@
+// Figure 13 (Appendix C) — robustness to training data.
+//
+// (a) Varying the considered concept-set size from 25% to 100% of the
+//     ontology, with queries generated only over the covered concepts.
+// (b) Keeping labeled data and concepts fixed while varying the unlabeled
+//     corpus used for pre-training from 25% to 100%.
+//
+// Expected shape: accuracy declines mildly as the concept count grows
+// (more interfering fine-grained concepts); accuracy declines mildly as
+// the unlabeled data shrinks but stays usefully high even at 25%, because
+// the encode-decode process carries most of the linking ability.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "datagen/query_generator.h"
+#include "util/env.h"
+#include "util/table_writer.h"
+
+using namespace ncl;
+using namespace ncl::bench;
+
+int main() {
+  const bool full = BenchFullMode();
+  const double base_scale = full ? 1.2 : 0.9;
+  const size_t epochs = full ? 12 : 7;
+
+  // --- (a): vary the concept-set size. -------------------------------------
+  TableWriter concept_table("Fig 13(a)  Accuracy vs considered concepts",
+                            {"concepts(%)", "ICD-10-CM", "ICD-9-CM"});
+  for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+    std::vector<double> row;
+    for (Corpus corpus : {Corpus::kHospitalX, Corpus::kMimicIII}) {
+      PipelineConfig config;
+      config.corpus = corpus;
+      config.scale = base_scale * fraction;
+      config.train_epochs = epochs;
+      config.queries_per_group = full ? 240 : 120;  // paper: 500 per set
+      auto pipeline = BuildPipeline(config);
+      linking::NclLinker linker = pipeline->MakeLinker();
+      row.push_back(
+          linking::EvaluateLinkerOverGroups(linker, pipeline->eval_groups, 20)
+              .accuracy);
+    }
+    concept_table.AddRow(std::to_string(static_cast<int>(fraction * 100)), row);
+  }
+  concept_table.Print();
+
+  // --- (b): vary the unlabeled-data size. ----------------------------------
+  TableWriter unlabeled_table("Fig 13(b)  Accuracy vs unlabeled data",
+                              {"unlabeled(%)", "hospital-x", "MIMIC-III"});
+  for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+    std::vector<double> row;
+    for (Corpus corpus : {Corpus::kHospitalX, Corpus::kMimicIII}) {
+      PipelineConfig config;
+      config.corpus = corpus;
+      config.scale = base_scale;
+      config.train_epochs = epochs;
+      config.unlabeled_fraction = fraction;
+      config.queries_per_group = full ? 240 : 120;
+      auto pipeline = BuildPipeline(config);
+      linking::NclLinker linker = pipeline->MakeLinker();
+      row.push_back(
+          linking::EvaluateLinkerOverGroups(linker, pipeline->eval_groups, 20)
+              .accuracy);
+    }
+    unlabeled_table.AddRow(std::to_string(static_cast<int>(fraction * 100)), row);
+  }
+  unlabeled_table.Print();
+  return 0;
+}

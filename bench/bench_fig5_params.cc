@@ -1,0 +1,88 @@
+// Figure 5 — parameter tuning.
+//
+// (a) Varying k: Phase-I coverage ('Cov') and end-to-end top-1 accuracy
+//     ('Acc'), averaged over hospital-x and MIMIC-III, for
+//     k ∈ {10, 20, 30, 40, 50}.
+// (b) Varying β: accuracy per dataset for β ∈ {1, 2, 3, 4}. Each β value
+//     trains its own COM-AID model, as the structural context depth is a
+//     training-time choice.
+//
+// Expected shape (paper §6.2): Cov rises monotonically with k; Acc peaks
+// near k = 20 and then dips slightly as irrelevant candidates dilute
+// Phase II. Accuracy peaks at β = 2 and declines beyond, because the
+// ICD-shaped ontologies are shallow and padding duplicates top levels.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/env.h"
+#include "util/table_writer.h"
+#include "util/string_util.h"
+
+using namespace ncl;
+using namespace ncl::bench;
+
+int main() {
+  const bool full = BenchFullMode();
+  const double scale = full ? 1.0 : 0.6;
+  const size_t epochs = full ? 14 : 10;
+
+  // --- Fig. 5(a): vary k. -------------------------------------------------
+  std::vector<size_t> ks{10, 20, 30, 40, 50};
+  TableWriter table_k("Fig 5(a)  Varying k (avg over hospital-x & MIMIC-III)",
+                      {"k", "Cov", "Acc"});
+
+  std::vector<std::unique_ptr<Pipeline>> pipelines;
+  for (Corpus corpus : {Corpus::kHospitalX, Corpus::kMimicIII}) {
+    PipelineConfig config;
+    config.corpus = corpus;
+    config.scale = scale;
+    config.train_epochs = epochs;
+    pipelines.push_back(BuildPipeline(config));
+  }
+
+  for (size_t k : ks) {
+    double coverage = 0.0;
+    double accuracy = 0.0;
+    for (const auto& pipeline : pipelines) {
+      linking::NclConfig link_config;
+      link_config.k = k;
+      linking::NclLinker linker = pipeline->MakeLinker(link_config);
+      double cov_sum = 0.0;
+      for (const auto& group : pipeline->eval_groups) {
+        cov_sum += linking::CandidateCoverage(*pipeline->candidates, group, k,
+                                              pipeline->rewriter.get());
+      }
+      coverage += cov_sum / static_cast<double>(pipeline->eval_groups.size());
+      accuracy +=
+          linking::EvaluateLinkerOverGroups(linker, pipeline->eval_groups, k)
+              .accuracy;
+    }
+    coverage /= static_cast<double>(pipelines.size());
+    accuracy /= static_cast<double>(pipelines.size());
+    table_k.AddRow(std::to_string(k), {coverage, accuracy});
+  }
+  table_k.Print();
+
+  // --- Fig. 5(b): vary β. -------------------------------------------------
+  TableWriter table_beta("Fig 5(b)  Varying beta (accuracy)",
+                         {"beta", "hospital-x", "MIMIC-III"});
+  for (int32_t beta : {1, 2, 3, 4}) {
+    std::vector<double> row;
+    for (Corpus corpus : {Corpus::kHospitalX, Corpus::kMimicIII}) {
+      PipelineConfig config;
+      config.corpus = corpus;
+      config.scale = scale;
+      config.train_epochs = epochs;
+      config.beta = beta;
+      auto pipeline = BuildPipeline(config);
+      linking::NclLinker linker = pipeline->MakeLinker();
+      row.push_back(
+          linking::EvaluateLinkerOverGroups(linker, pipeline->eval_groups, 20)
+              .accuracy);
+    }
+    table_beta.AddRow(std::to_string(beta), row);
+  }
+  table_beta.Print();
+  return 0;
+}

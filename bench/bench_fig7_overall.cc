@@ -1,0 +1,131 @@
+// Figure 7 — overall linking quality comparison.
+//
+// Accuracy (a) and MRR (b) of NCL against the five baselines on both
+// datasets: pkduck [44] with θ ∈ {0.1..0.5}, NOBLECoder-style NC [42],
+// LR+ [43] (restricted to NCL's Phase-I candidates, as §6.4 does), WMD [25]
+// over d ∈ {16, 32, 64}, and Doc2Vec [26] over the same d sweep.
+//
+// Expected shape (paper §6.4): NCL highest by a large margin; pkduck second
+// (improving as θ shrinks but plateauing well below NCL); NC, LR+, WMD and
+// Doc2Vec all substantially lower.
+
+#include <iostream>
+
+#include "baselines/dictionary_linker.h"
+#include "baselines/doc2vec.h"
+#include "baselines/lr_linker.h"
+#include "baselines/pkduck_linker.h"
+#include "baselines/wmd.h"
+#include "bench_common.h"
+#include "util/env.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+using namespace ncl;
+using namespace ncl::bench;
+
+namespace {
+
+/// LR+ evaluated the way §6.4 prescribes: rank only the candidates NCL's
+/// Phase I retrieves (LR+ collapses when scored against every concept).
+class LrOverCandidates : public linking::ConceptLinker {
+ public:
+  LrOverCandidates(const baselines::LrPlusLinker* lr,
+                   const linking::CandidateGenerator* candidates,
+                   const linking::QueryRewriter* rewriter, size_t k)
+      : lr_(lr), candidates_(candidates), rewriter_(rewriter), k_(k) {}
+
+  std::string name() const override { return "LR+"; }
+
+  linking::Ranking Link(const std::vector<std::string>& query,
+                        size_t k) const override {
+    auto rewritten = rewriter_->Rewrite(query);
+    return lr_->LinkAmong(query, candidates_->TopK(rewritten, k_), k);
+  }
+
+ private:
+  const baselines::LrPlusLinker* lr_;
+  const linking::CandidateGenerator* candidates_;
+  const linking::QueryRewriter* rewriter_;
+  size_t k_;
+};
+
+}  // namespace
+
+int main() {
+  const bool full = BenchFullMode();
+  const double scale = full ? 1.0 : 0.6;
+  const size_t epochs = full ? 14 : 10;
+  const size_t k = 20;
+
+  for (Corpus corpus : {Corpus::kHospitalX, Corpus::kMimicIII}) {
+    PipelineConfig config;
+    config.corpus = corpus;
+    config.scale = scale;
+    config.train_epochs = epochs;
+    auto pipeline = BuildPipeline(config);
+
+    TableWriter table("Fig 7  Overall quality, " + CorpusName(corpus),
+                      {"method", "accuracy", "MRR"});
+
+    auto evaluate = [&](const linking::ConceptLinker& linker, std::string label) {
+      auto result =
+          linking::EvaluateLinkerOverGroups(linker, pipeline->eval_groups, k);
+      table.AddRow(std::move(label), {result.accuracy, result.mrr});
+    };
+
+    // NCL.
+    linking::NclLinker ncl_linker = pipeline->MakeLinker();
+    evaluate(ncl_linker, "NCL");
+
+    // pkduck with a θ sweep.
+    auto rules =
+        baselines::RulesFromVocabulary(datagen::DefaultMedicalVocabulary());
+    for (double theta : {0.5, 0.4, 0.3, 0.2, 0.1}) {
+      baselines::PkduckConfig pk_config;
+      pk_config.theta = theta;
+      baselines::PkduckLinker pkduck(pipeline->data.onto, pipeline->aliases, rules,
+                                     pk_config);
+      evaluate(pkduck, "pkduck(theta=" + FormatDouble(theta, 1) + ")");
+    }
+
+    // NOBLECoder-style dictionary.
+    baselines::DictionaryLinker nc(pipeline->data.onto, pipeline->aliases);
+    evaluate(nc, "NC");
+
+    // LR+ over NCL's candidates.
+    baselines::LrPlusLinker lr(pipeline->data.onto, pipeline->aliases);
+    LrOverCandidates lr_eval(&lr, pipeline->candidates.get(),
+                             pipeline->rewriter.get(), k);
+    evaluate(lr_eval, "LR+");
+
+    // WMD over an embedding-width sweep (paper: best near d=50).
+    for (size_t d : {16u, 32u, 64u}) {
+      pretrain::CbowConfig cbow;
+      cbow.dim = d;
+      cbow.epochs = 4;
+      cbow.seed = 123;
+      std::vector<std::vector<std::string>> corpus_snippets =
+          pipeline->data.unlabeled;
+      for (const auto& [id, tokens] : pipeline->aliases) {
+        corpus_snippets.push_back(tokens);
+      }
+      auto wmd_embeddings = pretrain::TrainCbow(corpus_snippets, cbow);
+      baselines::WmdLinker wmd(pipeline->data.onto, wmd_embeddings);
+      evaluate(wmd, "WMD(d=" + std::to_string(d) + ")");
+    }
+
+    // Doc2Vec over a width sweep (paper: best near d=90).
+    for (size_t d : full ? std::vector<size_t>{32, 64, 90}
+                         : std::vector<size_t>{32, 64}) {
+      baselines::Doc2VecConfig d2v;
+      d2v.dim = d;
+      d2v.epochs = full ? 25 : 15;
+      baselines::Doc2VecLinker doc2vec(pipeline->data.onto, pipeline->aliases, d2v);
+      evaluate(doc2vec, "Doc2Vec(d=" + std::to_string(d) + ")");
+    }
+
+    table.Print();
+  }
+  return 0;
+}

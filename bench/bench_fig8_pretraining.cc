@@ -1,0 +1,54 @@
+// Figure 8 — effect of pre-training.
+//
+// Accuracy of NCL with the full pretrain-and-refine scheme (COM-AID) versus
+// no pre-training (COM-AID^-o1: randomly initialised embeddings), over the
+// hidden dimension d, on hospital-x (a) and MIMIC-III (b).
+//
+// Expected shape (paper §6.5): COM-AID consistently above COM-AID^-o1,
+// with a gap of roughly 0.1 accuracy across d; both rise with d up to a
+// plateau.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/env.h"
+#include "util/table_writer.h"
+
+using namespace ncl;
+using namespace ncl::bench;
+
+int main() {
+  const bool full = BenchFullMode();
+  const std::vector<size_t> dims = full ? std::vector<size_t>{16, 32, 48, 64}
+                                        : std::vector<size_t>{16, 32, 48};
+  const double scale = full ? 0.8 : 0.55;
+  const size_t epochs = full ? 14 : 12;
+
+  for (Corpus corpus : {Corpus::kHospitalX, Corpus::kMimicIII}) {
+    std::vector<std::string> header{"model"};
+    for (size_t d : dims) header.push_back("d=" + std::to_string(d));
+    TableWriter table("Fig 8  Effect of pre-training (accuracy), " +
+                          CorpusName(corpus),
+                      header);
+
+    for (bool pretraining : {true, false}) {
+      std::vector<double> row;
+      for (size_t d : dims) {
+        PipelineConfig config;
+        config.corpus = corpus;
+        config.scale = scale;
+        config.dim = d;
+        config.train_epochs = epochs;
+        config.use_pretraining = pretraining;
+        auto pipeline = BuildPipeline(config);
+        linking::NclLinker linker = pipeline->MakeLinker();
+        row.push_back(
+            linking::EvaluateLinkerOverGroups(linker, pipeline->eval_groups, 20)
+                .accuracy);
+      }
+      table.AddRow(pretraining ? "COM-AID" : "COM-AID-o1", row);
+    }
+    table.Print();
+  }
+  return 0;
+}

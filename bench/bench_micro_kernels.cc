@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark) of the kernels the paper's timing
+// analysis attributes cost to: LSTM steps and attention (the ED phase),
+// the TF-IDF index (CR), edit distance and embedding nearest-neighbour
+// (OR), pkduck similarity, and the dense matrix product underneath it all.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/pkduck_linker.h"
+#include "nn/lstm.h"
+#include "nn/tape.h"
+#include "pretrain/cbow.h"
+#include "text/edit_distance.h"
+#include "text/tfidf_index.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ncl;
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  nn::Matrix a = nn::Matrix::RandomUniform(d, d, 1.0f, rng);
+  nn::Matrix x = nn::Matrix::RandomUniform(d, 1, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(x));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(d * d));
+}
+BENCHMARK(BM_MatMul)->Arg(50)->Arg(100)->Arg(150)->Arg(200);
+
+void BM_LstmStep(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  nn::ParameterStore store;
+  nn::LstmCell cell("bench", d, d, &store, rng);
+  nn::Matrix x = nn::Matrix::RandomUniform(d, 1, 1.0f, rng);
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::LstmState s = cell.InitialState(tape);
+    benchmark::DoNotOptimize(cell.Step(tape, tape.Constant(x), s).h);
+  }
+}
+BENCHMARK(BM_LstmStep)->Arg(50)->Arg(150);
+
+void BM_EncodeSequence(benchmark::State& state) {
+  // One concept-description encode: |d^c| LSTM steps.
+  const size_t d = 50;
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  nn::ParameterStore store;
+  nn::LstmCell cell("bench", d, d, &store, rng);
+  nn::Matrix x = nn::Matrix::RandomUniform(d, 1, 1.0f, rng);
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::LstmState s = cell.InitialState(tape);
+    for (size_t t = 0; t < len; ++t) s = cell.Step(tape, tape.Constant(x), s);
+    benchmark::DoNotOptimize(tape.Value(s.h));
+  }
+}
+BENCHMARK(BM_EncodeSequence)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_Attention(benchmark::State& state) {
+  const size_t d = 50;
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  nn::Tape tape;
+  std::vector<nn::VarId> values;
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(tape.Constant(nn::Matrix::RandomUniform(d, 1, 1.0f, rng)));
+  }
+  nn::VarId key = tape.Constant(nn::Matrix::RandomUniform(d, 1, 1.0f, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tape.Attention(values, key));
+  }
+}
+BENCHMARK(BM_Attention)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  const size_t vocab = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  nn::Tape tape;
+  nn::VarId logits = tape.Constant(nn::Matrix::RandomUniform(vocab, 1, 1.0f, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tape.SoftmaxCrossEntropy(logits, 7));
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy)->Arg(1000)->Arg(10000);
+
+void BM_TfIdfTopK(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  text::TfIdfIndex index;
+  std::vector<std::string> words;
+  for (int i = 0; i < 500; ++i) words.push_back("w" + std::to_string(i));
+  for (size_t d = 0; d < docs; ++d) {
+    std::vector<std::string> doc;
+    for (int i = 0; i < 6; ++i) doc.push_back(rng.Choice(words));
+    index.AddDocument(doc);
+  }
+  index.Finalize();
+  std::vector<std::string> query{words[3], words[77], words[250]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.TopK(query, 20));
+  }
+}
+BENCHMARK(BM_TfIdfTopK)->Arg(1000)->Arg(10000)->Arg(70000);
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a = "chronic kidney disease";
+  std::string b = "chronc kidny diseases";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::Levenshtein(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_BoundedLevenshtein(benchmark::State& state) {
+  std::string a = "neuropaty";
+  std::string b = "nephropathy";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::BoundedLevenshtein(a, b, 2));
+  }
+}
+BENCHMARK(BM_BoundedLevenshtein);
+
+void BM_PkduckSimilarity(benchmark::State& state) {
+  auto rules = baselines::RulesFromVocabulary(datagen::DefaultMedicalVocabulary());
+  std::vector<std::string> query{"ckd", "5"};
+  std::vector<std::string> description{"chronic", "kidney", "disease", "stage",
+                                       "5"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::PkduckSimilarity(query, description, rules));
+  }
+}
+BENCHMARK(BM_PkduckSimilarity);
+
+void BM_CbowEpoch(benchmark::State& state) {
+  // One CBOW training run over a small corpus (epoch cost indicator).
+  std::vector<std::vector<std::string>> corpus;
+  Rng rng(7);
+  std::vector<std::string> words;
+  for (int i = 0; i < 300; ++i) words.push_back("w" + std::to_string(i));
+  for (int s = 0; s < 200; ++s) {
+    std::vector<std::string> sentence;
+    for (int i = 0; i < 8; ++i) sentence.push_back(rng.Choice(words));
+    corpus.push_back(sentence);
+  }
+  pretrain::CbowConfig config;
+  config.dim = 50;
+  config.epochs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pretrain::TrainCbow(corpus, config));
+  }
+}
+BENCHMARK(BM_CbowEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

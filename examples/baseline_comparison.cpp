@@ -1,0 +1,100 @@
+// Baseline shoot-out on a user-supplied-style workload.
+//
+// Demonstrates the ConceptLinker interface: every method — NCL and the five
+// baselines of the paper's §6.4 — is evaluated through the same API on the
+// same query stream, and a compact comparison table is printed. Use this as
+// the template for plugging your own linker into the evaluation harness.
+//
+// Build & run:  ./build/examples/baseline_comparison
+
+#include <iostream>
+#include <memory>
+
+#include "baselines/dictionary_linker.h"
+#include "baselines/doc2vec.h"
+#include "baselines/lr_linker.h"
+#include "baselines/pkduck_linker.h"
+#include "baselines/wmd.h"
+#include "comaid/model.h"
+#include "comaid/trainer.h"
+#include "datagen/dataset.h"
+#include "linking/candidate_generator.h"
+#include "linking/metrics.h"
+#include "linking/ncl_linker.h"
+#include "linking/query_rewriter.h"
+#include "pretrain/cbow.h"
+#include "pretrain/concept_injection.h"
+#include "util/table_writer.h"
+
+using namespace ncl;
+
+int main() {
+  datagen::DatasetConfig data_config;
+  data_config.scale = 0.6;
+  data_config.notes_per_concept = 12;  // embedding/rewriter quality
+  data_config.num_query_groups = 1;
+  data_config.queries_per_group = 150;
+  datagen::Dataset data = datagen::MakeHospitalX(data_config);
+
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases;
+  for (const auto& s : data.labeled) aliases.emplace_back(s.concept_id, s.tokens);
+
+  // --- shared substrate -----------------------------------------------------
+  std::vector<std::vector<std::string>> corpus = data.unlabeled;
+  for (const auto& snippet : data.labeled) {
+    corpus.push_back(pretrain::InjectConceptId(
+        snippet.tokens, data.onto.Get(snippet.concept_id).code));
+  }
+  pretrain::CbowConfig cbow;
+  cbow.dim = 32;
+  cbow.epochs = 12;
+  pretrain::WordEmbeddings embeddings = pretrain::TrainCbow(corpus, cbow);
+
+  // --- NCL -------------------------------------------------------------------
+  comaid::ComAidConfig model_config;
+  model_config.dim = 32;
+  comaid::ComAidModel model(model_config, &data.onto, [&] {
+    std::vector<std::vector<std::string>> tokens;
+    for (const auto& s : data.labeled) tokens.push_back(s.tokens);
+    return tokens;
+  }());
+  model.InitializeEmbeddings(embeddings);
+  comaid::TrainConfig tc;
+  tc.epochs = 10;
+  comaid::ComAidTrainer trainer(tc);
+  trainer.Train(&model, comaid::MakeResidualAugmentedPairs(model, aliases));
+
+  linking::CandidateGenerator candidates(data.onto, aliases);
+  linking::QueryRewriter rewriter(candidates.vocabulary(), embeddings);
+  linking::NclLinker ncl_linker(&model, &candidates, &rewriter);
+
+  // --- the baselines, all behind the same interface --------------------------
+  auto rules = baselines::RulesFromVocabulary(datagen::DefaultMedicalVocabulary());
+  baselines::PkduckConfig pk;
+  pk.theta = 0.1;
+  baselines::PkduckLinker pkduck(data.onto, aliases, rules, pk);
+  baselines::DictionaryLinker nc(data.onto, aliases);
+  baselines::LrPlusLinker lr(data.onto, aliases);
+  baselines::WmdLinker wmd(data.onto, embeddings);
+  baselines::Doc2VecConfig d2v;
+  d2v.dim = 48;
+  baselines::Doc2VecLinker doc2vec(data.onto, aliases, d2v);
+
+  std::vector<const linking::ConceptLinker*> linkers = {
+      &ncl_linker, &pkduck, &nc, &lr, &wmd, &doc2vec};
+
+  // --- one loop, one table ----------------------------------------------------
+  std::vector<linking::EvalQuery> queries;
+  for (const auto& q : data.query_groups[0]) {
+    queries.push_back(linking::EvalQuery{q.tokens, q.concept_id});
+  }
+  TableWriter table("Baseline comparison (" + data.name + ", " +
+                        std::to_string(queries.size()) + " queries)",
+                    {"method", "accuracy", "MRR"});
+  for (const linking::ConceptLinker* linker : linkers) {
+    auto result = linking::EvaluateLinker(*linker, queries, 20);
+    table.AddRow(linker->name(), {result.accuracy, result.mrr});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Quickstart: the complete NCL pipeline on a small synthetic ICD-10-shaped
+// dataset, in ~100 lines.
+//
+//   1. synthesise an ontology + aliases + notes (the data substitutions)
+//   2. pre-train word embeddings with concept-id injection (§4.2)
+//   3. train the COM-AID model (§4)
+//   4. run two-phase online linking (§5) and print a few results
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "comaid/model.h"
+#include "comaid/trainer.h"
+#include "datagen/dataset.h"
+#include "linking/candidate_generator.h"
+#include "linking/metrics.h"
+#include "linking/ncl_linker.h"
+#include "linking/query_rewriter.h"
+#include "pretrain/cbow.h"
+#include "pretrain/concept_injection.h"
+#include "util/string_util.h"
+
+using namespace ncl;
+
+int main() {
+  // ---------------------------------------------------------------- data --
+  datagen::DatasetConfig data_config;
+  data_config.scale = 0.6;
+  data_config.notes_per_concept = 12;  // embedding/rewriter quality  // small: a few hundred concepts
+  data_config.num_query_groups = 1;
+  data_config.queries_per_group = 60;
+  datagen::Dataset data = datagen::MakeHospitalX(data_config);
+  std::cout << "dataset: " << data.name << ", " << data.onto.num_concepts()
+            << " concepts (" << data.onto.FineGrainedConcepts().size()
+            << " fine-grained), " << data.labeled.size() << " labeled aliases, "
+            << data.unlabeled.size() << " unlabeled notes\n";
+
+  // ---------------------------------------------------- embedding pretrain --
+  // Corpus = unlabeled notes + labeled snippets with concept ids injected.
+  std::vector<std::vector<std::string>> corpus = data.unlabeled;
+  for (const auto& snippet : data.labeled) {
+    corpus.push_back(pretrain::InjectConceptId(
+        snippet.tokens, data.onto.Get(snippet.concept_id).code));
+  }
+  pretrain::CbowConfig cbow_config;
+  cbow_config.dim = 32;
+  cbow_config.epochs = 12;
+  pretrain::WordEmbeddings embeddings = pretrain::TrainCbow(corpus, cbow_config);
+  std::cout << "pretrained " << embeddings.size() << " word vectors (d="
+            << embeddings.dim() << ")\n";
+
+  // -------------------------------------------------------- COM-AID train --
+  comaid::ComAidConfig model_config;
+  model_config.dim = 32;
+  model_config.beta = 2;
+  std::vector<std::vector<std::string>> alias_tokens;
+  for (const auto& snippet : data.labeled) alias_tokens.push_back(snippet.tokens);
+  comaid::ComAidModel model(model_config, &data.onto, alias_tokens);
+  model.InitializeEmbeddings(embeddings);
+
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> pairs;
+  for (const auto& snippet : data.labeled) {
+    pairs.emplace_back(snippet.concept_id, snippet.tokens);
+  }
+  comaid::TrainConfig train_config;
+  train_config.epochs = 10;
+  train_config.on_epoch = [](size_t epoch, double loss) {
+    std::cout << "  epoch " << epoch << "  mean loss " << FormatDouble(loss, 3)
+              << "\n";
+  };
+  comaid::ComAidTrainer trainer(train_config);
+  trainer.Train(&model, comaid::MakeResidualAugmentedPairs(model, pairs));
+
+  // ------------------------------------------------------- online linking --
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases =
+      pairs;
+  linking::CandidateGenerator candidates(data.onto, aliases);
+  linking::QueryRewriter rewriter(candidates.vocabulary(), embeddings);
+  linking::NclLinker linker(&model, &candidates, &rewriter);
+
+  std::vector<linking::EvalQuery> eval;
+  for (const auto& q : data.query_groups[0]) {
+    eval.push_back(linking::EvalQuery{q.tokens, q.concept_id});
+  }
+  linking::EvalResult result = linking::EvaluateLinker(linker, eval, 10);
+  std::cout << "NCL over " << result.num_queries
+            << " queries:  accuracy=" << FormatDouble(result.accuracy, 3)
+            << "  MRR=" << FormatDouble(result.mrr, 3) << "\n\n";
+
+  // Show a handful of concrete linkings.
+  for (size_t i = 0; i < 5 && i < eval.size(); ++i) {
+    linking::Ranking ranking = linker.Link(eval[i].tokens, 3);
+    std::cout << "query: \"" << Join(eval[i].tokens, " ") << "\"\n";
+    std::cout << "  gold: " << data.onto.Get(eval[i].gold).code << " \""
+              << Join(data.onto.Get(eval[i].gold).description, " ") << "\"\n";
+    for (const auto& r : ranking) {
+      std::cout << "  -> " << data.onto.Get(r.concept_id).code << " (log p = "
+                << FormatDouble(r.score, 2) << ") \""
+                << Join(data.onto.Get(r.concept_id).description, " ") << "\"\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "baselines/dictionary_linker.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ncl::baselines {
+
+DictionaryLinker::DictionaryLinker(
+    const ontology::Ontology& onto,
+    const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+        aliases,
+    DictionaryConfig config)
+    : onto_(onto), config_(config) {
+  // Term-to-concept table: canonical descriptions of fine-grained concepts.
+  for (ontology::ConceptId id : onto.FineGrainedConcepts()) {
+    terms_.push_back(Term{onto.Get(id).description, id});
+  }
+  if (config_.index_aliases) {
+    for (const auto& [concept_id, tokens] : aliases) {
+      if (onto.IsFineGrained(concept_id) && !tokens.empty()) {
+        terms_.push_back(Term{tokens, concept_id});
+      }
+    }
+  }
+  // Word-to-term table.
+  for (uint32_t t = 0; t < terms_.size(); ++t) {
+    std::unordered_set<std::string> seen;
+    for (const auto& word : terms_[t].words) {
+      if (seen.insert(word).second) word_to_terms_[word].push_back(t);
+    }
+  }
+}
+
+linking::Ranking DictionaryLinker::Link(const std::vector<std::string>& query,
+                                        size_t k) const {
+  // Align query words to terms via the word-to-term table.
+  std::unordered_map<uint32_t, uint32_t> matched_words;  // term -> #words hit
+  std::unordered_set<std::string> query_words(query.begin(), query.end());
+  for (const auto& word : query_words) {
+    auto it = word_to_terms_.find(word);
+    if (it == word_to_terms_.end()) continue;
+    for (uint32_t term : it->second) ++matched_words[term];
+  }
+
+  // A term matches when it is sufficiently covered by the query; score by
+  // coverage of the term times coverage of the query.
+  std::unordered_map<ontology::ConceptId, double> best_score;
+  for (const auto& [term_index, hits] : matched_words) {
+    const Term& term = terms_[term_index];
+    double term_coverage =
+        static_cast<double>(hits) / static_cast<double>(term.words.size());
+    if (term_coverage < config_.min_term_coverage) continue;
+    double query_coverage =
+        static_cast<double>(hits) / static_cast<double>(query_words.size());
+    double score = term_coverage * query_coverage;
+    auto [it, inserted] = best_score.emplace(term.concept_id, score);
+    if (!inserted && score > it->second) it->second = score;
+  }
+
+  linking::Ranking ranking;
+  ranking.reserve(best_score.size());
+  for (const auto& [concept_id, score] : best_score) {
+    ranking.push_back(linking::RankedConcept{concept_id, score});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const linking::RankedConcept& a, const linking::RankedConcept& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.concept_id < b.concept_id;
+            });
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+}  // namespace ncl::baselines

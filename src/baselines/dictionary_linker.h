@@ -1,0 +1,61 @@
+// NOBLECoder-style dictionary annotator (Tseytlin et al. [42]).
+//
+// Two hash tables drive the matching, as the paper describes: a
+// word-to-term table and a term-to-concept table, built from the concept
+// descriptions (and any provided aliases) of the ontology. Linking aligns
+// individual query words to terms; a term matches when a sufficient
+// fraction of its words occur in the query, and the concepts of matched
+// terms are returned ranked by match strength. The paper's observed failure
+// mode — queries whose core words are absent from the dictionary, or that
+// match several unrelated concepts simultaneously — falls out naturally.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linking/linker_interface.h"
+#include "ontology/ontology.h"
+
+namespace ncl::baselines {
+
+/// Dictionary matching knobs.
+struct DictionaryConfig {
+  /// Minimum fraction of a term's words that must appear in the query.
+  double min_term_coverage = 0.5;
+  /// Include alias snippets as additional dictionary terms.
+  bool index_aliases = true;
+};
+
+/// \brief Word-to-term / term-to-concept dictionary linker.
+class DictionaryLinker : public linking::ConceptLinker {
+ public:
+  /// \param aliases optional (concept, tokens) alias entries to index.
+  DictionaryLinker(
+      const ontology::Ontology& onto,
+      const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+          aliases,
+      DictionaryConfig config = {});
+
+  std::string name() const override { return "NC"; }
+
+  linking::Ranking Link(const std::vector<std::string>& query,
+                        size_t k) const override;
+
+  size_t num_terms() const { return terms_.size(); }
+
+ private:
+  struct Term {
+    std::vector<std::string> words;
+    ontology::ConceptId concept_id;
+  };
+
+  const ontology::Ontology& onto_;
+  DictionaryConfig config_;
+  std::vector<Term> terms_;
+  /// word -> indices into terms_ (the word-to-term table).
+  std::unordered_map<std::string, std::vector<uint32_t>> word_to_terms_;
+};
+
+}  // namespace ncl::baselines

@@ -1,0 +1,179 @@
+#include "baselines/doc2vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ncl::baselines {
+
+namespace {
+inline float FastSigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+/// One PV-DBOW pass over a document's words, updating `doc_vec` (and the
+/// word output matrix when `word_outputs` is non-null).
+void DbowPass(float* doc_vec, size_t dim, const std::vector<text::WordId>& words,
+              const nn::Matrix& word_outputs_read, nn::Matrix* word_outputs_write,
+              const AliasSampler& noise, size_t negatives, float lr, Rng& rng) {
+  std::vector<float> doc_grad(dim);
+  for (text::WordId word : words) {
+    std::fill(doc_grad.begin(), doc_grad.end(), 0.0f);
+    for (size_t n = 0; n <= negatives; ++n) {
+      size_t target;
+      float label;
+      if (n == 0) {
+        target = static_cast<size_t>(word);
+        label = 1.0f;
+      } else {
+        target = noise.Sample(rng);
+        if (target == static_cast<size_t>(word)) continue;
+        label = 0.0f;
+      }
+      const float* out_read = word_outputs_read.row_data(target);
+      float dot = 0.0f;
+      for (size_t c = 0; c < dim; ++c) dot += doc_vec[c] * out_read[c];
+      float grad = (label - FastSigmoid(dot)) * lr;
+      for (size_t c = 0; c < dim; ++c) doc_grad[c] += grad * out_read[c];
+      if (word_outputs_write != nullptr) {
+        float* out_write = word_outputs_write->row_data(target);
+        for (size_t c = 0; c < dim; ++c) out_write[c] += grad * doc_vec[c];
+      }
+    }
+    for (size_t c = 0; c < dim; ++c) doc_vec[c] += doc_grad[c];
+  }
+}
+}  // namespace
+
+Doc2Vec::Doc2Vec(const std::vector<std::vector<std::string>>& documents,
+                 const Doc2VecConfig& config)
+    : config_(config) {
+  NCL_CHECK(!documents.empty());
+  for (const auto& doc : documents) {
+    for (const auto& word : doc) vocab_.Add(word);
+  }
+  if (config_.min_count > 1) vocab_.PruneRareWords(config_.min_count);
+
+  docs_.reserve(documents.size());
+  for (const auto& doc : documents) {
+    std::vector<text::WordId> ids;
+    for (const auto& word : doc) {
+      text::WordId id = vocab_.Lookup(word);
+      if (id != text::Vocabulary::kUnknown) ids.push_back(id);
+    }
+    docs_.push_back(std::move(ids));
+  }
+
+  Rng rng(config_.seed);
+  doc_vectors_ = nn::Matrix::RandomUniform(
+      documents.size(), config_.dim, 0.5f / static_cast<float>(config_.dim), rng);
+  word_outputs_ = nn::Matrix(vocab_.size(), config_.dim);
+
+  std::vector<double> weights(vocab_.size());
+  for (size_t i = 0; i < vocab_.size(); ++i) {
+    weights[i] = std::pow(
+        static_cast<double>(vocab_.CountOf(static_cast<text::WordId>(i))), 0.75);
+  }
+  noise_ = std::make_unique<AliasSampler>(weights);
+
+  std::vector<size_t> order(docs_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    float lr = static_cast<float>(
+        config_.learning_rate *
+        (1.0 - static_cast<double>(epoch) / static_cast<double>(config_.epochs + 1)));
+    for (size_t doc : order) {
+      if (docs_[doc].empty()) continue;
+      DbowPass(doc_vectors_.row_data(doc), config_.dim, docs_[doc], word_outputs_,
+               &word_outputs_, *noise_, config_.negatives, lr, rng);
+    }
+  }
+}
+
+std::vector<float> Doc2Vec::Infer(const std::vector<std::string>& tokens,
+                                  uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<float> vec(config_.dim);
+  for (float& v : vec) {
+    v = rng.UniformFloat(-0.5f / static_cast<float>(config_.dim),
+                         0.5f / static_cast<float>(config_.dim));
+  }
+  std::vector<text::WordId> ids;
+  for (const auto& token : tokens) {
+    text::WordId id = vocab_.Lookup(token);
+    if (id != text::Vocabulary::kUnknown) ids.push_back(id);
+  }
+  if (ids.empty()) return vec;
+  for (size_t epoch = 0; epoch < config_.infer_epochs; ++epoch) {
+    float lr = static_cast<float>(
+        config_.learning_rate *
+        (1.0 -
+         static_cast<double>(epoch) / static_cast<double>(config_.infer_epochs + 1)));
+    DbowPass(vec.data(), config_.dim, ids, word_outputs_, /*word_outputs_write=*/nullptr,
+             *noise_, config_.negatives, lr, rng);
+  }
+  return vec;
+}
+
+double Doc2Vec::Cosine(const std::vector<float>& inferred, size_t doc) const {
+  NCL_DCHECK(doc < doc_vectors_.rows());
+  const float* dv = doc_vectors_.row_data(doc);
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (size_t c = 0; c < config_.dim; ++c) {
+    dot += static_cast<double>(inferred[c]) * dv[c];
+    norm_a += static_cast<double>(inferred[c]) * inferred[c];
+    norm_b += static_cast<double>(dv[c]) * dv[c];
+  }
+  double denom = std::sqrt(norm_a) * std::sqrt(norm_b);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+Doc2VecLinker::Doc2VecLinker(
+    const ontology::Ontology& onto,
+    const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+        aliases,
+    Doc2VecConfig config)
+    : onto_(onto) {
+  std::vector<std::vector<std::string>> documents;
+  for (ontology::ConceptId id : onto.FineGrainedConcepts()) {
+    documents.push_back(onto.Get(id).description);
+    doc_concepts_.push_back(id);
+  }
+  for (const auto& [concept_id, tokens] : aliases) {
+    if (onto.IsFineGrained(concept_id) && !tokens.empty()) {
+      documents.push_back(tokens);
+      doc_concepts_.push_back(concept_id);
+    }
+  }
+  model_ = std::make_unique<Doc2Vec>(documents, config);
+}
+
+linking::Ranking Doc2VecLinker::Link(const std::vector<std::string>& query,
+                                     size_t k) const {
+  std::vector<float> inferred = model_->Infer(query);
+  std::unordered_map<ontology::ConceptId, double> best_score;
+  for (size_t doc = 0; doc < doc_concepts_.size(); ++doc) {
+    double score = model_->Cosine(inferred, doc);
+    auto [it, inserted] = best_score.emplace(doc_concepts_[doc], score);
+    if (!inserted && score > it->second) it->second = score;
+  }
+  linking::Ranking ranking;
+  ranking.reserve(best_score.size());
+  for (const auto& [concept_id, score] : best_score) {
+    ranking.push_back(linking::RankedConcept{concept_id, score});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const linking::RankedConcept& a, const linking::RankedConcept& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.concept_id < b.concept_id;
+            });
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+}  // namespace ncl::baselines

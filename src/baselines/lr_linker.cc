@@ -1,0 +1,225 @@
+#include "baselines/lr_linker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ncl::baselines {
+
+namespace {
+
+/// Character bigram Dice coefficient over joined strings.
+double BigramDice(const std::string& a, const std::string& b) {
+  auto grams = [](const std::string& s) {
+    std::unordered_set<std::string> set;
+    if (s.size() < 2) {
+      if (!s.empty()) set.insert(s);
+      return set;
+    }
+    for (size_t i = 0; i + 2 <= s.size(); ++i) set.insert(s.substr(i, 2));
+    return set;
+  };
+  auto ga = grams(a);
+  auto gb = grams(b);
+  if (ga.empty() && gb.empty()) return 1.0;
+  size_t common = 0;
+  for (const auto& g : ga) common += gb.count(g);
+  return 2.0 * static_cast<double>(common) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+double CommonPrefixRatio(const std::string& a, const std::string& b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  size_t longest = std::max(a.size(), b.size());
+  return longest == 0 ? 1.0 : static_cast<double>(i) / static_cast<double>(longest);
+}
+
+double CommonSuffixRatio(const std::string& a, const std::string& b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[a.size() - 1 - i] == b[b.size() - 1 - i]) ++i;
+  size_t longest = std::max(a.size(), b.size());
+  return longest == 0 ? 1.0 : static_cast<double>(i) / static_cast<double>(longest);
+}
+
+std::unordered_set<std::string> NumberTokens(const std::vector<std::string>& tokens) {
+  std::unordered_set<std::string> numbers;
+  for (const auto& token : tokens) {
+    if (ContainsDigit(token)) numbers.insert(token);
+  }
+  return numbers;
+}
+
+/// True when some query token equals the initials of a run of snippet words
+/// (the acronym feature of [43]).
+bool AcronymMatch(const std::vector<std::string>& query,
+                  const std::vector<std::string>& snippet) {
+  if (snippet.size() < 2) return false;
+  for (const auto& token : query) {
+    if (token.size() < 2 || token.size() > snippet.size()) continue;
+    for (size_t start = 0; start + token.size() <= snippet.size(); ++start) {
+      bool match = true;
+      for (size_t i = 0; i < token.size(); ++i) {
+        if (snippet[start + i].empty() || snippet[start + i][0] != token[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::array<double, kPairFeatureCount> ComputePairFeatures(
+    const std::vector<std::string>& query, const std::vector<std::string>& snippet) {
+  std::array<double, kPairFeatureCount> f{};
+  std::string joined_q = Join(query, " ");
+  std::string joined_s = Join(snippet, " ");
+
+  f[0] = BigramDice(joined_q, joined_s);
+  f[1] = CommonPrefixRatio(joined_q, joined_s);
+  f[2] = CommonSuffixRatio(joined_q, joined_s);
+
+  auto numbers_q = NumberTokens(query);
+  auto numbers_s = NumberTokens(snippet);
+  size_t shared_numbers = 0;
+  for (const auto& n : numbers_q) shared_numbers += numbers_s.count(n);
+  f[3] = static_cast<double>(shared_numbers);
+  f[4] = (!numbers_q.empty() && shared_numbers == numbers_q.size()) ? 1.0 : 0.0;
+  f[5] = AcronymMatch(query, snippet) ? 1.0 : 0.0;
+
+  std::unordered_set<std::string> set_q(query.begin(), query.end());
+  std::unordered_set<std::string> set_s(snippet.begin(), snippet.end());
+  size_t common = 0;
+  for (const auto& w : set_q) common += set_s.count(w);
+  size_t uni = set_q.size() + set_s.size() - common;
+  f[6] = uni == 0 ? 0.0 : static_cast<double>(common) / static_cast<double>(uni);
+  f[7] = set_q.empty() ? 0.0
+                       : static_cast<double>(common) / static_cast<double>(set_q.size());
+  f[8] = set_s.empty() ? 0.0
+                       : static_cast<double>(common) / static_cast<double>(set_s.size());
+  size_t longest = std::max(query.size(), snippet.size());
+  f[9] = longest == 0
+             ? 1.0
+             : static_cast<double>(std::min(query.size(), snippet.size())) /
+                   static_cast<double>(longest);
+  return f;
+}
+
+LrPlusLinker::LrPlusLinker(
+    const ontology::Ontology& onto,
+    const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+        training_aliases,
+    LrPlusConfig config)
+    : onto_(onto), config_(config), targets_(onto.FineGrainedConcepts()) {
+  // Pre-aggregate ancestor descriptions (the structural text snippet).
+  ancestor_text_.resize(onto.size());
+  for (ontology::ConceptId id : onto.AllConcepts()) {
+    std::vector<std::string> aggregated;
+    for (ontology::ConceptId anc : onto.AncestorPath(id)) {
+      const auto& desc = onto.Get(anc).description;
+      aggregated.insert(aggregated.end(), desc.begin(), desc.end());
+    }
+    ancestor_text_[static_cast<size_t>(id)] = std::move(aggregated);
+  }
+
+  size_t feature_count =
+      kPairFeatureCount + (config_.structural_features ? kPairFeatureCount : 0) + 1;
+  weights_.assign(feature_count, 0.0);
+  Train(training_aliases);
+}
+
+std::vector<double> LrPlusLinker::FeatureVector(
+    const std::vector<std::string>& query, ontology::ConceptId concept_id) const {
+  std::vector<double> features;
+  features.reserve(weights_.size());
+  auto textual = ComputePairFeatures(query, onto_.Get(concept_id).description);
+  features.insert(features.end(), textual.begin(), textual.end());
+  if (config_.structural_features) {
+    const auto& ancestors = ancestor_text_[static_cast<size_t>(concept_id)];
+    auto structural = ComputePairFeatures(query, ancestors);
+    features.insert(features.end(), structural.begin(), structural.end());
+  }
+  features.push_back(1.0);  // bias
+  return features;
+}
+
+void LrPlusLinker::Train(
+    const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+        aliases) {
+  // Build (features, label) examples: each alias is a positive for its
+  // concept and a negative for sampled other fine-grained concepts.
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> usable;
+  for (const auto& entry : aliases) {
+    if (onto_.IsFineGrained(entry.first) && !entry.second.empty()) {
+      usable.push_back(entry);
+    }
+  }
+  if (usable.empty() || targets_.empty()) return;
+
+  Rng rng(config_.seed);
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    double lr = config_.learning_rate /
+                (1.0 + 0.5 * static_cast<double>(epoch));
+    rng.Shuffle(usable);
+    for (const auto& [concept_id, tokens] : usable) {
+      auto step = [&](ontology::ConceptId target, double label) {
+        std::vector<double> features = FeatureVector(tokens, target);
+        double z = 0.0;
+        for (size_t i = 0; i < features.size(); ++i) z += weights_[i] * features[i];
+        double p = 1.0 / (1.0 + std::exp(-z));
+        double gradient = label - p;
+        for (size_t i = 0; i < features.size(); ++i) {
+          weights_[i] += lr * (gradient * features[i] - config_.l2 * weights_[i]);
+        }
+      };
+      step(concept_id, 1.0);
+      for (size_t n = 0; n < config_.negatives_per_positive; ++n) {
+        ontology::ConceptId negative = targets_[rng.Index(targets_.size())];
+        if (negative == concept_id) continue;
+        step(negative, 0.0);
+      }
+    }
+  }
+}
+
+double LrPlusLinker::Score(const std::vector<std::string>& query,
+                           ontology::ConceptId concept_id) const {
+  std::vector<double> features = FeatureVector(query, concept_id);
+  double z = 0.0;
+  for (size_t i = 0; i < features.size(); ++i) z += weights_[i] * features[i];
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+linking::Ranking LrPlusLinker::LinkAmong(
+    const std::vector<std::string>& query,
+    const std::vector<ontology::ConceptId>& candidates, size_t k) const {
+  linking::Ranking ranking;
+  ranking.reserve(candidates.size());
+  for (ontology::ConceptId id : candidates) {
+    ranking.push_back(linking::RankedConcept{id, Score(query, id)});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const linking::RankedConcept& a, const linking::RankedConcept& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.concept_id < b.concept_id;
+            });
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+linking::Ranking LrPlusLinker::Link(const std::vector<std::string>& query,
+                                    size_t k) const {
+  return LinkAmong(query, targets_, k);
+}
+
+}  // namespace ncl::baselines

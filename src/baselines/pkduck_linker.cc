@@ -1,0 +1,183 @@
+#include "baselines/pkduck_linker.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ncl::baselines {
+
+namespace {
+
+using TokenSet = std::unordered_set<std::string>;
+
+double Jaccard(const TokenSet& a, const TokenSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t intersection = 0;
+  for (const auto& token : a) intersection += b.count(token);
+  size_t union_size = a.size() + b.size() - intersection;
+  return union_size == 0
+             ? 0.0
+             : static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+/// Rewrite `tokens` toward `other`: collapse phrases whose abbreviation is
+/// in `other`, expand abbreviations whose expansion overlaps `other`.
+std::vector<std::string> DeriveToward(const std::vector<std::string>& tokens,
+                                      const TokenSet& other,
+                                      const std::vector<AbbreviationRule>& rules) {
+  std::vector<std::string> derived = tokens;
+
+  // Pass 1: phrase -> abbreviation, when the other side uses the acronym.
+  for (const AbbreviationRule& rule : rules) {
+    if (rule.expansion.size() < 2 || other.count(rule.abbr) == 0) continue;
+    for (size_t start = 0; start + rule.expansion.size() <= derived.size(); ++start) {
+      if (std::equal(rule.expansion.begin(), rule.expansion.end(),
+                     derived.begin() + static_cast<ptrdiff_t>(start))) {
+        derived.erase(derived.begin() + static_cast<ptrdiff_t>(start),
+                      derived.begin() +
+                          static_cast<ptrdiff_t>(start + rule.expansion.size()));
+        derived.insert(derived.begin() + static_cast<ptrdiff_t>(start), rule.abbr);
+        break;
+      }
+    }
+  }
+
+  // Pass 2: abbreviation -> expansion, when that increases overlap.
+  std::vector<std::string> result;
+  result.reserve(derived.size());
+  for (const auto& token : derived) {
+    const AbbreviationRule* best = nullptr;
+    size_t best_overlap = 0;
+    for (const AbbreviationRule& rule : rules) {
+      if (rule.abbr != token) continue;
+      size_t overlap = 0;
+      for (const auto& word : rule.expansion) overlap += other.count(word);
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best = &rule;
+      }
+    }
+    if (best != nullptr && other.count(token) == 0) {
+      for (const auto& word : best->expansion) result.push_back(word);
+    } else {
+      result.push_back(token);
+    }
+  }
+  return result;
+}
+
+double DirectionalSimilarity(const std::vector<std::string>& from,
+                             const std::vector<std::string>& to,
+                             const std::vector<AbbreviationRule>& rules) {
+  TokenSet to_set(to.begin(), to.end());
+  std::vector<std::string> derived = DeriveToward(from, to_set, rules);
+  TokenSet from_set(derived.begin(), derived.end());
+  return Jaccard(from_set, to_set);
+}
+
+}  // namespace
+
+std::vector<AbbreviationRule> RulesFromVocabulary(
+    const datagen::MedicalVocabulary& vocab) {
+  std::vector<AbbreviationRule> rules;
+  for (const auto& [full, abbr] : vocab.abbreviations) {
+    rules.push_back(AbbreviationRule{abbr, {full}});
+  }
+  for (const auto& acronym : vocab.acronyms) {
+    rules.push_back(AbbreviationRule{acronym.acronym, acronym.phrase});
+  }
+  return rules;
+}
+
+double PkduckSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b,
+                        const std::vector<AbbreviationRule>& rules) {
+  return std::max(DirectionalSimilarity(a, b, rules),
+                  DirectionalSimilarity(b, a, rules));
+}
+
+PkduckLinker::PkduckLinker(
+    const ontology::Ontology& onto,
+    const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+        aliases,
+    std::vector<AbbreviationRule> rules, PkduckConfig config)
+    : onto_(onto), config_(config), rules_(std::move(rules)) {
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    rules_by_abbr_[rules_[r].abbr].push_back(r);
+    if (!rules_[r].expansion.empty()) {
+      rules_by_first_word_[rules_[r].expansion.front()].push_back(r);
+    }
+  }
+  for (ontology::ConceptId id : onto.FineGrainedConcepts()) {
+    entries_.push_back(Entry{onto.Get(id).description, id});
+  }
+  if (config_.index_aliases) {
+    for (const auto& [concept_id, tokens] : aliases) {
+      if (onto.IsFineGrained(concept_id) && !tokens.empty()) {
+        entries_.push_back(Entry{tokens, concept_id});
+      }
+    }
+  }
+  for (uint32_t e = 0; e < entries_.size(); ++e) {
+    std::unordered_set<std::string> seen;
+    for (const auto& token : entries_[e].tokens) {
+      if (seen.insert(token).second) token_index_[token].push_back(e);
+    }
+  }
+}
+
+std::vector<std::string> PkduckLinker::ReachableTokens(
+    const std::string& word) const {
+  std::vector<std::string> reachable{word};
+  auto abbr_it = rules_by_abbr_.find(word);
+  if (abbr_it != rules_by_abbr_.end()) {
+    for (size_t r : abbr_it->second) {
+      for (const auto& token : rules_[r].expansion) reachable.push_back(token);
+    }
+  }
+  // Over-approximate: any rule whose expansion mentions the word could
+  // collapse a phrase containing it into the abbreviation.
+  for (const AbbreviationRule& rule : rules_) {
+    if (std::find(rule.expansion.begin(), rule.expansion.end(), word) !=
+        rule.expansion.end()) {
+      reachable.push_back(rule.abbr);
+    }
+  }
+  return reachable;
+}
+
+linking::Ranking PkduckLinker::Link(const std::vector<std::string>& query,
+                                    size_t k) const {
+  // Prefilter: entries sharing at least one (rule-reachable) token.
+  std::unordered_set<uint32_t> candidates;
+  for (const auto& word : query) {
+    for (const auto& token : ReachableTokens(word)) {
+      auto it = token_index_.find(token);
+      if (it == token_index_.end()) continue;
+      candidates.insert(it->second.begin(), it->second.end());
+    }
+  }
+
+  std::unordered_map<ontology::ConceptId, double> best_score;
+  for (uint32_t e : candidates) {
+    const Entry& entry = entries_[e];
+    double similarity = PkduckSimilarity(query, entry.tokens, rules_);
+    if (similarity < config_.theta) continue;
+    auto [it, inserted] = best_score.emplace(entry.concept_id, similarity);
+    if (!inserted && similarity > it->second) it->second = similarity;
+  }
+
+  linking::Ranking ranking;
+  ranking.reserve(best_score.size());
+  for (const auto& [concept_id, score] : best_score) {
+    ranking.push_back(linking::RankedConcept{concept_id, score});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const linking::RankedConcept& a, const linking::RankedConcept& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.concept_id < b.concept_id;
+            });
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+}  // namespace ncl::baselines

@@ -1,0 +1,155 @@
+#include "baselines/wmd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ncl::baselines {
+
+namespace {
+
+/// Map tokens to in-vocabulary word ids, dropping OOV tokens.
+std::vector<text::WordId> MapKnown(const std::vector<std::string>& tokens,
+                                   const pretrain::WordEmbeddings& embeddings) {
+  std::vector<text::WordId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    text::WordId id = embeddings.vocabulary().Lookup(token);
+    if (id != text::Vocabulary::kUnknown) ids.push_back(id);
+  }
+  return ids;
+}
+
+/// Euclidean ground-cost matrix between two id lists.
+std::vector<std::vector<double>> GroundCosts(
+    const std::vector<text::WordId>& a, const std::vector<text::WordId>& b,
+    const pretrain::WordEmbeddings& embeddings) {
+  const size_t dim = embeddings.dim();
+  std::vector<std::vector<double>> cost(a.size(), std::vector<double>(b.size()));
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float* va = embeddings.VectorOf(a[i]);
+    for (size_t j = 0; j < b.size(); ++j) {
+      const float* vb = embeddings.VectorOf(b[j]);
+      double total = 0.0;
+      for (size_t c = 0; c < dim; ++c) {
+        double diff = static_cast<double>(va[c]) - vb[c];
+        total += diff * diff;
+      }
+      cost[i][j] = std::sqrt(total);
+    }
+  }
+  return cost;
+}
+
+/// One directional relaxation: each source word fully moves to its nearest
+/// target word. Exact optimum of the relaxed problem.
+double RelaxedDirectional(const std::vector<std::vector<double>>& cost) {
+  double total = 0.0;
+  const double weight = 1.0 / static_cast<double>(cost.size());
+  for (const auto& row : cost) {
+    total += weight * *std::min_element(row.begin(), row.end());
+  }
+  return total;
+}
+
+double RelaxedWmd(const std::vector<std::vector<double>>& cost) {
+  // Transpose for the reverse direction.
+  std::vector<std::vector<double>> transposed(cost[0].size(),
+                                              std::vector<double>(cost.size()));
+  for (size_t i = 0; i < cost.size(); ++i) {
+    for (size_t j = 0; j < cost[i].size(); ++j) transposed[j][i] = cost[i][j];
+  }
+  return std::max(RelaxedDirectional(cost), RelaxedDirectional(transposed));
+}
+
+double SinkhornWmd(const std::vector<std::vector<double>>& cost,
+                   double reg_fraction, size_t iterations) {
+  const size_t n = cost.size();
+  const size_t m = cost[0].size();
+
+  double mean_cost = 0.0;
+  for (const auto& row : cost) {
+    for (double c : row) mean_cost += c;
+  }
+  mean_cost /= static_cast<double>(n * m);
+  double reg = std::max(1e-6, reg_fraction * mean_cost);
+
+  // Gibbs kernel K = exp(-C / reg).
+  std::vector<std::vector<double>> kernel(n, std::vector<double>(m));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) kernel[i][j] = std::exp(-cost[i][j] / reg);
+  }
+
+  const double a = 1.0 / static_cast<double>(n);
+  const double b = 1.0 / static_cast<double>(m);
+  std::vector<double> u(n, 1.0), v(m, 1.0);
+  for (size_t it = 0; it < iterations; ++it) {
+    for (size_t i = 0; i < n; ++i) {
+      double denom = 0.0;
+      for (size_t j = 0; j < m; ++j) denom += kernel[i][j] * v[j];
+      u[i] = a / std::max(denom, 1e-300);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      double denom = 0.0;
+      for (size_t i = 0; i < n; ++i) denom += kernel[i][j] * u[i];
+      v[j] = b / std::max(denom, 1e-300);
+    }
+  }
+
+  // Transport cost <T, C> with T_ij = u_i K_ij v_j.
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) total += u[i] * kernel[i][j] * v[j] * cost[i][j];
+  }
+  return total;
+}
+
+}  // namespace
+
+double WordMoversDistance(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b,
+                          const pretrain::WordEmbeddings& embeddings,
+                          const WmdConfig& config) {
+  std::vector<text::WordId> ids_a = MapKnown(a, embeddings);
+  std::vector<text::WordId> ids_b = MapKnown(b, embeddings);
+  if (ids_a.empty() || ids_b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  auto cost = GroundCosts(ids_a, ids_b, embeddings);
+  switch (config.method) {
+    case WmdMethod::kRelaxed:
+      return RelaxedWmd(cost);
+    case WmdMethod::kSinkhorn:
+      return SinkhornWmd(cost, config.sinkhorn_reg, config.sinkhorn_iterations);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+WmdLinker::WmdLinker(const ontology::Ontology& onto,
+                     const pretrain::WordEmbeddings& embeddings, WmdConfig config)
+    : onto_(onto),
+      embeddings_(embeddings),
+      config_(config),
+      targets_(onto.FineGrainedConcepts()) {}
+
+linking::Ranking WmdLinker::Link(const std::vector<std::string>& query,
+                                 size_t k) const {
+  linking::Ranking ranking;
+  ranking.reserve(targets_.size());
+  for (ontology::ConceptId id : targets_) {
+    double distance =
+        WordMoversDistance(query, onto_.Get(id).description, embeddings_, config_);
+    if (std::isinf(distance)) continue;
+    // Larger score = better: negate the distance.
+    ranking.push_back(linking::RankedConcept{id, -distance});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const linking::RankedConcept& a, const linking::RankedConcept& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.concept_id < b.concept_id;
+            });
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+}  // namespace ncl::baselines

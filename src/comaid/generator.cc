@@ -1,0 +1,92 @@
+#include "comaid/generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ncl::comaid {
+
+namespace {
+struct Hypothesis {
+  std::vector<text::WordId> words;
+  double log_prob = 0.0;
+};
+}  // namespace
+
+std::vector<GeneratedSnippet> GenerateSnippets(const ComAidModel& model,
+                                               ontology::ConceptId concept_id,
+                                               const GenerateConfig& config) {
+  NCL_CHECK(config.beam_width > 0);
+  std::vector<Hypothesis> beam{Hypothesis{}};
+  std::vector<Hypothesis> completed;
+
+  bool length_capped = true;
+  for (size_t step = 0; step < config.max_length; ++step) {
+    std::vector<Hypothesis> expanded;
+    for (const Hypothesis& hyp : beam) {
+      std::vector<double> log_probs = model.NextWordLogProbs(concept_id, hyp.words);
+      // Keep the beam_width best continuations of this hypothesis.
+      std::vector<size_t> order(log_probs.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::partial_sort(order.begin(),
+                        order.begin() + static_cast<ptrdiff_t>(std::min(
+                            config.beam_width, order.size())),
+                        order.end(), [&](size_t a, size_t b) {
+                          return log_probs[a] > log_probs[b];
+                        });
+      for (size_t r = 0; r < config.beam_width && r < order.size(); ++r) {
+        auto word = static_cast<text::WordId>(order[r]);
+        if (word == model.bos_id() || word == model.unk_id()) continue;
+        // Residual-trained models put real mass on the empty snippet;
+        // min_length keeps generations presentable.
+        if (word == model.eos_id() && hyp.words.size() < config.min_length) {
+          continue;
+        }
+        Hypothesis next = hyp;
+        next.log_prob += log_probs[order[r]];
+        if (word == model.eos_id()) {
+          completed.push_back(next);
+        } else {
+          next.words.push_back(word);
+          expanded.push_back(std::move(next));
+        }
+      }
+    }
+    if (expanded.empty()) {
+      // Every surviving continuation ended in <eos>; the previous beam has
+      // been fully consumed and must not be re-reported below.
+      length_capped = false;
+      break;
+    }
+    std::sort(expanded.begin(), expanded.end(),
+              [](const Hypothesis& a, const Hypothesis& b) {
+                return a.log_prob > b.log_prob;
+              });
+    if (expanded.size() > config.beam_width) expanded.resize(config.beam_width);
+    beam = std::move(expanded);
+  }
+  // Hypotheses cut off by max_length count as completed.
+  if (length_capped) {
+    for (const Hypothesis& hyp : beam) {
+      if (!hyp.words.empty()) completed.push_back(hyp);
+    }
+  }
+
+  std::sort(completed.begin(), completed.end(),
+            [](const Hypothesis& a, const Hypothesis& b) {
+              return a.log_prob > b.log_prob;
+            });
+  std::vector<GeneratedSnippet> results;
+  for (const Hypothesis& hyp : completed) {
+    if (results.size() == config.num_results) break;
+    GeneratedSnippet snippet;
+    snippet.log_prob = hyp.log_prob;
+    for (text::WordId word : hyp.words) {
+      snippet.tokens.push_back(model.vocabulary().WordOf(word));
+    }
+    results.push_back(std::move(snippet));
+  }
+  return results;
+}
+
+}  // namespace ncl::comaid

@@ -1,0 +1,40 @@
+// Beam-search snippet generation from a concept.
+//
+// COM-AID is a translation model: besides *scoring* p(q|c), it can
+// *generate* the most likely text snippets for a concept — useful for
+// inspecting what the model believes a concept "sounds like" (e.g. in the
+// expert-review UI), and for synthesising candidate aliases. Standard beam
+// search over the duet decoder, sharing all weights with scoring.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comaid/model.h"
+
+namespace ncl::comaid {
+
+/// One generated snippet with its sequence log-probability.
+struct GeneratedSnippet {
+  std::vector<std::string> tokens;
+  double log_prob = 0.0;
+};
+
+/// Beam-search knobs.
+struct GenerateConfig {
+  size_t beam_width = 4;
+  size_t min_length = 1;    ///< forbid <eos> before this many tokens
+  size_t max_length = 12;   ///< hard cap on generated tokens
+  size_t num_results = 3;   ///< completed hypotheses to return
+};
+
+/// \brief Generate the most likely snippets for `concept_id`, best first.
+///
+/// Hypotheses end when the decoder emits <eos> or at max_length. Results
+/// are sorted by descending total log-probability.
+std::vector<GeneratedSnippet> GenerateSnippets(const ComAidModel& model,
+                                               ontology::ConceptId concept_id,
+                                               const GenerateConfig& config = {});
+
+}  // namespace ncl::comaid

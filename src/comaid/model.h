@@ -1,0 +1,145 @@
+// The COM-AID model (§4): COMposite AttentIonal encode-Decode network.
+//
+// Encodes a concept's canonical description with an LSTM (§4.1.1), then
+// decodes a text snippet from the concept representation with a
+// text-structure duet decoder (§4.1.2):
+//   * text-based attention over the encoder's hidden states (Eqs. 5–6),
+//   * structure-based attention over the representations of the concept's
+//     ancestors (Eq. 7, Def. 4.1), encoded by the *same* encoder weights,
+//   * a composite layer  s~_t = tanh(W_d [s_t; tc_t; sc_t] + b_d)  (Eq. 8),
+//   * a vocabulary softmax  p(w_t | w_<t, c) = softmax(W_s s~_t + b_s)
+//     (Eq. 9), chained into p(q|c) by Eq. 3.
+//
+// The two attention switches produce the paper's ablation variants
+// (Fig. 6): disabling structural attention yields COM-AID^-c (attentional
+// seq2seq, Bahdanau et al. [2]); disabling textual attention yields
+// COM-AID^-w; disabling both yields COM-AID^-wc (seq2seq, Sutskever et
+// al. [40]).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/lstm.h"
+#include "nn/parameter.h"
+#include "nn/tape.h"
+#include "ontology/ontology.h"
+#include "pretrain/embeddings.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace ncl::comaid {
+
+/// Architecture/ablation configuration.
+struct ComAidConfig {
+  /// Word-embedding and hidden width d. The paper allows them to differ but
+  /// assumes equality (§6.1 fn 10); we follow suit.
+  size_t dim = 50;
+  /// Structural-context depth β (Def. 4.1).
+  int32_t beta = 2;
+  /// Text-based attention (Eqs. 5–6). Off => COM-AID^-w family.
+  bool text_attention = true;
+  /// Structure-based attention (Eq. 7). Off => COM-AID^-c family.
+  bool structural_attention = true;
+  uint64_t seed = 1234;
+};
+
+/// Human-readable variant name: "COM-AID", "COM-AID-c", "COM-AID-w",
+/// "COM-AID-wc" per the ablation switches.
+std::string VariantName(const ComAidConfig& config);
+
+/// \brief The model: parameters + forward/score entry points.
+///
+/// Thread-safety: after training, ScoreLogProb / EncodeConcept are safe to
+/// call concurrently (they only read parameter values through private
+/// tapes). Training must be single-threaded.
+class ComAidModel {
+ public:
+  /// Special decoder tokens (always present in the model vocabulary).
+  static constexpr const char* kBos = "<bos>";
+  static constexpr const char* kEos = "<eos>";
+  static constexpr const char* kUnk = "<unk>";
+
+  /// \param onto the ontology; must outlive the model.
+  /// \param extra_snippets additional token sequences whose words join the
+  ///        model vocabulary (typically the labeled training aliases).
+  ComAidModel(ComAidConfig config, const ontology::Ontology* onto,
+              const std::vector<std::vector<std::string>>& extra_snippets);
+
+  /// Copy pre-trained vectors into the embedding table for every word both
+  /// vocabularies share (the §4.2 pretrain-and-refine handoff). Returns the
+  /// number of rows initialised.
+  size_t InitializeEmbeddings(const pretrain::WordEmbeddings& pretrained);
+
+  /// Map tokens to model word ids (<unk> for out-of-vocabulary words).
+  std::vector<text::WordId> MapTokens(const std::vector<std::string>& tokens) const;
+
+  /// \brief Record the full encode-decode loss for one training example on
+  /// `tape`: -log p(target | concept) (Eq. 10 summand). `target` must be
+  /// non-empty and contain word ids only (no specials; <eos> is appended
+  /// internally).
+  nn::VarId BuildExampleLoss(nn::Tape& tape, ontology::ConceptId concept_id,
+                             const std::vector<text::WordId>& target) const;
+
+  /// \brief log p(q | c; Θ): teacher-forced log-likelihood of decoding the
+  /// query from the concept (Eq. 3). Thread-safe after training.
+  double ScoreLogProb(ontology::ConceptId concept_id,
+                      const std::vector<std::string>& query_tokens) const;
+
+  /// \brief Log-probability over the next word (softmax of Eq. 9) after
+  /// decoding `prefix` from `concept_id`. Index eos_id() closes the
+  /// sequence. Powers beam-search generation. Thread-safe after training.
+  std::vector<double> NextWordLogProbs(
+      ontology::ConceptId concept_id,
+      const std::vector<text::WordId>& prefix) const;
+
+  /// \brief The concept representation h_n^c (the encoder's final hidden
+  /// state on the canonical description). Used by the Fig. 10 analysis.
+  nn::Matrix EncodeConcept(ontology::ConceptId concept_id) const;
+
+  /// \brief The embedding vector of an in-vocabulary word (copy).
+  nn::Matrix WordVector(text::WordId id) const;
+
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  const ComAidConfig& config() const { return config_; }
+  const ontology::Ontology& onto() const { return *onto_; }
+  nn::ParameterStore* params() { return &params_; }
+  const nn::ParameterStore& params() const { return params_; }
+
+  text::WordId bos_id() const { return bos_id_; }
+  text::WordId eos_id() const { return eos_id_; }
+  text::WordId unk_id() const { return unk_id_; }
+
+ private:
+  /// Encoder pass over a description; appends per-word hidden states to
+  /// `states` and returns the final hidden state h_n.
+  nn::VarId EncodeDescription(nn::Tape& tape,
+                              const std::vector<text::WordId>& words,
+                              std::vector<nn::VarId>* states) const;
+
+  /// Shared forward: loss node for decoding `target` from `concept_id`.
+  nn::VarId Forward(nn::Tape& tape, ontology::ConceptId concept_id,
+                    const std::vector<text::WordId>& target) const;
+
+  ComAidConfig config_;
+  const ontology::Ontology* onto_;
+  text::Vocabulary vocab_;
+  text::WordId bos_id_ = 0;
+  text::WordId eos_id_ = 1;
+  text::WordId unk_id_ = 2;
+
+  nn::ParameterStore params_;
+  nn::Parameter* embeddings_ = nullptr;  // V x d
+  std::unique_ptr<nn::LstmCell> encoder_;
+  std::unique_ptr<nn::LstmCell> decoder_;
+  nn::Parameter* w_d_ = nullptr;  // d x (d * pieces)
+  nn::Parameter* b_d_ = nullptr;  // d x 1
+  nn::Parameter* w_s_ = nullptr;  // V x d
+  nn::Parameter* b_s_ = nullptr;  // V x 1
+
+  /// Concept descriptions pre-mapped to model word ids.
+  std::vector<std::vector<text::WordId>> concept_words_;
+};
+
+}  // namespace ncl::comaid

@@ -1,0 +1,30 @@
+// Whole-model persistence for COM-AID.
+//
+// ParameterStore::Save/Load covers the weights; a deployable checkpoint
+// must also pin the architecture configuration and the model vocabulary
+// (word-id order determines embedding rows and softmax indices). SaveModel
+// writes all three; LoadModel reconstructs a ComAidModel against the same
+// ontology and verifies the vocabulary matches bit-for-bit.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "comaid/model.h"
+#include "util/status.h"
+
+namespace ncl::comaid {
+
+/// \brief Write config + vocabulary + parameters to `path`.
+Status SaveModel(const ComAidModel& model, const std::string& path);
+
+/// \brief Reconstruct a model from `path` against `onto`.
+///
+/// The ontology must be the one the model was built with (same concepts in
+/// the same insertion order); a vocabulary mismatch — e.g. an ontology with
+/// different descriptions — is detected and reported.
+Result<std::unique_ptr<ComAidModel>> LoadModel(const std::string& path,
+                                               const ontology::Ontology* onto);
+
+}  // namespace ncl::comaid

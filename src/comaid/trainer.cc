@@ -1,0 +1,94 @@
+#include "comaid/trainer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "nn/tape.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ncl::comaid {
+
+std::vector<TrainingPair> MakeTrainingPairs(
+    const ComAidModel& model,
+    const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+        snippets) {
+  std::vector<TrainingPair> pairs;
+  pairs.reserve(snippets.size());
+  for (const auto& [concept_id, tokens] : snippets) {
+    if (tokens.empty()) continue;  // an empty alias teaches nothing
+    pairs.push_back(TrainingPair{concept_id, model.MapTokens(tokens)});
+  }
+  return pairs;
+}
+
+std::vector<TrainingPair> MakeResidualAugmentedPairs(
+    const ComAidModel& model,
+    const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+        snippets) {
+  std::vector<TrainingPair> pairs = MakeTrainingPairs(model, snippets);
+  pairs.reserve(pairs.size() * 2);
+  for (const auto& [concept_id, tokens] : snippets) {
+    if (tokens.empty()) continue;
+    const auto& description = model.onto().Get(concept_id).description;
+    std::unordered_set<std::string> shared(description.begin(), description.end());
+    std::vector<std::string> residual;
+    for (const auto& word : tokens) {
+      if (shared.count(word) == 0) residual.push_back(word);
+    }
+    // Empty residuals are kept deliberately: they teach p(<eos> | exact match).
+    pairs.push_back(TrainingPair{concept_id, model.MapTokens(residual)});
+  }
+  return pairs;
+}
+
+double ComAidTrainer::TrainBatch(ComAidModel* model, nn::Optimizer* optimizer,
+                                 const std::vector<TrainingPair>& batch) const {
+  NCL_CHECK(!batch.empty());
+  nn::Tape tape;
+  double total_loss = 0.0;
+  float inv_batch = 1.0f / static_cast<float>(batch.size());
+  for (const TrainingPair& pair : batch) {
+    tape.Reset();
+    nn::VarId loss = model->BuildExampleLoss(tape, pair.concept_id, pair.target);
+    total_loss += tape.Value(loss)[0];
+    // Seed 1/|B| so accumulated parameter gradients average over the batch.
+    tape.Backward(loss, inv_batch);
+  }
+  optimizer->Step(model->params());
+  return total_loss / static_cast<double>(batch.size());
+}
+
+double ComAidTrainer::Train(ComAidModel* model,
+                            const std::vector<TrainingPair>& pairs) const {
+  NCL_CHECK(model != nullptr);
+  if (pairs.empty()) return 0.0;
+
+  nn::SgdOptimizer optimizer(config_.learning_rate, config_.momentum,
+                             config_.clip_norm);
+  Rng rng(config_.shuffle_seed);
+  std::vector<size_t> order(pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double epoch_loss = 0.0;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    size_t example_count = 0;
+    for (size_t start = 0; start < order.size(); start += config_.batch_size) {
+      size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<TrainingPair> batch;
+      batch.reserve(end - start);
+      for (size_t i = start; i < end; ++i) batch.push_back(pairs[order[i]]);
+      double mean_loss = TrainBatch(model, &optimizer, batch);
+      loss_sum += mean_loss * static_cast<double>(batch.size());
+      example_count += batch.size();
+    }
+    epoch_loss = loss_sum / static_cast<double>(example_count);
+    if (config_.on_epoch) config_.on_epoch(epoch, epoch_loss);
+    optimizer.set_learning_rate(optimizer.learning_rate() * config_.lr_decay);
+  }
+  return epoch_loss;
+}
+
+}  // namespace ncl::comaid

@@ -1,0 +1,208 @@
+#include "datagen/alias_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace ncl::datagen {
+
+bool AliasGenerator::ApplySynonyms(std::vector<std::string>* tokens, Rng& rng,
+                                   double prob) const {
+  bool changed = false;
+  for (auto& token : *tokens) {
+    const SynonymSet* set = vocab_.FindSynonyms(token);
+    if (set == nullptr || set->forms.size() < 2) continue;
+    if (!rng.Bernoulli(prob)) continue;
+    // Training aliases draw only from the KB-visible prefix of the set;
+    // queries prefer the held-out clinician forms when the set has any.
+    size_t begin = 0;
+    size_t limit = std::max<size_t>(set->first_heldout, 1);
+    if (config_.use_heldout_synonyms) {
+      if (set->first_heldout < set->forms.size() && rng.Bernoulli(0.75)) {
+        begin = set->first_heldout;
+      }
+      limit = set->forms.size();
+    }
+    // Pick a different form than the current one.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::string& candidate =
+          set->forms[begin + rng.Index(limit - begin)];
+      if (candidate != token) {
+        // Multi-word synonym forms expand into several tokens downstream;
+        // keep them as one space-joined token here and re-split at the end.
+        token = candidate;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+bool AliasGenerator::ApplyAbbreviations(std::vector<std::string>* tokens, Rng& rng,
+                                        double prob) const {
+  bool changed = false;
+  for (auto& token : *tokens) {
+    auto it = vocab_.abbreviations.find(token);
+    if (it == vocab_.abbreviations.end()) continue;
+    if (!rng.Bernoulli(prob)) continue;
+    token = it->second;
+    changed = true;
+  }
+  return changed;
+}
+
+bool AliasGenerator::ApplyAcronyms(std::vector<std::string>* tokens, Rng& rng,
+                                   double prob) const {
+  bool changed = false;
+  for (const AcronymRule& rule : vocab_.acronyms) {
+    if (rule.phrase.size() > tokens->size()) continue;
+    for (size_t start = 0; start + rule.phrase.size() <= tokens->size(); ++start) {
+      if (!std::equal(rule.phrase.begin(), rule.phrase.end(),
+                      tokens->begin() + static_cast<ptrdiff_t>(start))) {
+        continue;
+      }
+      if (!rng.Bernoulli(prob)) continue;
+      tokens->erase(tokens->begin() + static_cast<ptrdiff_t>(start),
+                    tokens->begin() + static_cast<ptrdiff_t>(start + rule.phrase.size()));
+      tokens->insert(tokens->begin() + static_cast<ptrdiff_t>(start), rule.acronym);
+      changed = true;
+      break;
+    }
+  }
+  return changed;
+}
+
+bool AliasGenerator::ApplyDrops(std::vector<std::string>* tokens, Rng& rng,
+                                double prob) const {
+  if (tokens->size() <= 2) return false;
+  bool changed = false;
+  std::vector<std::string> kept;
+  kept.reserve(tokens->size());
+  for (const auto& token : *tokens) {
+    bool droppable = std::find(vocab_.droppable_words.begin(),
+                               vocab_.droppable_words.end(),
+                               token) != vocab_.droppable_words.end();
+    if (droppable && rng.Bernoulli(prob)) {
+      changed = true;
+      continue;
+    }
+    kept.push_back(token);
+  }
+  if (kept.size() < 2 || !changed) return false;
+  *tokens = std::move(kept);
+  return changed;
+}
+
+bool AliasGenerator::ApplyReorder(std::vector<std::string>* tokens, Rng& rng) const {
+  if (tokens->size() < 3) return false;
+  // Move the trailing qualifier phrase to the front, the way clinicians
+  // write "stage 5 ckd" for "chronic kidney disease, stage 5".
+  size_t cut = tokens->size() - 1 - rng.Index(std::min<size_t>(2, tokens->size() - 2));
+  std::rotate(tokens->begin(), tokens->begin() + static_cast<ptrdiff_t>(cut),
+              tokens->end());
+  return true;
+}
+
+bool AliasGenerator::ApplyTypos(std::vector<std::string>* tokens, Rng& rng,
+                                double prob) const {
+  bool changed = false;
+  for (auto& token : *tokens) {
+    if (token.size() < 5 || !rng.Bernoulli(prob)) continue;
+    size_t pos = 1 + rng.Index(token.size() - 2);
+    switch (rng.Index(3)) {
+      case 0:  // deletion: "neuropathy" -> "neuropaty"
+        token.erase(pos, 1);
+        break;
+      case 1:  // transposition
+        std::swap(token[pos], token[pos - 1]);
+        break;
+      default:  // substitution with a nearby letter
+        token[pos] = static_cast<char>('a' + rng.Index(26));
+        break;
+    }
+    changed = true;
+  }
+  return changed;
+}
+
+bool AliasGenerator::ApplyNumberRewrite(std::vector<std::string>* tokens, Rng& rng,
+                                        double prob) const {
+  bool changed = false;
+  for (size_t i = 0; i + 1 < tokens->size(); ++i) {
+    if ((*tokens)[i] == "stage" && IsNumber((*tokens)[i + 1]) &&
+        rng.Bernoulli(prob)) {
+      // "stage 5" -> "5": the paper's "ckd 5" example.
+      tokens->erase(tokens->begin() + static_cast<ptrdiff_t>(i));
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool AliasGenerator::ApplyShorten(std::vector<std::string>* tokens, Rng& rng,
+                                  double prob) const {
+  bool changed = false;
+  for (auto& token : *tokens) {
+    if (token.size() < 6 || ContainsDigit(token) || !rng.Bernoulli(prob)) continue;
+    token.resize(3 + rng.Index(3));  // keep a 3-5 character prefix
+    changed = true;
+  }
+  return changed;
+}
+
+bool AliasGenerator::ApplyTruncate(std::vector<std::string>* tokens,
+                                   Rng& rng) const {
+  if (tokens->size() <= 2) return false;
+  tokens->erase(tokens->begin() + static_cast<ptrdiff_t>(rng.Index(tokens->size())));
+  return true;
+}
+
+std::vector<std::string> AliasGenerator::Corrupt(
+    const std::vector<std::string>& canonical, Rng& rng) const {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::vector<std::string> tokens = canonical;
+    bool changed = false;
+    changed |= ApplyAcronyms(&tokens, rng, config_.p_acronym);
+    changed |= ApplySynonyms(&tokens, rng, config_.p_synonym);
+    changed |= ApplyAbbreviations(&tokens, rng, config_.p_abbrev);
+    changed |= ApplyNumberRewrite(&tokens, rng, config_.p_number);
+    changed |= ApplyDrops(&tokens, rng, config_.p_drop);
+    changed |= ApplyShorten(&tokens, rng, config_.p_shorten);
+    if (rng.Bernoulli(config_.p_truncate)) changed |= ApplyTruncate(&tokens, rng);
+    if (rng.Bernoulli(config_.p_reorder)) changed |= ApplyReorder(&tokens, rng);
+    changed |= ApplyTypos(&tokens, rng, config_.p_typo);
+
+    // Multi-word synonym forms were substituted as single space-joined
+    // strings; flatten them back into individual tokens.
+    std::vector<std::string> flattened;
+    flattened.reserve(tokens.size());
+    for (const auto& token : tokens) {
+      for (const auto& piece : Split(token, " ")) flattened.push_back(piece);
+    }
+    if (flattened.empty()) continue;
+    if (!config_.force_change || (changed && flattened != canonical)) {
+      return flattened;
+    }
+  }
+  // Could not produce a changed variant stochastically: force a drop of the
+  // last token (simplification), or duplicate the canonical as a last resort.
+  std::vector<std::string> tokens = canonical;
+  if (tokens.size() > 2) tokens.pop_back();
+  return tokens;
+}
+
+std::vector<std::vector<std::string>> AliasGenerator::Generate(
+    const std::vector<std::string>& canonical, size_t count, Rng& rng) const {
+  std::vector<std::vector<std::string>> aliases;
+  std::set<std::string> seen;
+  seen.insert(Join(canonical, " "));
+  for (size_t i = 0; i < count * 6 && aliases.size() < count; ++i) {
+    std::vector<std::string> alias = Corrupt(canonical, rng);
+    if (seen.insert(Join(alias, " ")).second) aliases.push_back(std::move(alias));
+  }
+  return aliases;
+}
+
+}  // namespace ncl::datagen

@@ -1,0 +1,80 @@
+// Alias and query corruption model.
+//
+// Stand-in for UMLS concept aliases and for real-world clinician queries
+// (DESIGN.md §1). Applies the word-discrepancy phenomena the paper lists —
+// synonym substitution, abbreviation, acronym collapse, word dropping
+// ("simplification"), reordering, typos, and stage/number rewriting — to a
+// canonical description. Training aliases draw only from the KB-visible
+// part of each synonym set; queries may additionally use held-out synonyms
+// and a harsher corruption mix, so evaluation measures generalisation.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datagen/medical_vocabulary.h"
+#include "util/random.h"
+
+namespace ncl::datagen {
+
+/// Per-operation application probabilities.
+struct AliasConfig {
+  double p_synonym = 0.35;   ///< per eligible word
+  double p_abbrev = 0.20;    ///< per eligible word
+  double p_acronym = 0.30;   ///< per matching phrase
+  double p_drop = 0.25;      ///< per droppable word
+  double p_reorder = 0.10;   ///< once per snippet
+  double p_typo = 0.00;      ///< per word of length >= 5
+  double p_number = 0.30;    ///< "stage 5" -> "5"
+  /// Per-snippet probability of dropping one random *content* token (the
+  /// aggressive simplification clinicians apply; keeps >= 2 tokens).
+  double p_truncate = 0.0;
+  /// Per eligible word (length >= 6): replace by its 3-5 character prefix,
+  /// the clinician shorthand "dermatitis" -> "derm". Generative, so it
+  /// applies to any vocabulary, unlike the fixed abbreviation table.
+  double p_shorten = 0.0;
+  /// Allow held-out synonym forms (query generation only).
+  bool use_heldout_synonyms = false;
+  /// Guarantee the output differs from the input (re-roll if identical).
+  bool force_change = true;
+};
+
+/// \brief Applies the corruption model.
+class AliasGenerator {
+ public:
+  AliasGenerator(const MedicalVocabulary& vocab, AliasConfig config)
+      : vocab_(vocab), config_(config) {}
+
+  /// One corrupted variant of `canonical`.
+  std::vector<std::string> Corrupt(const std::vector<std::string>& canonical,
+                                   Rng& rng) const;
+
+  /// Up to `count` *distinct* corrupted variants (distinct from each other
+  /// and from the canonical form).
+  std::vector<std::vector<std::string>> Generate(
+      const std::vector<std::string>& canonical, size_t count, Rng& rng) const;
+
+  // Individual operations, exposed for the "purposely selected" query cases
+  // (§6.1: every query group contains abbreviation / synonym / acronym /
+  // simplification cases). Each returns true if it changed the tokens.
+  bool ApplySynonyms(std::vector<std::string>* tokens, Rng& rng, double prob) const;
+  bool ApplyAbbreviations(std::vector<std::string>* tokens, Rng& rng,
+                          double prob) const;
+  bool ApplyAcronyms(std::vector<std::string>* tokens, Rng& rng, double prob) const;
+  bool ApplyDrops(std::vector<std::string>* tokens, Rng& rng, double prob) const;
+  bool ApplyReorder(std::vector<std::string>* tokens, Rng& rng) const;
+  bool ApplyTypos(std::vector<std::string>* tokens, Rng& rng, double prob) const;
+  bool ApplyNumberRewrite(std::vector<std::string>* tokens, Rng& rng,
+                          double prob) const;
+  bool ApplyTruncate(std::vector<std::string>* tokens, Rng& rng) const;
+  bool ApplyShorten(std::vector<std::string>* tokens, Rng& rng, double prob) const;
+
+  const AliasConfig& config() const { return config_; }
+
+ private:
+  const MedicalVocabulary& vocab_;
+  AliasConfig config_;
+};
+
+}  // namespace ncl::datagen

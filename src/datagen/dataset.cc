@@ -1,0 +1,157 @@
+#include "datagen/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ncl::datagen {
+
+std::vector<LabeledSnippet> GenerateAliases(const ontology::Ontology& onto,
+                                            const AliasConfig& config,
+                                            size_t aliases_per_concept,
+                                            uint64_t seed) {
+  const MedicalVocabulary& vocab = DefaultMedicalVocabulary();
+  AliasGenerator generator(vocab, config);
+  Rng rng(seed);
+  std::vector<LabeledSnippet> labeled;
+  for (ontology::ConceptId id : onto.AllConcepts()) {
+    const auto& description = onto.Get(id).description;
+    for (auto& alias : generator.Generate(description, aliases_per_concept, rng)) {
+      labeled.push_back(LabeledSnippet{id, std::move(alias)});
+    }
+  }
+  return labeled;
+}
+
+std::vector<std::vector<std::string>> GenerateNotes(const ontology::Ontology& onto,
+                                                    size_t notes_per_concept,
+                                                    uint64_t seed) {
+  const MedicalVocabulary& vocab = DefaultMedicalVocabulary();
+  // Physician notes use the same shorthand register as queries: held-out
+  // synonyms, acronyms, prefix shortenings, occasional typos. Pre-training
+  // on these notes is what teaches the embedding space that "derm" lives
+  // near "dermatitis", which the online query rewriter depends on.
+  AliasConfig note_config;
+  note_config.use_heldout_synonyms = true;
+  note_config.p_typo = 0.03;
+  note_config.p_shorten = 0.25;
+  note_config.p_abbrev = 0.40;
+  note_config.p_acronym = 0.50;
+  AliasGenerator generator(vocab, note_config);
+  Rng rng(seed);
+
+  std::vector<std::vector<std::string>> notes;
+  for (ontology::ConceptId id : onto.FineGrainedConcepts()) {
+    for (size_t n = 0; n < notes_per_concept; ++n) {
+      std::vector<std::string> note;
+      // Leading filler: "pt presents with ..." style scaffolding.
+      size_t lead = 1 + rng.Index(3);
+      for (size_t i = 0; i < lead; ++i) note.push_back(rng.Choice(vocab.note_fillers));
+      for (auto& token : generator.Corrupt(onto.Get(id).description, rng)) {
+        note.push_back(std::move(token));
+      }
+      size_t tail = rng.Index(3);
+      for (size_t i = 0; i < tail; ++i) note.push_back(rng.Choice(vocab.note_fillers));
+      notes.push_back(std::move(note));
+    }
+  }
+  return notes;
+}
+
+std::vector<LabeledSnippet> GenerateParentPhrasingAliases(
+    const ontology::Ontology& onto, double fraction, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledSnippet> aliases;
+  for (ontology::ConceptId id : onto.FineGrainedConcepts()) {
+    if (!rng.Bernoulli(fraction)) continue;
+    const ontology::Concept& leaf = onto.Get(id);
+    if (leaf.parent == ontology::kRootConcept) continue;
+    const auto& parent_desc = onto.Get(leaf.parent).description;
+    std::unordered_set<std::string> parent_words(parent_desc.begin(),
+                                                 parent_desc.end());
+    // Qualifier = the leaf's own words beyond the (possibly rephrased) stem.
+    std::vector<std::string> tokens = parent_desc;
+    for (const auto& word : leaf.description) {
+      if (parent_words.count(word) == 0) tokens.push_back(word);
+    }
+    if (tokens == leaf.description) continue;  // verbatim leaf: adds nothing
+    aliases.push_back(LabeledSnippet{id, std::move(tokens)});
+  }
+  return aliases;
+}
+
+namespace {
+
+Dataset MakeDataset(std::string name, OntologySynthesizerConfig onto_config,
+                    const DatasetConfig& config) {
+  // Scale the ontology breadth by the dataset scale factor.
+  double scale = std::max(0.05, config.scale);
+  onto_config.num_chapters =
+      std::max<size_t>(2, static_cast<size_t>(std::lround(
+                              static_cast<double>(onto_config.num_chapters) * scale)));
+  onto_config.categories_per_chapter = std::max<size_t>(
+      3, static_cast<size_t>(std::lround(
+             static_cast<double>(onto_config.categories_per_chapter) * scale)));
+
+  auto onto_result = SynthesizeOntology(onto_config);
+  NCL_CHECK(onto_result.ok()) << onto_result.status().ToString();
+
+  Dataset dataset;
+  dataset.name = std::move(name);
+  dataset.onto = std::move(onto_result).value();
+
+  // KB aliases are *formal* variants, as in UMLS: synonyms, function-word
+  // drops and reorderings, with only occasional abbreviations/acronyms and
+  // no typos. Clinician shorthand (heavy acronyms, truncation, typos) is
+  // reserved for the query generator, so the evaluation measures the
+  // word-discrepancy regime the paper studies rather than alias recall.
+  AliasConfig alias_config;
+  alias_config.p_synonym = 0.25;
+  alias_config.p_drop = 0.20;
+  alias_config.p_acronym = 0.05;
+  alias_config.p_abbrev = 0.08;
+  dataset.labeled = GenerateAliases(dataset.onto, alias_config,
+                                    config.aliases_per_concept, config.seed + 1);
+  for (auto& alias :
+       GenerateParentPhrasingAliases(dataset.onto, 0.8, config.seed + 7)) {
+    dataset.labeled.push_back(std::move(alias));
+  }
+  dataset.unlabeled =
+      GenerateNotes(dataset.onto, config.notes_per_concept, config.seed + 2);
+
+  QueryGeneratorConfig query_config;
+  query_config.group_size = config.queries_per_group;
+  query_config.purposive_per_group = config.purposive_per_group;
+  query_config.seed = config.seed + 3;
+  QueryGenerator generator(dataset.onto, DefaultMedicalVocabulary(), query_config);
+  dataset.query_groups = generator.GenerateGroups(config.num_query_groups);
+  return dataset;
+}
+
+}  // namespace
+
+Dataset MakeHospitalX(const DatasetConfig& config) {
+  OntologySynthesizerConfig onto_config;
+  onto_config.code_style = CodeStyle::kIcd10;
+  onto_config.num_chapters = 6;
+  onto_config.categories_per_chapter = 8;
+  onto_config.max_fine_per_category = 7;
+  onto_config.extra_level_fraction = 0.2;  // ICD-10-CM's deeper branches
+  onto_config.seed = config.seed;
+  return MakeDataset("hospital-x", onto_config, config);
+}
+
+Dataset MakeMimicIII(const DatasetConfig& config) {
+  OntologySynthesizerConfig onto_config;
+  onto_config.code_style = CodeStyle::kIcd9;
+  onto_config.num_chapters = 5;
+  onto_config.categories_per_chapter = 7;
+  onto_config.max_fine_per_category = 5;
+  onto_config.extra_level_fraction = 0.0;  // ICD-9 is shallower
+  onto_config.seed = config.seed + 17;
+  return MakeDataset("MIMIC-III", onto_config, config);
+}
+
+}  // namespace ncl::datagen

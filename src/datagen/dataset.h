@@ -1,0 +1,82 @@
+// Dataset bundles: the synthetic stand-ins for hospital-x and MIMIC-III.
+//
+// A Dataset packages everything one of the paper's experiments consumes:
+// the ontology (ICD-10- or ICD-9-shaped), the labeled alias snippets (the
+// UMLS substitute used as COM-AID training pairs), the unlabeled note
+// corpus (for embedding pre-training), and evaluation query groups. The
+// `scale` knob shrinks/grows every component together so benches can run in
+// seconds by default and larger under NCL_BENCH_FULL.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datagen/alias_generator.h"
+#include "datagen/ontology_synthesizer.h"
+#include "datagen/query_generator.h"
+#include "ontology/ontology.h"
+
+namespace ncl::datagen {
+
+/// \brief One labeled alias: a (concept, snippet) training pair source.
+struct LabeledSnippet {
+  ontology::ConceptId concept_id = ontology::kInvalidConcept;
+  std::vector<std::string> tokens;
+};
+
+/// \brief A complete experimental dataset.
+struct Dataset {
+  std::string name;
+  ontology::Ontology onto;
+  /// KB aliases per concept (canonical descriptions excluded, per §6.1 fn 9).
+  std::vector<LabeledSnippet> labeled;
+  /// Physician-note-like unlabeled snippets.
+  std::vector<std::vector<std::string>> unlabeled;
+  /// Evaluation query groups (paper: 10 groups of 484).
+  std::vector<std::vector<LabeledQuery>> query_groups;
+};
+
+/// Size knobs for dataset construction.
+struct DatasetConfig {
+  double scale = 1.0;               ///< multiplies ontology & corpus sizes
+  size_t aliases_per_concept = 3;   ///< labeled snippets per concept
+  size_t notes_per_concept = 4;     ///< unlabeled snippets per leaf concept
+  size_t num_query_groups = 3;      ///< paper uses 10
+  size_t queries_per_group = 120;   ///< paper uses 484
+  size_t purposive_per_group = 20;  ///< paper uses 84
+  uint64_t seed = 2018;
+};
+
+/// \brief ICD-10-flavoured dataset (hospital-x substitute): larger ontology,
+/// longer canonical descriptions.
+Dataset MakeHospitalX(const DatasetConfig& config);
+
+/// \brief ICD-9-flavoured dataset (MIMIC-III substitute): smaller ontology,
+/// shorter descriptions, fewer unlabeled notes.
+Dataset MakeMimicIII(const DatasetConfig& config);
+
+/// \brief Labeled aliases for every concept of `onto` (both internal and
+/// fine-grained, as UMLS provides aliases at all levels).
+std::vector<LabeledSnippet> GenerateAliases(const ontology::Ontology& onto,
+                                            const AliasConfig& config,
+                                            size_t aliases_per_concept,
+                                            uint64_t seed);
+
+/// \brief Standard-phrasing aliases: for a fraction of fine-grained
+/// concepts, an alias expressed in the *parent's* canonical vocabulary plus
+/// the leaf's qualifier words — the way UMLS lists "chronic kidney disease
+/// stage five" style entries for codes whose own description rephrases the
+/// branch wording. For rephrased leaves these aliases contain words found
+/// only in the ancestor descriptions, which is the training signal that
+/// teaches the structure-based attention (§4.1.2) to consult the concept
+/// path.
+std::vector<LabeledSnippet> GenerateParentPhrasingAliases(
+    const ontology::Ontology& onto, double fraction, uint64_t seed);
+
+/// \brief Unlabeled physician-note corpus referencing the leaf concepts.
+std::vector<std::vector<std::string>> GenerateNotes(const ontology::Ontology& onto,
+                                                    size_t notes_per_concept,
+                                                    uint64_t seed);
+
+}  // namespace ncl::datagen

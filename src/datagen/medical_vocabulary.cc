@@ -1,0 +1,258 @@
+#include "datagen/medical_vocabulary.h"
+
+namespace ncl::datagen {
+
+const SynonymSet* MedicalVocabulary::FindSynonyms(const std::string& word) const {
+  if (!synonym_index_built_) BuildSynonymIndex();
+  auto it = synonym_index_.find(word);
+  return it == synonym_index_.end() ? nullptr : &synonyms[it->second];
+}
+
+void MedicalVocabulary::BuildSynonymIndex() const {
+  for (size_t i = 0; i < synonyms.size(); ++i) {
+    for (const auto& form : synonyms[i].forms) synonym_index_.emplace(form, i);
+  }
+  synonym_index_built_ = true;
+}
+
+const MedicalVocabulary& DefaultMedicalVocabulary() {
+  static const MedicalVocabulary* kVocab = [] {
+    auto* v = new MedicalVocabulary();
+
+    v->body_systems = {
+        "blood",        "circulatory system", "respiratory system",
+        "digestive system", "genitourinary system", "nervous system",
+        "musculoskeletal system", "skin", "endocrine system",
+        "eye", "ear", "immune mechanism", "liver", "mental health",
+    };
+
+    v->sites = {
+        "kidney",   "heart",    "lung",      "liver",    "stomach",  "colon",
+        "bladder",  "breast",   "prostate",  "thyroid",  "pancreas", "spleen",
+        "esophagus", "duodenum", "rectum",   "uterus",   "ovary",    "testis",
+        "skin",     "bone",     "joint",     "muscle",   "tendon",   "spine",
+        "shoulder", "hip",      "knee",      "ankle",    "wrist",    "elbow",
+        "brain",    "nerve",    "artery",    "vein",     "abdomen",  "pelvis",
+        "chest",    "throat",   "sinus",     "ear",      "eye",      "retina",
+        "cornea",   "larynx",   "trachea",   "bronchus", "pleura",   "femur",
+        "tibia",    "radius",   "humerus",   "skull",    "rib",      "clavicle",
+    };
+
+    v->disease_roots = {
+        "anemia",       "failure",     "disease",      "infection",
+        "inflammation", "neoplasm",    "carcinoma",    "ulcer",
+        "stenosis",     "obstruction", "hemorrhage",   "fracture",
+        "dislocation",  "sprain",      "degeneration", "atrophy",
+        "hypertrophy",  "fibrosis",    "cirrhosis",    "nephropathy",
+        "neuropathy",   "dermatitis",  "arthritis",    "nephritis",
+        "hepatitis",    "gastritis",   "colitis",      "bronchitis",
+        "pneumonia",    "embolism",    "thrombosis",   "aneurysm",
+        "insufficiency", "prolapse",   "hernia",       "cyst",
+        "polyp",        "abscess",     "edema",        "pain",
+    };
+
+    v->modifiers = {
+        "iron deficiency", "protein deficiency", "vitamin deficiency",
+        "chronic",         "acute",              "malignant",
+        "benign",          "congenital",         "degenerative",
+        "hypertensive",    "diabetic",           "ischemic",
+        "rheumatoid",      "infectious",         "allergic",
+        "toxic",           "traumatic",          "obstructive",
+        "hemolytic",       "aplastic",           "septic",
+        "viral",           "bacterial",          "fungal",
+    };
+
+    v->fine_qualifiers = {
+        "unspecified", "stage 1",  "stage 2",   "stage 3",  "stage 4", "stage 5",
+        "mild",        "moderate", "severe",    "recurrent", "in remission",
+        "left",        "right",    "bilateral", "initial encounter",
+        "subsequent encounter", "with exacerbation", "without complication",
+    };
+
+    v->causes = {
+        "blood loss",    "menorrhagia",  "trauma",        "radiation",
+        "medication",    "alcohol use",  "tobacco use",   "dietary deficiency",
+        "immobility",    "surgery",      "transfusion",   "dialysis",
+        "pregnancy",     "obesity",      "malnutrition",  "autoimmune disorder",
+    };
+
+    v->complications = {
+        "hemorrhage",  "perforation",  "obstruction",  "gangrene",
+        "sepsis",      "coma",         "delirium",     "renal involvement",
+        "neurological deficit", "loss of function",
+    };
+
+    // Synonym sets: forms[0] is canonical; forms[first_heldout..] appear only
+    // in queries, modelling clinician wording absent from the KB.
+    auto syn = [&](std::vector<std::string> forms, size_t first_heldout) {
+      SynonymSet s;
+      s.forms = std::move(forms);
+      s.first_heldout = first_heldout;
+      v->synonyms.push_back(std::move(s));
+    };
+    // Policy: forms before first_heldout appear in KB aliases (UMLS carries
+    // common synonyms); forms at/after it are query-only clinician wording.
+    syn({"kidney", "renal", "nephric"}, 2);
+    syn({"heart", "cardiac", "myocardial"}, 2);
+    syn({"lung", "pulmonary", "bronchopulmonary"}, 2);
+    syn({"liver", "hepatic"}, 2);
+    syn({"stomach", "gastric"}, 2);
+    syn({"brain", "cerebral", "intracranial"}, 2);
+    syn({"bone", "osseous", "skeletal"}, 2);
+    syn({"skin", "cutaneous", "dermal"}, 2);
+    syn({"bladder", "vesical"}, 1);
+    syn({"chronic", "longstanding", "persistent"}, 2);
+    syn({"acute", "sudden onset"}, 1);
+    syn({"malignant", "cancerous"}, 2);
+    syn({"benign", "noncancerous"}, 1);
+    syn({"neoplasm", "tumor", "mass", "growth"}, 2);
+    syn({"carcinoma", "cancer", "adenocarcinoma"}, 2);
+    syn({"failure", "insufficiency", "dysfunction"}, 2);
+    syn({"hemorrhage", "bleeding", "blood loss"}, 2);
+    syn({"fracture", "break", "broken"}, 2);
+    syn({"infection", "sepsis of"}, 1);
+    syn({"inflammation", "swelling"}, 2);
+    syn({"pain", "ache", "discomfort"}, 2);
+    syn({"unspecified", "nos"}, 2);
+    syn({"severe", "advanced", "profound"}, 2);
+    syn({"mild", "slight", "minimal"}, 2);
+    syn({"deficiency", "def", "lack"}, 2);
+    syn({"iron", "fe"}, 2);
+    syn({"vitamin", "vit"}, 2);
+    syn({"secondary", "due"}, 1);
+    syn({"disease", "disorder", "condition"}, 2);
+    syn({"abdomen", "abdominal", "belly"}, 2);
+    syn({"hypertensive", "high blood pressure"}, 1);
+    syn({"diabetic", "dm related"}, 1);
+    syn({"edema", "swelling fluid"}, 1);
+    syn({"ulcer", "erosion"}, 2);
+    syn({"obstruction", "blockage"}, 2);
+    syn({"stenosis", "narrowing"}, 2);
+    syn({"obesity", "overweight"}, 1);
+    syn({"trauma", "injury"}, 2);
+    syn({"radiation", "radiotherapy"}, 1);
+    syn({"medication", "drug", "medicine"}, 2);
+    syn({"pregnancy", "gestation"}, 1);
+    syn({"surgery", "operation", "post op"}, 2);
+    syn({"dialysis", "hemodialysis"}, 1);
+    syn({"gangrene", "necrosis"}, 2);
+    syn({"sepsis", "septicemia"}, 2);
+    syn({"perforation", "rupture"}, 2);
+    syn({"coma", "unresponsive state"}, 1);
+    syn({"delirium", "confusion"}, 2);
+    syn({"recurrent", "relapsing"}, 1);
+    syn({"bilateral", "both sides"}, 1);
+    syn({"colon", "bowel", "large intestine"}, 2);
+    syn({"prostate", "prostatic"}, 1);
+    syn({"thyroid", "thyroidal"}, 1);
+    syn({"esophagus", "gullet"}, 1);
+    syn({"uterus", "uterine", "womb"}, 2);
+    syn({"joint", "articular"}, 1);
+    syn({"muscle", "muscular"}, 2);
+    syn({"spine", "spinal", "vertebral"}, 2);
+    syn({"artery", "arterial"}, 2);
+    syn({"vein", "venous"}, 2);
+    syn({"chest", "thorax", "thoracic"}, 2);
+    syn({"throat", "pharynx"}, 1);
+    syn({"fibrosis", "scarring"}, 1);
+    syn({"degeneration", "degenerative change", "wear"}, 2);
+    syn({"atrophy", "wasting"}, 1);
+    syn({"embolism", "embolus"}, 1);
+    syn({"thrombosis", "clot"}, 2);
+    syn({"aneurysm", "dilatation"}, 1);
+    syn({"hernia", "herniation"}, 1);
+    syn({"cyst", "cystic lesion"}, 1);
+    syn({"polyp", "polypoid growth"}, 1);
+    syn({"abscess", "collection pus"}, 1);
+    syn({"dermatitis", "eczema", "skin rash"}, 2);
+    syn({"arthritis", "joint inflammation"}, 1);
+    syn({"pneumonia", "lung infection", "chest infection"}, 2);
+    syn({"hepatitis", "liver inflammation"}, 1);
+    syn({"gastritis", "stomach inflammation"}, 1);
+    syn({"bronchitis", "airway inflammation"}, 1);
+    syn({"nephropathy", "kidney damage"}, 1);
+    syn({"neuropathy", "nerve damage"}, 1);
+    syn({"malnutrition", "poor nutrition"}, 1);
+    syn({"transfusion", "blood product"}, 1);
+    syn({"immobility", "bed bound"}, 1);
+    syn({"alcohol", "etoh"}, 1);
+    syn({"tobacco", "smoking"}, 1);
+    syn({"dietary", "diet related"}, 1);
+    syn({"menorrhagia", "heavy menses"}, 1);
+    syn({"congenital", "present from birth"}, 1);
+    syn({"traumatic", "post injury"}, 1);
+    syn({"ischemic", "low perfusion"}, 1);
+    syn({"allergic", "hypersensitivity"}, 1);
+    syn({"toxic", "poisoning related"}, 1);
+    syn({"viral", "virus related"}, 1);
+    syn({"bacterial", "bacteria related"}, 1);
+    syn({"fungal", "mycotic"}, 1);
+    syn({"septic", "infected"}, 1);
+    syn({"hemolytic", "red cell destruction"}, 1);
+    syn({"aplastic", "marrow failure"}, 1);
+    syn({"obstructive", "blocking"}, 1);
+    syn({"rheumatoid", "autoimmune joint"}, 1);
+    syn({"infectious", "contagious"}, 1);
+    syn({"exacerbation", "flare"}, 1);
+    syn({"moderate", "mid grade"}, 1);
+    syn({"hypertrophy", "enlargement"}, 2);
+    syn({"insufficiency", "poor function"}, 1);
+    syn({"prolapse", "descent"}, 1);
+
+    v->abbreviations = {
+        {"chronic", "chr"},      {"acute", "ac"},
+        {"fracture", "fx"},      {"history", "hx"},
+        {"disease", "dis"},      {"deficiency", "def"},
+        {"unspecified", "unsp"}, {"bilateral", "bilat"},
+        {"secondary", "sec"},    {"severe", "sev"},
+        {"moderate", "mod"},     {"infection", "infxn"},
+        {"hemorrhage", "hem"},   {"carcinoma", "ca"},
+        {"hypertensive", "htn"}, {"treatment", "tx"},
+        {"diagnosis", "dx"},     {"symptoms", "sx"},
+        {"left", "lt"},          {"right", "rt"},
+        {"with", "w"},           {"without", "wo"},
+        {"patient", "pt"},       {"stage", "stg"},
+        {"neoplasm", "neo"},     {"recurrent", "recur"},
+        {"syndrome", "synd"},    {"insufficiency", "insuff"},
+    };
+
+    v->acronyms = {
+        {{"chronic", "kidney", "disease"}, "ckd"},
+        {{"chronic", "kidney", "failure"}, "ckf"},
+        {{"chronic", "renal", "failure"}, "crf"},
+        {{"end", "stage", "renal", "disease"}, "esrd"},
+        {{"diabetes", "mellitus"}, "dm"},
+        {{"congestive", "heart", "failure"}, "chf"},
+        {{"coronary", "artery", "disease"}, "cad"},
+        {{"chronic", "obstructive", "lung", "disease"}, "copd"},
+        {{"urinary", "tract", "infection"}, "uti"},
+        {{"deep", "vein", "thrombosis"}, "dvt"},
+        {{"gastroesophageal", "reflux", "disease"}, "gerd"},
+        {{"acute", "myocardial", "infarction"}, "ami"},
+        {{"iron", "deficiency", "anemia"}, "ida"},
+        {{"peripheral", "artery", "disease"}, "pad"},
+        {{"transient", "ischemic", "attack"}, "tia"},
+        {{"acute", "kidney", "injury"}, "aki"},
+    };
+
+    v->droppable_words = {
+        "of",   "the",  "and",  "with", "without", "unspecified",
+        "other", "in",  "due",  "to",   "not",     "elsewhere",
+        "classified", "nos",
+    };
+
+    v->note_fillers = {
+        "patient",  "presents", "with",    "history",  "of",       "noted",
+        "admitted", "for",      "complains", "reports", "denies",  "stable",
+        "followup", "review",   "impression", "plan",   "assessment", "known",
+        "case",     "new",      "old",      "likely",   "possible", "ruled",
+        "out",      "since",    "last",     "week",     "month",    "year",
+        "on",       "off",      "exam",     "today",    "seen",     "clinic",
+    };
+
+    return v;
+  }();
+  return *kVocab;
+}
+
+}  // namespace ncl::datagen

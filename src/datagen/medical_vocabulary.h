@@ -1,0 +1,63 @@
+// Clinically-flavoured generative vocabulary.
+//
+// The resource bank behind the synthetic data substitution (DESIGN.md §1):
+// body systems and sites, disease roots, qualifiers, cause/complication
+// phrases, synonym sets, abbreviation and acronym tables, and note-filler
+// words. The ontology synthesizer composes canonical descriptions from
+// these; the alias/query generators corrupt descriptions using the synonym,
+// abbreviation and acronym tables — the exact phenomena ("synonyms,
+// acronyms, abbreviations, and simplifications") the paper attributes the
+// word-discrepancy challenge to.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ncl::datagen {
+
+/// \brief One set of interchangeable surface forms ("kidney" / "renal").
+/// Index 0 is the canonical form used in descriptions; members at index
+/// >= `first_heldout` are reserved for query generation so that queries use
+/// synonyms never seen in the training aliases.
+struct SynonymSet {
+  std::vector<std::string> forms;
+  size_t first_heldout = 1;  ///< forms[first_heldout..] are query-only
+};
+
+/// \brief A multi-word phrase that collapses to an acronym ("chronic kidney
+/// disease" -> "ckd").
+struct AcronymRule {
+  std::vector<std::string> phrase;
+  std::string acronym;
+};
+
+/// \brief The full static resource bank.
+struct MedicalVocabulary {
+  std::vector<std::string> body_systems;      ///< chapter themes
+  std::vector<std::string> sites;             ///< anatomical sites
+  std::vector<std::string> disease_roots;     ///< "anemia", "failure", ...
+  std::vector<std::string> modifiers;         ///< category-level modifiers
+  std::vector<std::string> fine_qualifiers;   ///< leaf-level qualifier phrases
+  std::vector<std::string> causes;            ///< "... secondary to <cause>"
+  std::vector<std::string> complications;     ///< "... with <complication>"
+  std::vector<SynonymSet> synonyms;
+  std::unordered_map<std::string, std::string> abbreviations;
+  std::vector<AcronymRule> acronyms;
+  std::vector<std::string> droppable_words;   ///< low-information words
+  std::vector<std::string> note_fillers;      ///< physician-note scaffolding
+
+  /// Synonym set containing `word` (canonical or variant), or nullptr.
+  const SynonymSet* FindSynonyms(const std::string& word) const;
+
+ private:
+  mutable std::unordered_map<std::string, size_t> synonym_index_;
+  mutable bool synonym_index_built_ = false;
+  void BuildSynonymIndex() const;
+};
+
+/// \brief The built-in resource bank (constructed once, thread-safe).
+const MedicalVocabulary& DefaultMedicalVocabulary();
+
+}  // namespace ncl::datagen

@@ -1,0 +1,193 @@
+#include "datagen/ontology_synthesizer.h"
+
+#include <set>
+#include <string>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace ncl::datagen {
+
+namespace {
+
+/// Formats a category code within a chapter.
+std::string CategoryCode(CodeStyle style, size_t chapter, size_t category) {
+  if (style == CodeStyle::kIcd10) {
+    char letter = static_cast<char>('A' + chapter % 26);
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%c%02zu", letter, category % 100);
+    return buf;
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%03zu", (chapter * 100 + category) % 1000);
+  return buf;
+}
+
+/// Builds a distinct category-level description, retrying on collisions.
+std::vector<std::string> MakeCategoryDescription(const MedicalVocabulary& vocab,
+                                                 Rng& rng,
+                                                 std::set<std::string>* used) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::string description;
+    switch (rng.Index(3)) {
+      case 0:  // "<modifier> <root>"  e.g. "iron deficiency anemia"
+        description = rng.Choice(vocab.modifiers) + " " + rng.Choice(vocab.disease_roots);
+        break;
+      case 1:  // "<root> of <site>"  e.g. "polyp of colon"
+        description = rng.Choice(vocab.disease_roots) + " of " + rng.Choice(vocab.sites);
+        break;
+      default:  // "<modifier> <root> of <site>"
+        description = rng.Choice(vocab.modifiers) + " " + rng.Choice(vocab.disease_roots) +
+                      " of " + rng.Choice(vocab.sites);
+        break;
+    }
+    if (used->insert(description).second) return text::Tokenize(description);
+  }
+  // Fall back to a guaranteed-unique suffix after exhausting retries.
+  std::string description = rng.Choice(vocab.modifiers) + " " +
+                            rng.Choice(vocab.disease_roots) + " type " +
+                            std::to_string(used->size());
+  used->insert(description);
+  return text::Tokenize(description);
+}
+
+/// Rewrites stem words through KB-visible synonym alternates, producing an
+/// idiomatic variant of the parent description ("chronic kidney disease"
+/// -> "persistent renal disorder").
+std::vector<std::string> RephraseStem(const MedicalVocabulary& vocab,
+                                      const std::vector<std::string>& stem,
+                                      Rng& rng) {
+  std::vector<std::string> rephrased;
+  rephrased.reserve(stem.size());
+  for (const auto& word : stem) {
+    const SynonymSet* set = vocab.FindSynonyms(word);
+    if (set != nullptr && set->first_heldout > 1 && rng.Bernoulli(0.8)) {
+      // A KB-visible alternate exists (indexes 1 .. first_heldout-1).
+      const std::string& alt = set->forms[1 + rng.Index(set->first_heldout - 1)];
+      for (const auto& piece : Split(alt, " ")) rephrased.push_back(piece);
+    } else {
+      rephrased.push_back(word);
+    }
+  }
+  return rephrased;
+}
+
+/// Builds a leaf description from its parent's stem plus one qualifier.
+std::vector<std::string> MakeLeafDescription(const MedicalVocabulary& vocab,
+                                             const std::vector<std::string>& stem,
+                                             size_t leaf_index, Rng& rng,
+                                             std::set<std::string>* used) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<std::string> tokens = stem;
+    // Leaf 0 is conventionally the "unspecified" sibling, mirroring ICD.
+    size_t pattern = (leaf_index == 0 && attempt == 0) ? 0 : rng.Index(4);
+    switch (pattern) {
+      case 0:
+        tokens.push_back("unspecified");
+        break;
+      case 1: {
+        for (const auto& w : text::Tokenize(rng.Choice(vocab.fine_qualifiers))) {
+          tokens.push_back(w);
+        }
+        break;
+      }
+      case 2: {
+        tokens.push_back("secondary");
+        tokens.push_back("to");
+        for (const auto& w : text::Tokenize(rng.Choice(vocab.causes))) {
+          tokens.push_back(w);
+        }
+        break;
+      }
+      default: {
+        tokens.push_back("with");
+        for (const auto& w : text::Tokenize(rng.Choice(vocab.complications))) {
+          tokens.push_back(w);
+        }
+        break;
+      }
+    }
+    std::string key = Join(tokens, " ");
+    if (used->insert(key).second) return tokens;
+  }
+  std::vector<std::string> tokens = stem;
+  tokens.push_back("variant");
+  tokens.push_back(std::to_string(used->size()));
+  used->insert(Join(tokens, " "));
+  return tokens;
+}
+
+}  // namespace
+
+Result<ontology::Ontology> SynthesizeOntology(const OntologySynthesizerConfig& config) {
+  if (config.num_chapters == 0 || config.categories_per_chapter == 0 ||
+      config.max_fine_per_category < 3) {
+    return Status::InvalidArgument(
+        "ontology synthesizer needs >=1 chapter/category and >=3 leaves per category");
+  }
+
+  const MedicalVocabulary& vocab = DefaultMedicalVocabulary();
+  Rng rng(config.seed);
+  ontology::Ontology onto;
+  std::set<std::string> used_descriptions;
+
+  for (size_t chapter = 0; chapter < config.num_chapters; ++chapter) {
+    std::string chapter_code =
+        config.code_style == CodeStyle::kIcd10
+            ? std::string("CH") + static_cast<char>('A' + chapter % 26)
+            : "CH" + std::to_string(chapter);
+    std::string system = vocab.body_systems[chapter % vocab.body_systems.size()];
+    NCL_ASSIGN_OR_RETURN(
+        ontology::ConceptId chapter_id,
+        onto.AddConcept(chapter_code, text::Tokenize("diseases of the " + system),
+                        ontology::kRootConcept));
+
+    for (size_t category = 0; category < config.categories_per_chapter; ++category) {
+      std::string cat_code = CategoryCode(config.code_style, chapter, category);
+      std::vector<std::string> cat_desc =
+          MakeCategoryDescription(vocab, rng, &used_descriptions);
+      NCL_ASSIGN_OR_RETURN(ontology::ConceptId cat_id,
+                           onto.AddConcept(cat_code, cat_desc, chapter_id));
+
+      bool extra_level = rng.Bernoulli(config.extra_level_fraction);
+      size_t num_groups = extra_level ? 2 : 1;
+      size_t leaves = 3 + rng.Index(config.max_fine_per_category - 2);
+
+      for (size_t group = 0; group < num_groups; ++group) {
+        ontology::ConceptId parent = cat_id;
+        std::vector<std::string> stem = cat_desc;
+        std::string code_prefix = cat_code;
+        if (extra_level) {
+          // Intermediate subcategory: adds one qualifier to the stem.
+          std::vector<std::string> sub_desc =
+              MakeLeafDescription(vocab, cat_desc, group + 1, rng, &used_descriptions);
+          std::string sub_code = cat_code + "." + std::to_string(group);
+          NCL_ASSIGN_OR_RETURN(parent, onto.AddConcept(sub_code, sub_desc, cat_id));
+          stem = sub_desc;
+          code_prefix = sub_code;
+        }
+        for (size_t leaf = 0; leaf < leaves; ++leaf) {
+          // Rephrased leaves do not repeat the parent stem verbatim, so the
+          // ancestor context carries complementary vocabulary.
+          std::vector<std::string> leaf_stem =
+              rng.Bernoulli(config.rephrase_fraction)
+                  ? RephraseStem(vocab, stem, rng)
+                  : stem;
+          std::vector<std::string> leaf_desc =
+              MakeLeafDescription(vocab, leaf_stem, leaf, rng, &used_descriptions);
+          std::string leaf_code =
+              extra_level ? code_prefix + std::to_string(leaf)
+                          : code_prefix + "." + std::to_string(leaf);
+          NCL_ASSIGN_OR_RETURN(ontology::ConceptId leaf_id,
+                               onto.AddConcept(leaf_code, leaf_desc, parent));
+          (void)leaf_id;
+        }
+      }
+    }
+  }
+
+  NCL_RETURN_NOT_OK(onto.Validate());
+  return onto;
+}
+
+}  // namespace ncl::datagen

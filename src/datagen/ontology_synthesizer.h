@@ -1,0 +1,51 @@
+// Synthetic ICD-shaped ontology generation.
+//
+// Stand-in for ICD-10-CM / ICD-9-CM (DESIGN.md §1): produces a tree of
+// chapters -> categories -> (optional subcategories) -> fine-grained codes
+// whose canonical descriptions are composed from the medical vocabulary.
+// Crucially for the paper's "fine-grained" challenge, sibling leaves share
+// their category's description stem and differ only in a qualifier phrase
+// ("iron deficiency anemia" -> "iron deficiency anemia secondary to blood
+// loss" / "iron deficiency anemia, unspecified"), so their semantics overlap
+// the way D50.0 / D53.0 / D53.2 do in the paper's Figure 1.
+
+#pragma once
+
+#include <cstdint>
+
+#include "datagen/medical_vocabulary.h"
+#include "ontology/ontology.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ncl::datagen {
+
+/// Code formatting style of the synthesised ontology.
+enum class CodeStyle {
+  kIcd10,  ///< alphanumeric: chapter "C", category "C12", leaf "C12.3"
+  kIcd9,   ///< numeric: chapter "010", category "012", leaf "012.3"
+};
+
+/// \brief Size/shape knobs for the synthesiser.
+struct OntologySynthesizerConfig {
+  CodeStyle code_style = CodeStyle::kIcd10;
+  size_t num_chapters = 6;
+  size_t categories_per_chapter = 8;
+  /// Upper bound on leaves per category; actual count is 3..max (random).
+  size_t max_fine_per_category = 6;
+  /// Fraction of categories receiving an extra subcategory level (depth 4),
+  /// as some ICD-10-CM branches do.
+  double extra_level_fraction = 0.15;
+  /// Probability that a leaf's description *rephrases* its parent's stem
+  /// instead of repeating it verbatim (synonym substitution on stem words),
+  /// the way "end stage renal disease" sits under "chronic kidney disease"
+  /// in real ICD. Rephrased leaves are what make the structural context
+  /// (ancestor descriptions) carry information the leaf text lacks.
+  double rephrase_fraction = 0.35;
+  uint64_t seed = 7;
+};
+
+/// \brief Generate an ontology. Descriptions are unique across the tree.
+Result<ontology::Ontology> SynthesizeOntology(const OntologySynthesizerConfig& config);
+
+}  // namespace ncl::datagen

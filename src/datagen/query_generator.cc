@@ -1,0 +1,120 @@
+#include "datagen/query_generator.h"
+
+#include <iterator>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ncl::datagen {
+
+namespace {
+/// Query corruption defaults: held-out synonyms allowed, typos enabled,
+/// harsher dropping — the clinician-note regime.
+AliasConfig QueryCorruptionDefaults(AliasConfig base) {
+  base.use_heldout_synonyms = true;
+  base.p_typo = 0.06;
+  base.p_drop = 0.50;
+  base.p_synonym = 0.85;
+  base.p_acronym = 0.80;
+  base.p_abbrev = 0.60;
+  base.p_truncate = 0.40;
+  base.p_shorten = 0.35;
+  base.force_change = true;
+  return base;
+}
+}  // namespace
+
+QueryGenerator::QueryGenerator(const ontology::Ontology& onto,
+                               const MedicalVocabulary& vocab,
+                               QueryGeneratorConfig config)
+    : onto_(onto),
+      vocab_(vocab),
+      config_(std::move(config)),
+      corruptor_(vocab, QueryCorruptionDefaults(config_.corruption)) {}
+
+LabeledQuery QueryGenerator::MakePurposive(ontology::ConceptId concept_id,
+                                           QueryKind kind, Rng& rng) const {
+  LabeledQuery query;
+  query.concept_id = concept_id;
+  query.kind = kind;
+  std::vector<std::string> tokens = onto_.Get(concept_id).description;
+
+  bool changed = false;
+  switch (kind) {
+    case QueryKind::kAbbreviation:
+      changed = corruptor_.ApplyAbbreviations(&tokens, rng, 1.0);
+      break;
+    case QueryKind::kSynonym:
+      changed = corruptor_.ApplySynonyms(&tokens, rng, 1.0);
+      break;
+    case QueryKind::kAcronym:
+      changed = corruptor_.ApplyAcronyms(&tokens, rng, 1.0);
+      changed |= corruptor_.ApplyNumberRewrite(&tokens, rng, 1.0);
+      break;
+    case QueryKind::kSimplification:
+      changed = corruptor_.ApplyDrops(&tokens, rng, 0.8);
+      break;
+    case QueryKind::kTypo:
+      changed = corruptor_.ApplyTypos(&tokens, rng, 0.5);
+      break;
+    case QueryKind::kRandom:
+      break;
+  }
+  if (!changed) {
+    // The phenomenon does not apply to this description (e.g. no acronym
+    // phrase present); fall back to a random corruption.
+    tokens = corruptor_.Corrupt(onto_.Get(concept_id).description, rng);
+    query.kind = QueryKind::kRandom;
+  } else {
+    // Flatten multi-word synonym substitutions.
+    std::vector<std::string> flattened;
+    for (const auto& token : tokens) {
+      for (const auto& piece : Split(token, " ")) flattened.push_back(piece);
+    }
+    tokens = std::move(flattened);
+  }
+  query.tokens = std::move(tokens);
+  return query;
+}
+
+std::vector<LabeledQuery> QueryGenerator::GenerateGroup(
+    const std::vector<ontology::ConceptId>& targets, Rng& rng) const {
+  std::vector<ontology::ConceptId> pool =
+      targets.empty() ? onto_.FineGrainedConcepts() : targets;
+  NCL_CHECK(!pool.empty()) << "query generation needs fine-grained targets";
+
+  std::vector<LabeledQuery> group;
+  group.reserve(config_.group_size);
+
+  static constexpr QueryKind kPurposiveKinds[] = {
+      QueryKind::kAbbreviation, QueryKind::kSynonym, QueryKind::kAcronym,
+      QueryKind::kSimplification, QueryKind::kTypo};
+  size_t purposive = std::min(config_.purposive_per_group, config_.group_size);
+  for (size_t i = 0; i < purposive; ++i) {
+    ontology::ConceptId concept_id = pool[rng.Index(pool.size())];
+    QueryKind kind = kPurposiveKinds[i % std::size(kPurposiveKinds)];
+    group.push_back(MakePurposive(concept_id, kind, rng));
+  }
+  while (group.size() < config_.group_size) {
+    ontology::ConceptId concept_id = pool[rng.Index(pool.size())];
+    LabeledQuery query;
+    query.concept_id = concept_id;
+    query.kind = QueryKind::kRandom;
+    query.tokens = corruptor_.Corrupt(onto_.Get(concept_id).description, rng);
+    group.push_back(std::move(query));
+  }
+  return group;
+}
+
+std::vector<std::vector<LabeledQuery>> QueryGenerator::GenerateGroups(
+    size_t num_groups) const {
+  std::vector<std::vector<LabeledQuery>> groups;
+  groups.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    Rng rng(config_.seed + 1000 * (g + 1));
+    groups.push_back(GenerateGroup({}, rng));
+  }
+  return groups;
+}
+
+}  // namespace ncl::datagen

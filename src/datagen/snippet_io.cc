@@ -1,0 +1,93 @@
+#include "datagen/snippet_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace ncl::datagen {
+
+Result<std::vector<LabeledSnippet>> LoadSnippetsFromString(
+    const std::string& tsv, const ontology::Ontology& onto) {
+  std::vector<LabeledSnippet> snippets;
+  std::istringstream in(tsv);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    size_t tab = trimmed.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("snippet TSV line " + std::to_string(line_no) +
+                                     ": expected <code>\\t<text>");
+    }
+    std::string code = Trim(trimmed.substr(0, tab));
+    ontology::ConceptId id = onto.FindByCode(code);
+    if (id == ontology::kInvalidConcept) {
+      return Status::NotFound("snippet TSV line " + std::to_string(line_no) +
+                              ": unknown concept code '" + code + "'");
+    }
+    std::vector<std::string> tokens = text::Tokenize(trimmed.substr(tab + 1));
+    if (tokens.empty()) {
+      return Status::InvalidArgument("snippet TSV line " + std::to_string(line_no) +
+                                     ": empty snippet text");
+    }
+    snippets.push_back(LabeledSnippet{id, std::move(tokens)});
+  }
+  return snippets;
+}
+
+Result<std::vector<LabeledSnippet>> LoadSnippetsFromFile(
+    const std::string& path, const ontology::Ontology& onto) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open snippet file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadSnippetsFromString(buffer.str(), onto);
+}
+
+std::string SaveSnippetsToString(const std::vector<LabeledSnippet>& snippets,
+                                 const ontology::Ontology& onto) {
+  std::string out = "# code\ttext\n";
+  for (const LabeledSnippet& snippet : snippets) {
+    out += onto.Get(snippet.concept_id).code;
+    out += '\t';
+    out += Join(snippet.tokens, " ");
+    out += '\n';
+  }
+  return out;
+}
+
+Status SaveSnippetsToFile(const std::vector<LabeledSnippet>& snippets,
+                          const ontology::Ontology& onto,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SaveSnippetsToString(snippets, onto);
+  return out.good() ? Status::OK() : Status::IOError("write failed for " + path);
+}
+
+Result<std::vector<std::vector<std::string>>> LoadCorpusFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open corpus file " + path);
+  std::vector<std::vector<std::string>> corpus;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> tokens = text::Tokenize(line);
+    if (!tokens.empty()) corpus.push_back(std::move(tokens));
+  }
+  return corpus;
+}
+
+Status SaveCorpusToFile(const std::vector<std::vector<std::string>>& corpus,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const auto& snippet : corpus) out << Join(snippet, " ") << "\n";
+  return out.good() ? Status::OK() : Status::IOError("write failed for " + path);
+}
+
+}  // namespace ncl::datagen

@@ -1,0 +1,45 @@
+// TSV persistence for labeled snippets and queries.
+//
+// Format, one snippet per line:  <concept code> \t <text>
+// Lines starting with '#' and blank lines are ignored. Text is normalised
+// through the standard tokenizer on load. This is the on-disk interface the
+// CLI uses, and the format a hospital would export its own labeled data in.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ncl::datagen {
+
+/// \brief Parse labeled snippets from TSV text; codes are resolved against
+/// `onto` and unknown codes are reported as errors.
+Result<std::vector<LabeledSnippet>> LoadSnippetsFromString(
+    const std::string& tsv, const ontology::Ontology& onto);
+
+/// \brief Read labeled snippets from a TSV file.
+Result<std::vector<LabeledSnippet>> LoadSnippetsFromFile(
+    const std::string& path, const ontology::Ontology& onto);
+
+/// \brief Serialise snippets as TSV (code \t space-joined tokens).
+std::string SaveSnippetsToString(const std::vector<LabeledSnippet>& snippets,
+                                 const ontology::Ontology& onto);
+
+/// \brief Write snippets to a TSV file.
+Status SaveSnippetsToFile(const std::vector<LabeledSnippet>& snippets,
+                          const ontology::Ontology& onto,
+                          const std::string& path);
+
+/// \brief Plain-text corpus: one snippet per line, tokenised on load.
+Result<std::vector<std::vector<std::string>>> LoadCorpusFromFile(
+    const std::string& path);
+
+/// \brief Write a tokenised corpus, one snippet per line.
+Status SaveCorpusToFile(const std::vector<std::vector<std::string>>& corpus,
+                        const std::string& path);
+
+}  // namespace ncl::datagen

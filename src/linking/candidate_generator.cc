@@ -1,0 +1,43 @@
+#include "linking/candidate_generator.h"
+
+#include <unordered_set>
+
+namespace ncl::linking {
+
+CandidateGenerator::CandidateGenerator(
+    const ontology::Ontology& onto,
+    const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+        aliases,
+    CandidateGeneratorConfig config) {
+  for (ontology::ConceptId id : onto.FineGrainedConcepts()) {
+    index_.AddDocument(onto.Get(id).description);
+    doc_concepts_.push_back(id);
+  }
+  if (config.index_aliases) {
+    for (const auto& [concept_id, tokens] : aliases) {
+      if (onto.IsFineGrained(concept_id) && !tokens.empty()) {
+        index_.AddDocument(tokens);
+        doc_concepts_.push_back(concept_id);
+      }
+    }
+  }
+  index_.Finalize();
+}
+
+std::vector<ontology::ConceptId> CandidateGenerator::TopK(
+    const std::vector<std::string>& query, size_t k) const {
+  // Over-fetch documents: several documents may map to one concept.
+  std::vector<text::ScoredDoc> docs = index_.TopK(query, k * 4);
+  std::vector<ontology::ConceptId> concepts;
+  std::unordered_set<ontology::ConceptId> seen;
+  for (const text::ScoredDoc& doc : docs) {
+    ontology::ConceptId id = doc_concepts_[static_cast<size_t>(doc.doc_id)];
+    if (seen.insert(id).second) {
+      concepts.push_back(id);
+      if (concepts.size() == k) break;
+    }
+  }
+  return concepts;
+}
+
+}  // namespace ncl::linking

@@ -1,0 +1,45 @@
+// Phase I of online concept linking (§5): candidate generation.
+//
+// A TF-IDF weighted inverted index over the fine-grained concepts'
+// canonical descriptions (and, optionally, their KB aliases) returns the
+// top-k concepts by cosine similarity with the query. The coverage metric
+// of Fig. 5(a) — the fraction of queries whose gold concept survives
+// Phase I — is measured against this component.
+
+#pragma once
+
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "text/tfidf_index.h"
+
+namespace ncl::linking {
+
+/// Candidate generation knobs.
+struct CandidateGeneratorConfig {
+  /// Index alias snippets in addition to canonical descriptions.
+  bool index_aliases = true;
+};
+
+/// \brief TF-IDF candidate retriever over fine-grained concepts.
+class CandidateGenerator {
+ public:
+  CandidateGenerator(
+      const ontology::Ontology& onto,
+      const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+          aliases,
+      CandidateGeneratorConfig config = {});
+
+  /// Top-k distinct fine-grained concepts for the query, best first.
+  std::vector<ontology::ConceptId> TopK(const std::vector<std::string>& query,
+                                        size_t k) const;
+
+  /// The concept-description vocabulary Ω (§5): words of indexed snippets.
+  const text::Vocabulary& vocabulary() const { return index_.vocabulary(); }
+
+ private:
+  text::TfIdfIndex index_;
+  std::vector<ontology::ConceptId> doc_concepts_;  // document id -> concept
+};
+
+}  // namespace ncl::linking

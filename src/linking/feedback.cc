@@ -1,0 +1,47 @@
+#include "linking/feedback.h"
+
+#include <cmath>
+
+namespace ncl::linking {
+
+bool FeedbackController::IsUncertain(
+    const std::vector<ScoredCandidate>& candidates) const {
+  if (candidates.empty()) return true;  // nothing retrieved at all
+  if (candidates.front().loss > config_.loss_threshold) return true;
+  if (candidates.size() < 2) return false;
+
+  double mean = 0.0;
+  for (const ScoredCandidate& c : candidates) mean += c.loss;
+  mean /= static_cast<double>(candidates.size());
+  double variance = 0.0;
+  for (const ScoredCandidate& c : candidates) {
+    variance += (c.loss - mean) * (c.loss - mean);
+  }
+  variance /= static_cast<double>(candidates.size());
+  return std::sqrt(variance) < config_.std_threshold;
+}
+
+bool FeedbackController::Offer(const std::vector<std::string>& query,
+                               const std::vector<ScoredCandidate>& candidates) {
+  if (!IsUncertain(candidates)) return false;
+  pool_.push_back(PooledQuery{query, candidates});
+  return true;
+}
+
+std::vector<PooledQuery> FeedbackController::TakePool() {
+  std::vector<PooledQuery> drained;
+  drained.swap(pool_);
+  return drained;
+}
+
+void FeedbackController::AddFeedback(ExpertFeedback feedback) {
+  feedback_.push_back(std::move(feedback));
+}
+
+std::vector<ExpertFeedback> FeedbackController::TakeFeedback() {
+  std::vector<ExpertFeedback> drained;
+  drained.swap(feedback_);
+  return drained;
+}
+
+}  // namespace ncl::linking

@@ -1,0 +1,84 @@
+// Feedback controller (Appendix A, the Timon workflow).
+//
+// After Phase II, the controller inspects the re-ranked candidates'
+// losses (-log p(q|c)): a high top-1 loss, or a low standard deviation
+// across the candidates (COM-AID cannot tell them apart), marks the result
+// uncertain. Uncertain queries are pooled; once the pool reaches capacity
+// it is surfaced to domain experts, whose answers become new labeled
+// training snippets. When enough feedback accumulates, a retraining pass
+// is signalled so NCL's linking ability improves incrementally.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linking/ncl_linker.h"
+#include "ontology/ontology.h"
+
+namespace ncl::linking {
+
+/// Uncertainty-gating and retraining thresholds.
+struct FeedbackConfig {
+  /// Pool when the top-1 loss exceeds this.
+  double loss_threshold = 20.0;
+  /// Pool when the loss standard deviation across candidates is below this.
+  double std_threshold = 0.5;
+  /// Pool size that triggers presentation to the experts (paper: e.g. 100).
+  size_t pool_capacity = 100;
+  /// Number of new labeled snippets that triggers retraining.
+  size_t retrain_threshold = 50;
+};
+
+/// One pooled uncertain query awaiting expert review.
+struct PooledQuery {
+  std::vector<std::string> tokens;
+  std::vector<ScoredCandidate> candidates;
+};
+
+/// One expert answer: the query snippet now labeled with a concept.
+struct ExpertFeedback {
+  ontology::ConceptId concept_id = ontology::kInvalidConcept;
+  std::vector<std::string> tokens;
+};
+
+/// \brief The controller: uncertainty gating, pooling, retrain signalling.
+class FeedbackController {
+ public:
+  explicit FeedbackController(FeedbackConfig config = {}) : config_(config) {}
+
+  /// Appendix-A gate: should this re-ranked list be sent to the experts?
+  bool IsUncertain(const std::vector<ScoredCandidate>& candidates) const;
+
+  /// Offer a linking result; pools it when uncertain. Returns true if pooled.
+  bool Offer(const std::vector<std::string>& query,
+             const std::vector<ScoredCandidate>& candidates);
+
+  /// True once the pool has reached capacity and should be shown to experts.
+  bool PoolReady() const { return pool_.size() >= config_.pool_capacity; }
+
+  /// Drain the pool (e.g. to render the expert review page).
+  std::vector<PooledQuery> TakePool();
+
+  /// Record one expert answer.
+  void AddFeedback(ExpertFeedback feedback);
+
+  /// True once enough feedback accumulated to warrant retraining.
+  bool ShouldRetrain() const {
+    return feedback_.size() >= config_.retrain_threshold;
+  }
+
+  /// Drain the collected feedback (append to the labeled training data).
+  std::vector<ExpertFeedback> TakeFeedback();
+
+  size_t pool_size() const { return pool_.size(); }
+  size_t feedback_size() const { return feedback_.size(); }
+  const FeedbackConfig& config() const { return config_; }
+
+ private:
+  FeedbackConfig config_;
+  std::vector<PooledQuery> pool_;
+  std::vector<ExpertFeedback> feedback_;
+};
+
+}  // namespace ncl::linking

@@ -1,0 +1,54 @@
+#include "linking/fusion_linker.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ncl::linking {
+
+FusionLinker::FusionLinker(
+    std::vector<std::pair<const ConceptLinker*, double>> members,
+    FusionConfig config)
+    : members_(std::move(members)), config_(config) {
+  NCL_CHECK(!members_.empty()) << "FusionLinker needs at least one member";
+  for (const auto& [linker, weight] : members_) {
+    NCL_CHECK(linker != nullptr);
+    NCL_CHECK(weight >= 0.0);
+  }
+}
+
+std::string FusionLinker::name() const {
+  std::string out = "fusion(";
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i > 0) out += "+";
+    out += members_[i].first->name();
+  }
+  return out + ")";
+}
+
+Ranking FusionLinker::Link(const std::vector<std::string>& query,
+                           size_t k) const {
+  std::unordered_map<ontology::ConceptId, double> fused;
+  for (const auto& [linker, weight] : members_) {
+    Ranking member_ranking = linker->Link(query, config_.member_k);
+    for (size_t rank = 0; rank < member_ranking.size(); ++rank) {
+      fused[member_ranking[rank].concept_id] +=
+          weight / (config_.rrf_k + static_cast<double>(rank + 1));
+    }
+  }
+  Ranking ranking;
+  ranking.reserve(fused.size());
+  for (const auto& [concept_id, score] : fused) {
+    ranking.push_back(RankedConcept{concept_id, score});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const RankedConcept& a, const RankedConcept& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.concept_id < b.concept_id;
+            });
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+}  // namespace ncl::linking

@@ -1,0 +1,45 @@
+// Combined annotator (the paper's third category, §2.2).
+//
+// The paper notes NCL "can also be combined with the other annotators".
+// FusionLinker implements the standard reciprocal-rank fusion: each member
+// linker ranks the query independently, and a concept's fused score is
+//   sum_i  weight_i / (rrf_k + rank_i(concept))
+// over the members that returned it. RRF is robust to incomparable member
+// score scales, which is exactly the combined-annotator setting.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linking/linker_interface.h"
+
+namespace ncl::linking {
+
+/// Fusion knobs.
+struct FusionConfig {
+  /// The RRF dampening constant (60 in the original RRF paper).
+  double rrf_k = 60.0;
+  /// How many candidates to request from each member per query.
+  size_t member_k = 20;
+};
+
+/// \brief Reciprocal-rank fusion over member linkers.
+class FusionLinker : public ConceptLinker {
+ public:
+  /// \param members non-owning; each paired with a fusion weight. Members
+  ///        must outlive the fusion linker.
+  FusionLinker(std::vector<std::pair<const ConceptLinker*, double>> members,
+               FusionConfig config = {});
+
+  std::string name() const override;
+
+  Ranking Link(const std::vector<std::string>& query, size_t k) const override;
+
+ private:
+  std::vector<std::pair<const ConceptLinker*, double>> members_;
+  FusionConfig config_;
+};
+
+}  // namespace ncl::linking

@@ -1,0 +1,38 @@
+// Common interface implemented by NCL and every baseline linker.
+//
+// A ConceptLinker maps a tokenised query to a ranked list of fine-grained
+// concepts. The evaluation harnesses (bench/) measure top-1 accuracy and
+// MRR over these rankings for any linker uniformly.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+
+namespace ncl::linking {
+
+/// One ranked candidate.
+struct RankedConcept {
+  ontology::ConceptId concept_id = ontology::kInvalidConcept;
+  double score = 0.0;
+};
+
+/// Ranked candidates, best first.
+using Ranking = std::vector<RankedConcept>;
+
+/// \brief Interface: query tokens in, ranked fine-grained concepts out.
+class ConceptLinker {
+ public:
+  virtual ~ConceptLinker() = default;
+
+  /// Display name used in experiment tables ("NCL", "pkduck", ...).
+  virtual std::string name() const = 0;
+
+  /// Rank the fine-grained concepts for `query`; return at most `k`,
+  /// best first. An empty result means the linker found no candidate.
+  virtual Ranking Link(const std::vector<std::string>& query, size_t k) const = 0;
+};
+
+}  // namespace ncl::linking

@@ -1,0 +1,62 @@
+#include "linking/metrics.h"
+
+namespace ncl::linking {
+
+EvalResult EvaluateLinker(const ConceptLinker& linker,
+                          const std::vector<EvalQuery>& queries, size_t k) {
+  EvalResult result;
+  result.num_queries = queries.size();
+  if (queries.empty()) return result;
+
+  double hits = 0.0;
+  double reciprocal_sum = 0.0;
+  for (const EvalQuery& query : queries) {
+    Ranking ranking = linker.Link(query.tokens, k);
+    for (size_t rank = 0; rank < ranking.size(); ++rank) {
+      if (ranking[rank].concept_id == query.gold) {
+        if (rank == 0) hits += 1.0;
+        reciprocal_sum += 1.0 / static_cast<double>(rank + 1);
+        break;
+      }
+    }
+  }
+  result.accuracy = hits / static_cast<double>(queries.size());
+  result.mrr = reciprocal_sum / static_cast<double>(queries.size());
+  return result;
+}
+
+EvalResult EvaluateLinkerOverGroups(
+    const ConceptLinker& linker, const std::vector<std::vector<EvalQuery>>& groups,
+    size_t k) {
+  EvalResult aggregate;
+  if (groups.empty()) return aggregate;
+  for (const auto& group : groups) {
+    EvalResult r = EvaluateLinker(linker, group, k);
+    aggregate.accuracy += r.accuracy;
+    aggregate.mrr += r.mrr;
+    aggregate.num_queries += r.num_queries;
+  }
+  aggregate.accuracy /= static_cast<double>(groups.size());
+  aggregate.mrr /= static_cast<double>(groups.size());
+  return aggregate;
+}
+
+double CandidateCoverage(const CandidateGenerator& generator,
+                         const std::vector<EvalQuery>& queries, size_t k,
+                         const QueryRewriter* rewriter) {
+  if (queries.empty()) return 0.0;
+  size_t covered = 0;
+  for (const EvalQuery& query : queries) {
+    std::vector<std::string> tokens =
+        rewriter != nullptr ? rewriter->Rewrite(query.tokens) : query.tokens;
+    for (ontology::ConceptId id : generator.TopK(tokens, k)) {
+      if (id == query.gold) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(queries.size());
+}
+
+}  // namespace ncl::linking

@@ -1,0 +1,45 @@
+// Evaluation metrics (§6.1): top-1 accuracy, MRR, and Phase-I coverage.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linking/candidate_generator.h"
+#include "linking/linker_interface.h"
+#include "linking/query_rewriter.h"
+#include "ontology/ontology.h"
+
+namespace ncl::linking {
+
+/// One evaluation query with its gold fine-grained concept.
+struct EvalQuery {
+  std::vector<std::string> tokens;
+  ontology::ConceptId gold = ontology::kInvalidConcept;
+};
+
+/// Aggregate quality over one query set.
+struct EvalResult {
+  double accuracy = 0.0;  ///< top-1 accuracy rate
+  double mrr = 0.0;       ///< mean reciprocal rank (0 when gold not returned)
+  size_t num_queries = 0;
+};
+
+/// \brief Run `linker` over `queries`, requesting rankings of length `k`.
+EvalResult EvaluateLinker(const ConceptLinker& linker,
+                          const std::vector<EvalQuery>& queries, size_t k);
+
+/// \brief Mean of per-group results (the paper reports averages over 10
+/// query groups).
+EvalResult EvaluateLinkerOverGroups(const ConceptLinker& linker,
+                                    const std::vector<std::vector<EvalQuery>>& groups,
+                                    size_t k);
+
+/// \brief Fraction of queries whose gold concept survives Phase I at the
+/// given k (the 'Cov' series of Fig. 5a). Queries are rewritten first when
+/// a rewriter is supplied, matching the real pipeline.
+double CandidateCoverage(const CandidateGenerator& generator,
+                         const std::vector<EvalQuery>& queries, size_t k,
+                         const QueryRewriter* rewriter = nullptr);
+
+}  // namespace ncl::linking

@@ -1,0 +1,103 @@
+#include "linking/ncl_linker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/stopwatch.h"
+
+namespace ncl::linking {
+
+NclLinker::NclLinker(const comaid::ComAidModel* model,
+                     const CandidateGenerator* candidates,
+                     const QueryRewriter* rewriter, NclConfig config)
+    : model_(model), candidates_(candidates), rewriter_(rewriter), config_(config) {
+  NCL_CHECK(model_ != nullptr);
+  NCL_CHECK(candidates_ != nullptr);
+  if (config_.scoring_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.scoring_threads);
+  }
+}
+
+std::vector<ScoredCandidate> NclLinker::LinkDetailed(
+    const std::vector<std::string>& query, PhaseTimings* timings) const {
+  PhaseTimings local;
+  Stopwatch watch;
+
+  // --- OR: out-of-vocabulary word replacement. ---
+  std::vector<std::string> rewritten = query;
+  if (config_.rewrite_queries && rewriter_ != nullptr) {
+    rewritten = rewriter_->Rewrite(query);
+  }
+  local.rewrite_us = watch.ElapsedMicros();
+
+  // --- CR: candidate concept retrieval (Phase I). ---
+  watch.Reset();
+  std::vector<ontology::ConceptId> candidates =
+      candidates_->TopK(rewritten, config_.k);
+  local.retrieve_us = watch.ElapsedMicros();
+
+  // --- ED: encode-decode probability per candidate (Phase II). ---
+  watch.Reset();
+  std::vector<ScoredCandidate> scored(candidates.size());
+  auto score_one = [&](size_t i) {
+    ontology::ConceptId id = candidates[i];
+    std::vector<std::string> target = rewritten;
+    if (config_.remove_shared_words) {
+      const auto& description = model_->onto().Get(id).description;
+      std::unordered_set<std::string> shared(description.begin(), description.end());
+      std::vector<std::string> filtered;
+      for (const auto& word : rewritten) {
+        if (shared.count(word) == 0) filtered.push_back(word);
+      }
+      // An empty residue (every query word appears in the description) is
+      // the strongest possible lexical evidence; the model scores it as
+      // p(<eos> | c), one factor, which keeps the removal heuristic
+      // monotone: more shared words can only help a candidate.
+      target = std::move(filtered);
+    }
+    double log_prob = model_->ScoreLogProb(id, target);
+    if (config_.length_normalize) {
+      log_prob /= static_cast<double>(target.size() + 1);  // words + <eos>
+    }
+    if (!config_.concept_prior.empty()) {
+      // MAP estimation (Eq. 11): p(c|q) ∝ p(q|c) p(c).
+      auto it = config_.concept_prior.find(id);
+      double prior = it != config_.concept_prior.end() ? it->second
+                                                       : config_.default_prior;
+      log_prob += std::log(std::max(prior, 1e-300));
+    }
+    scored[i] = ScoredCandidate{id, log_prob, -log_prob};
+  };
+  if (pool_ != nullptr && candidates.size() > 1) {
+    pool_->ParallelFor(candidates.size(), score_one);
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) score_one(i);
+  }
+  local.score_us = watch.ElapsedMicros();
+
+  // --- RT: ranking by descending probability. ---
+  watch.Reset();
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              if (a.log_prob != b.log_prob) return a.log_prob > b.log_prob;
+              return a.concept_id < b.concept_id;
+            });
+  local.rank_us = watch.ElapsedMicros();
+
+  if (timings != nullptr) *timings = local;
+  return scored;
+}
+
+Ranking NclLinker::Link(const std::vector<std::string>& query, size_t k) const {
+  std::vector<ScoredCandidate> scored = LinkDetailed(query);
+  Ranking ranking;
+  ranking.reserve(std::min(k, scored.size()));
+  for (const ScoredCandidate& candidate : scored) {
+    if (ranking.size() == k) break;
+    ranking.push_back(RankedConcept{candidate.concept_id, candidate.log_prob});
+  }
+  return ranking;
+}
+
+}  // namespace ncl::linking

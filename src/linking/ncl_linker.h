@@ -1,0 +1,94 @@
+// NCL: the two-phase online concept linker (§5).
+//
+// Phase I rewrites out-of-vocabulary query words (QueryRewriter) and
+// retrieves k candidate concepts by TF-IDF cosine (CandidateGenerator).
+// Phase II evaluates p(q|c; Θ) with the trained COM-AID model for each
+// candidate — on a thread pool, as the paper's ten-thread encode-decode
+// stage does (Appendix B.1) — and returns the candidates re-ranked by
+// descending probability. Per §5, words appearing in both the canonical
+// description and the query are temporarily removed before scoring.
+// LinkDetailed exposes per-phase wall-clock timings (the OR / CR / ED / RT
+// split of Fig. 11) and per-candidate losses for the feedback controller.
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "comaid/model.h"
+#include "linking/candidate_generator.h"
+#include "linking/linker_interface.h"
+#include "linking/query_rewriter.h"
+#include "util/thread_pool.h"
+
+namespace ncl::linking {
+
+/// Online-linking knobs.
+struct NclConfig {
+  /// Phase-I candidate count k (paper default: 20).
+  size_t k = 20;
+  /// Apply query rewriting (requires a QueryRewriter).
+  bool rewrite_queries = true;
+  /// §5 Phase II: drop words shared with the candidate's canonical
+  /// description before scoring.
+  bool remove_shared_words = true;
+  /// Length-normalise Phase-II scores: rank by mean log-probability per
+  /// decoded factor (|target| words + <eos>) instead of the raw sum. Off by
+  /// default: with shared-word removal the raw sum deliberately rewards
+  /// candidates that explain more of the query lexically (Eq. 3 semantics).
+  bool length_normalize = false;
+  /// Threads for parallel encode-decode scoring (paper uses ten).
+  size_t scoring_threads = 10;
+  /// Optional non-uniform concept prior for MAP estimation (Eq. 11): maps
+  /// concept id -> prior probability. Candidates absent from the map get
+  /// `default_prior`. When empty, the uniform-prior MLE of Eq. 12 applies.
+  std::unordered_map<ontology::ConceptId, double> concept_prior;
+  double default_prior = 1e-6;
+};
+
+/// One Phase-II scored candidate.
+struct ScoredCandidate {
+  ontology::ConceptId concept_id = ontology::kInvalidConcept;
+  double log_prob = 0.0;  ///< log p(q|c; Θ)
+  double loss = 0.0;      ///< -log p(q|c; Θ), the Appendix-A Loss value
+};
+
+/// Wall-clock microseconds per online phase (Fig. 11 decomposition).
+struct PhaseTimings {
+  double rewrite_us = 0.0;   ///< OR: out-of-vocabulary word replacement
+  double retrieve_us = 0.0;  ///< CR: candidate concept retrieval
+  double score_us = 0.0;     ///< ED: encode-decode probability evaluation
+  double rank_us = 0.0;      ///< RT: ranking
+  double total_us() const { return rewrite_us + retrieve_us + score_us + rank_us; }
+};
+
+/// \brief The NCL linker.
+class NclLinker : public ConceptLinker {
+ public:
+  /// All pointers must outlive the linker; `rewriter` may be nullptr (then
+  /// rewriting is skipped regardless of config).
+  NclLinker(const comaid::ComAidModel* model, const CandidateGenerator* candidates,
+            const QueryRewriter* rewriter, NclConfig config = {});
+
+  std::string name() const override { return "NCL"; }
+
+  Ranking Link(const std::vector<std::string>& query, size_t k) const override;
+
+  /// Full pipeline with timings: returns candidates re-ranked by Phase II.
+  std::vector<ScoredCandidate> LinkDetailed(const std::vector<std::string>& query,
+                                            PhaseTimings* timings = nullptr) const;
+
+  const NclConfig& config() const { return config_; }
+  void set_k(size_t k) { config_.k = k; }
+
+ private:
+  const comaid::ComAidModel* model_;
+  const CandidateGenerator* candidates_;
+  const QueryRewriter* rewriter_;
+  NclConfig config_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ncl::linking

@@ -1,0 +1,81 @@
+#include "linking/pca.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ncl::linking {
+
+nn::Matrix PcaProject(const nn::Matrix& data, size_t components,
+                      size_t iterations) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  NCL_CHECK(n > 0 && d > 0);
+  components = std::min(components, d);
+
+  // Mean-centre.
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) mean[j] += data(i, j);
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+
+  // Covariance (d x d); d is small for our representation widths.
+  std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < d; ++a) {
+      double va = data(i, a) - mean[a];
+      for (size_t b = a; b < d; ++b) {
+        cov[a][b] += va * (data(i, b) - mean[b]);
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      cov[a][b] /= static_cast<double>(n);
+      cov[b][a] = cov[a][b];
+    }
+  }
+
+  // Power iteration with deflation.
+  std::vector<std::vector<double>> axes;
+  for (size_t c = 0; c < components; ++c) {
+    std::vector<double> v(d, 0.0);
+    v[c % d] = 1.0;  // deterministic start
+    double eigenvalue = 0.0;
+    for (size_t it = 0; it < iterations; ++it) {
+      std::vector<double> w(d, 0.0);
+      for (size_t a = 0; a < d; ++a) {
+        for (size_t b = 0; b < d; ++b) w[a] += cov[a][b] * v[b];
+      }
+      double norm = 0.0;
+      for (double x : w) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;  // degenerate: no variance left
+      for (size_t a = 0; a < d; ++a) v[a] = w[a] / norm;
+      eigenvalue = norm;
+    }
+    if (eigenvalue < 1e-12) {
+      axes.emplace_back(d, 0.0);
+      continue;
+    }
+    axes.push_back(v);
+    // Deflate: cov -= lambda v v^T.
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = 0; b < d; ++b) cov[a][b] -= eigenvalue * v[a] * v[b];
+    }
+  }
+
+  nn::Matrix projected(n, components);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < components; ++c) {
+      double dot = 0.0;
+      for (size_t j = 0; j < d; ++j) dot += (data(i, j) - mean[j]) * axes[c][j];
+      projected(i, c) = static_cast<float>(dot);
+    }
+  }
+  return projected;
+}
+
+}  // namespace ncl::linking

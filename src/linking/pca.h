@@ -1,0 +1,22 @@
+// Principal component analysis by power iteration with deflation.
+//
+// Used by the Appendix-A.2 analysis (Fig. 10): concept and word
+// representations are projected onto their top-2 principal components to
+// visualise how incremental expert feedback shifts them in space.
+
+#pragma once
+
+#include "nn/matrix.h"
+
+namespace ncl::linking {
+
+/// \brief Project the rows of `data` (samples x features) onto the top
+/// `components` principal components. Returns (samples x components).
+///
+/// Columns are mean-centred first. Components are extracted by power
+/// iteration on the covariance matrix with deflation; with very few samples
+/// trailing components may be zero vectors (projection column is zero).
+nn::Matrix PcaProject(const nn::Matrix& data, size_t components,
+                      size_t iterations = 200);
+
+}  // namespace ncl::linking

@@ -1,0 +1,63 @@
+#include "linking/query_rewriter.h"
+
+#include <limits>
+
+#include "text/edit_distance.h"
+#include "util/string_util.h"
+
+namespace ncl::linking {
+
+QueryRewriter::QueryRewriter(const text::Vocabulary& retrieval_vocab,
+                             const pretrain::WordEmbeddings& embeddings,
+                             QueryRewriterConfig config)
+    : retrieval_vocab_(retrieval_vocab), embeddings_(embeddings), config_(config) {}
+
+std::string QueryRewriter::RewriteWord(const std::string& word) const {
+  if (retrieval_vocab_.Contains(word)) return word;
+  if (config_.keep_numbers && IsNumber(word)) return word;
+
+  const text::Vocabulary& emb_vocab = embeddings_.vocabulary();
+  text::WordId emb_id = emb_vocab.Lookup(word);
+
+  if (emb_id == text::Vocabulary::kUnknown) {
+    // Typo path: closest Ω' word by bounded edit distance.
+    size_t best_distance = config_.max_edit_distance + 1;
+    text::WordId best_id = text::Vocabulary::kUnknown;
+    for (size_t i = 0; i < emb_vocab.size(); ++i) {
+      const std::string& candidate = emb_vocab.WordOf(static_cast<text::WordId>(i));
+      size_t distance =
+          text::BoundedLevenshtein(word, candidate, config_.max_edit_distance);
+      if (distance < best_distance ||
+          (distance == best_distance && best_id != text::Vocabulary::kUnknown &&
+           emb_vocab.CountOf(static_cast<text::WordId>(i)) >
+               emb_vocab.CountOf(best_id))) {
+        best_distance = distance;
+        best_id = static_cast<text::WordId>(i);
+      }
+    }
+    if (best_id == text::Vocabulary::kUnknown) return word;  // nothing close
+    emb_id = best_id;
+    // The corrected word may already be retrievable.
+    const std::string& corrected = emb_vocab.WordOf(emb_id);
+    if (retrieval_vocab_.Contains(corrected)) return corrected;
+  }
+
+  // Eq. 13: nearest Ω word in the embedding space.
+  auto nearest = embeddings_.Nearest(
+      emb_id, 1,
+      [this, &emb_vocab](text::WordId id) {
+        return retrieval_vocab_.Contains(emb_vocab.WordOf(id));
+      });
+  if (nearest.empty()) return word;
+  return emb_vocab.WordOf(nearest.front().first);
+}
+
+std::vector<std::string> QueryRewriter::Rewrite(
+    const std::vector<std::string>& query) const {
+  std::vector<std::string> rewritten;
+  rewritten.reserve(query.size());
+  for (const auto& word : query) rewritten.push_back(RewriteWord(word));
+  return rewritten;
+}
+
+}  // namespace ncl::linking

@@ -1,0 +1,51 @@
+// Query rewriting (§5, Phase I).
+//
+// Out-of-vocabulary query words break keyword retrieval ("dm 1 with
+// neuropaty"). Each query word w not in the concept-description vocabulary
+// Ω is replaced by its semantically nearest word in Ω under the pre-trained
+// embedding space Ω' (Eq. 13). When w is not even in Ω' (e.g. a typo), it
+// is first mapped to its textually closest word in Ω' by edit distance, and
+// then Eq. 13 applies.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pretrain/embeddings.h"
+#include "text/vocabulary.h"
+
+namespace ncl::linking {
+
+/// Rewriting knobs.
+struct QueryRewriterConfig {
+  /// Maximum edit distance for the typo-correction fallback; words farther
+  /// than this from every Ω' word are kept verbatim.
+  size_t max_edit_distance = 2;
+  /// Skip rewriting of pure numbers ("5" in "ckd 5").
+  bool keep_numbers = true;
+};
+
+/// \brief Rewrites OOV query words into the retrieval vocabulary.
+class QueryRewriter {
+ public:
+  /// \param retrieval_vocab Ω — the vocabulary of the candidate index.
+  /// \param embeddings Ω' with vectors — the pre-training output; must
+  ///        outlive the rewriter.
+  QueryRewriter(const text::Vocabulary& retrieval_vocab,
+                const pretrain::WordEmbeddings& embeddings,
+                QueryRewriterConfig config = {});
+
+  /// Rewritten query (same length; words are replaced in place).
+  std::vector<std::string> Rewrite(const std::vector<std::string>& query) const;
+
+  /// Rewrite a single word per the §5 procedure.
+  std::string RewriteWord(const std::string& word) const;
+
+ private:
+  const text::Vocabulary& retrieval_vocab_;
+  const pretrain::WordEmbeddings& embeddings_;
+  QueryRewriterConfig config_;
+};
+
+}  // namespace ncl::linking

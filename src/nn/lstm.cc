@@ -1,0 +1,59 @@
+#include "nn/lstm.h"
+
+namespace ncl::nn {
+
+LstmCell::LstmCell(std::string name, size_t input_dim, size_t hidden_dim,
+                   ParameterStore* store, Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  auto make = [&](const char* suffix, size_t rows, size_t cols, Init init) {
+    return store->Create(name + "." + suffix, rows, cols, init, rng);
+  };
+  w_i_ = make("W_i", hidden_dim, input_dim, Init::kXavier);
+  u_i_ = make("U_i", hidden_dim, hidden_dim, Init::kXavier);
+  b_i_ = make("b_i", hidden_dim, 1, Init::kZero);
+  w_f_ = make("W_f", hidden_dim, input_dim, Init::kXavier);
+  u_f_ = make("U_f", hidden_dim, hidden_dim, Init::kXavier);
+  b_f_ = make("b_f", hidden_dim, 1, Init::kZero);
+  w_o_ = make("W_o", hidden_dim, input_dim, Init::kXavier);
+  u_o_ = make("U_o", hidden_dim, hidden_dim, Init::kXavier);
+  b_o_ = make("b_o", hidden_dim, 1, Init::kZero);
+  w_c_ = make("W_c", hidden_dim, input_dim, Init::kXavier);
+  u_c_ = make("U_c", hidden_dim, hidden_dim, Init::kXavier);
+  b_c_ = make("b_c", hidden_dim, 1, Init::kZero);
+  // Forget-gate bias of 1.0: the standard trick to ease gradient flow early
+  // in training.
+  b_f_->value.Fill(1.0f);
+}
+
+LstmState LstmCell::InitialState(Tape& tape) const {
+  LstmState state;
+  state.h = tape.Constant(Matrix(hidden_dim_, 1));
+  state.c = tape.Constant(Matrix(hidden_dim_, 1));
+  return state;
+}
+
+LstmState LstmCell::InitialStateFromHidden(Tape& tape, VarId h0) const {
+  LstmState state;
+  state.h = h0;
+  state.c = tape.Constant(Matrix(hidden_dim_, 1));
+  return state;
+}
+
+LstmState LstmCell::Step(Tape& tape, VarId x, const LstmState& prev) const {
+  auto gate = [&](Parameter* w, Parameter* u, Parameter* b) {
+    VarId wx = tape.MatMul(tape.Param(w), x);
+    VarId uh = tape.MatMul(tape.Param(u), prev.h);
+    return tape.Add(tape.Add(wx, uh), tape.Param(b));
+  };
+  VarId i = tape.Sigmoid(gate(w_i_, u_i_, b_i_));
+  VarId f = tape.Sigmoid(gate(w_f_, u_f_, b_f_));
+  VarId o = tape.Sigmoid(gate(w_o_, u_o_, b_o_));
+  VarId c_tilde = tape.Tanh(gate(w_c_, u_c_, b_c_));
+
+  LstmState next;
+  next.c = tape.Add(tape.Mul(f, prev.c), tape.Mul(i, c_tilde));
+  next.h = tape.Mul(o, tape.Tanh(next.c));
+  return next;
+}
+
+}  // namespace ncl::nn

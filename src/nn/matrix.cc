@@ -1,0 +1,123 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+namespace ncl::nn {
+
+Matrix Matrix::FromValues(size_t rows, size_t cols, std::vector<float> values) {
+  NCL_CHECK(values.size() == rows * cols) << "FromValues size mismatch";
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(values);
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, float scale, Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) v = rng.UniformFloat(-scale, scale);
+  return m;
+}
+
+Matrix Matrix::Xavier(size_t rows, size_t cols, Rng& rng) {
+  float scale = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return RandomUniform(rows, cols, scale, rng);
+}
+
+void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+void Matrix::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::AddInPlace(const Matrix& other) {
+  NCL_DCHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Axpy(float alpha, const Matrix& other) {
+  NCL_DCHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+double Matrix::SquaredNorm() const {
+  double total = 0.0;
+  for (float v : data_) total += static_cast<double>(v) * v;
+  return total;
+}
+
+double Matrix::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double Matrix::Sum() const {
+  double total = 0.0;
+  for (float v : data_) total += v;
+  return total;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  NCL_CHECK(cols_ == other.rows_)
+      << "MatMul shape mismatch " << ShapeString() << " x " << other.ShapeString();
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a_row = row_data(i);
+    float* out_row = out.row_data(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = other.row_data(k);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  NCL_CHECK(rows_ == other.rows_) << "TransposedMatMul shape mismatch "
+                                  << ShapeString() << " x " << other.ShapeString();
+  Matrix out(cols_, other.cols_);
+  for (size_t k = 0; k < rows_; ++k) {
+    const float* a_row = row_data(k);
+    const float* b_row = other.row_data(k);
+    for (size_t i = 0; i < cols_; ++i) {
+      float a = a_row[i];
+      if (a == 0.0f) continue;
+      float* out_row = out.row_data(i);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  NCL_CHECK(cols_ == other.cols_) << "MatMulTransposed shape mismatch "
+                                  << ShapeString() << " x " << other.ShapeString();
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a_row = row_data(i);
+    float* out_row = out.row_data(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const float* b_row = other.row_data(j);
+      float acc = 0.0f;
+      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+double Matrix::Dot(const Matrix& other) const {
+  NCL_DCHECK(SameShape(other));
+  double total = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    total += static_cast<double>(data_[i]) * other.data_[i];
+  }
+  return total;
+}
+
+std::string Matrix::ShapeString() const {
+  return "(" + std::to_string(rows_) + " x " + std::to_string(cols_) + ")";
+}
+
+}  // namespace ncl::nn

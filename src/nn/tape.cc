@@ -1,0 +1,300 @@
+#include "nn/tape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace ncl::nn {
+
+void Tape::Reset() {
+  nodes_.clear();
+  param_nodes_.clear();
+}
+
+Tape::Node& Tape::node(VarId id) {
+  NCL_DCHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const Tape::Node& Tape::node(VarId id) const {
+  NCL_DCHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+VarId Tape::Emplace(Matrix value, std::function<void(Tape&)> backward) {
+  Node n;
+  n.grad = Matrix(value.rows(), value.cols());
+  n.value = std::move(value);
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::Constant(Matrix value) { return Emplace(std::move(value), nullptr); }
+
+VarId Tape::Param(Parameter* param) {
+  NCL_DCHECK(param != nullptr);
+  auto it = param_nodes_.find(param);
+  if (it != param_nodes_.end()) return it->second;
+  VarId id = Emplace(param->value, [param](Tape& tape) {
+    // `id` is the node we created; retrieve via the cache to avoid capture
+    // ordering issues.
+    VarId self = tape.param_nodes_.at(param);
+    param->grad.AddInPlace(tape.node(self).grad);
+  });
+  param_nodes_.emplace(param, id);
+  return id;
+}
+
+VarId Tape::Lookup(Parameter* table, size_t row) {
+  NCL_DCHECK(table != nullptr);
+  NCL_DCHECK(row < table->value.rows());
+  const size_t d = table->value.cols();
+  Matrix value(d, 1);
+  const float* src = table->value.row_data(row);
+  for (size_t i = 0; i < d; ++i) value[i] = src[i];
+
+  VarId id = Emplace(std::move(value), nullptr);
+  node(id).backward = [table, row, id](Tape& tape) {
+    const Matrix& g = tape.node(id).grad;
+    float* dst = table->grad.row_data(row);
+    for (size_t i = 0; i < g.size(); ++i) dst[i] += g[i];
+  };
+  return id;
+}
+
+VarId Tape::MatMul(VarId a, VarId b) {
+  Matrix value = node(a).value.MatMul(node(b).value);
+  VarId id = Emplace(std::move(value), nullptr);
+  node(id).backward = [a, b, id](Tape& tape) {
+    const Matrix& g = tape.node(id).grad;
+    // dA += g * B^T ; dB += A^T * g
+    tape.node(a).grad.AddInPlace(g.MatMulTransposed(tape.node(b).value));
+    tape.node(b).grad.AddInPlace(tape.node(a).value.TransposedMatMul(g));
+  };
+  return id;
+}
+
+VarId Tape::Add(VarId a, VarId b) {
+  NCL_DCHECK(node(a).value.SameShape(node(b).value));
+  Matrix value = node(a).value;
+  value.AddInPlace(node(b).value);
+  VarId id = Emplace(std::move(value), nullptr);
+  node(id).backward = [a, b, id](Tape& tape) {
+    const Matrix& g = tape.node(id).grad;
+    tape.node(a).grad.AddInPlace(g);
+    tape.node(b).grad.AddInPlace(g);
+  };
+  return id;
+}
+
+VarId Tape::Mul(VarId a, VarId b) {
+  NCL_DCHECK(node(a).value.SameShape(node(b).value));
+  const Matrix& va = node(a).value;
+  const Matrix& vb = node(b).value;
+  Matrix value(va.rows(), va.cols());
+  for (size_t i = 0; i < value.size(); ++i) value[i] = va[i] * vb[i];
+  VarId id = Emplace(std::move(value), nullptr);
+  node(id).backward = [a, b, id](Tape& tape) {
+    const Matrix& g = tape.node(id).grad;
+    const Matrix& va2 = tape.node(a).value;
+    const Matrix& vb2 = tape.node(b).value;
+    Matrix& ga = tape.node(a).grad;
+    Matrix& gb = tape.node(b).grad;
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga[i] += g[i] * vb2[i];
+      gb[i] += g[i] * va2[i];
+    }
+  };
+  return id;
+}
+
+VarId Tape::Sigmoid(VarId x) {
+  const Matrix& vx = node(x).value;
+  Matrix value(vx.rows(), vx.cols());
+  for (size_t i = 0; i < value.size(); ++i) {
+    value[i] = 1.0f / (1.0f + std::exp(-vx[i]));
+  }
+  VarId id = Emplace(std::move(value), nullptr);
+  node(id).backward = [x, id](Tape& tape) {
+    const Matrix& g = tape.node(id).grad;
+    const Matrix& y = tape.node(id).value;
+    Matrix& gx = tape.node(x).grad;
+    for (size_t i = 0; i < g.size(); ++i) gx[i] += g[i] * y[i] * (1.0f - y[i]);
+  };
+  return id;
+}
+
+VarId Tape::Tanh(VarId x) {
+  const Matrix& vx = node(x).value;
+  Matrix value(vx.rows(), vx.cols());
+  for (size_t i = 0; i < value.size(); ++i) value[i] = std::tanh(vx[i]);
+  VarId id = Emplace(std::move(value), nullptr);
+  node(id).backward = [x, id](Tape& tape) {
+    const Matrix& g = tape.node(id).grad;
+    const Matrix& y = tape.node(id).value;
+    Matrix& gx = tape.node(x).grad;
+    for (size_t i = 0; i < g.size(); ++i) gx[i] += g[i] * (1.0f - y[i] * y[i]);
+  };
+  return id;
+}
+
+VarId Tape::ScalarMul(VarId x, float alpha) {
+  Matrix value = node(x).value;
+  value.Scale(alpha);
+  VarId id = Emplace(std::move(value), nullptr);
+  node(id).backward = [x, alpha, id](Tape& tape) {
+    tape.node(x).grad.Axpy(alpha, tape.node(id).grad);
+  };
+  return id;
+}
+
+VarId Tape::ConcatRows(const std::vector<VarId>& xs) {
+  NCL_DCHECK(!xs.empty());
+  size_t total_rows = 0;
+  for (VarId x : xs) {
+    NCL_DCHECK(node(x).value.cols() == 1);
+    total_rows += node(x).value.rows();
+  }
+  Matrix value(total_rows, 1);
+  size_t offset = 0;
+  for (VarId x : xs) {
+    const Matrix& vx = node(x).value;
+    for (size_t i = 0; i < vx.rows(); ++i) value[offset + i] = vx[i];
+    offset += vx.rows();
+  }
+  VarId id = Emplace(std::move(value), nullptr);
+  std::vector<VarId> inputs = xs;
+  node(id).backward = [inputs, id](Tape& tape) {
+    const Matrix& g = tape.node(id).grad;
+    size_t off = 0;
+    for (VarId x : inputs) {
+      Matrix& gx = tape.node(x).grad;
+      for (size_t i = 0; i < gx.rows(); ++i) gx[i] += g[off + i];
+      off += gx.rows();
+    }
+  };
+  return id;
+}
+
+VarId Tape::Attention(const std::vector<VarId>& values, VarId key,
+                      std::vector<float>* out_weights) {
+  NCL_DCHECK(!values.empty());
+  const Matrix& s = node(key).value;
+  const size_t n = values.size();
+
+  // e_r = v_r . s ; alpha = softmax(e)
+  std::vector<float> scores(n);
+  float max_score = -std::numeric_limits<float>::infinity();
+  for (size_t r = 0; r < n; ++r) {
+    scores[r] = static_cast<float>(node(values[r]).value.Dot(s));
+    max_score = std::max(max_score, scores[r]);
+  }
+  std::vector<float> alpha(n);
+  float denom = 0.0f;
+  for (size_t r = 0; r < n; ++r) {
+    alpha[r] = std::exp(scores[r] - max_score);
+    denom += alpha[r];
+  }
+  for (float& a : alpha) a /= denom;
+  if (out_weights != nullptr) *out_weights = alpha;
+
+  Matrix context(s.rows(), 1);
+  for (size_t r = 0; r < n; ++r) {
+    context.Axpy(alpha[r], node(values[r]).value);
+  }
+
+  VarId id = Emplace(std::move(context), nullptr);
+  std::vector<VarId> inputs = values;
+  node(id).backward = [inputs, key, alpha, id](Tape& tape) {
+    const Matrix& g = tape.node(id).grad;
+    const Matrix& s_val = tape.node(key).value;
+    const size_t n_inputs = inputs.size();
+
+    // d(alpha_r) = v_r . g
+    std::vector<double> dalpha(n_inputs);
+    double weighted_sum = 0.0;
+    for (size_t r = 0; r < n_inputs; ++r) {
+      dalpha[r] = tape.node(inputs[r]).value.Dot(g);
+      weighted_sum += alpha[r] * dalpha[r];
+    }
+    // Softmax Jacobian: de_r = alpha_r * (dalpha_r - sum_p alpha_p dalpha_p)
+    std::vector<float> de(n_inputs);
+    for (size_t r = 0; r < n_inputs; ++r) {
+      de[r] = static_cast<float>(alpha[r] * (dalpha[r] - weighted_sum));
+    }
+    // dv_r += alpha_r * g + de_r * s ;  ds += sum_r de_r * v_r
+    Matrix& gs = tape.node(key).grad;
+    for (size_t r = 0; r < n_inputs; ++r) {
+      Matrix& gv = tape.node(inputs[r]).grad;
+      gv.Axpy(alpha[r], g);
+      gv.Axpy(de[r], s_val);
+      gs.Axpy(de[r], tape.node(inputs[r]).value);
+    }
+  };
+  return id;
+}
+
+VarId Tape::SoftmaxCrossEntropy(VarId logits, int32_t target) {
+  const Matrix& z = node(logits).value;
+  NCL_DCHECK(z.cols() == 1);
+  NCL_DCHECK(target >= 0 && static_cast<size_t>(target) < z.rows());
+
+  float max_logit = -std::numeric_limits<float>::infinity();
+  for (size_t i = 0; i < z.rows(); ++i) max_logit = std::max(max_logit, z[i]);
+  double denom = 0.0;
+  for (size_t i = 0; i < z.rows(); ++i) denom += std::exp(z[i] - max_logit);
+  double log_denom = std::log(denom) + max_logit;
+  double loss = log_denom - z[static_cast<size_t>(target)];
+
+  // Cache the softmax probabilities for backward.
+  auto probs = std::make_shared<std::vector<float>>(z.rows());
+  for (size_t i = 0; i < z.rows(); ++i) {
+    (*probs)[i] = static_cast<float>(std::exp(z[i] - log_denom));
+  }
+
+  Matrix value(1, 1);
+  value[0] = static_cast<float>(loss);
+  VarId id = Emplace(std::move(value), nullptr);
+  node(id).backward = [logits, target, probs, id](Tape& tape) {
+    float g = tape.node(id).grad[0];
+    Matrix& gz = tape.node(logits).grad;
+    for (size_t i = 0; i < gz.rows(); ++i) gz[i] += g * (*probs)[i];
+    gz[static_cast<size_t>(target)] -= g;
+  };
+  return id;
+}
+
+VarId Tape::AddScalars(const std::vector<VarId>& xs) {
+  NCL_DCHECK(!xs.empty());
+  Matrix value(1, 1);
+  for (VarId x : xs) {
+    NCL_DCHECK(node(x).value.size() == 1);
+    value[0] += node(x).value[0];
+  }
+  VarId id = Emplace(std::move(value), nullptr);
+  std::vector<VarId> inputs = xs;
+  node(id).backward = [inputs, id](Tape& tape) {
+    float g = tape.node(id).grad[0];
+    for (VarId x : inputs) tape.node(x).grad[0] += g;
+  };
+  return id;
+}
+
+const Matrix& Tape::Value(VarId id) const { return node(id).value; }
+
+const Matrix& Tape::Grad(VarId id) const { return node(id).grad; }
+
+void Tape::Backward(VarId loss, float seed) {
+  Node& loss_node = node(loss);
+  NCL_CHECK(loss_node.value.size() == 1) << "Backward() expects a scalar loss";
+  loss_node.grad[0] = seed;
+  for (size_t i = static_cast<size_t>(loss) + 1; i-- > 0;) {
+    if (nodes_[i].backward) nodes_[i].backward(*this);
+  }
+}
+
+}  // namespace ncl::nn

@@ -1,0 +1,126 @@
+// Reverse-mode automatic differentiation over Matrix values.
+//
+// A Tape records a dynamic (define-by-run) computation graph: each operation
+// computes its forward value eagerly and registers a backward closure.
+// Backward(loss) seeds d(loss)=1 and replays the closures in reverse,
+// accumulating gradients into Parameter::grad for parameter leaves.
+//
+// The op set is exactly what the COM-AID family needs: affine maps, LSTM
+// gate arithmetic, dot-product attention (Eqs. 5–7), concatenation + tanh
+// projection (Eq. 8), and softmax cross-entropy over the vocabulary (Eq. 9).
+// Gradients are property-tested against finite differences in
+// tests/nn/tape_test.cc.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/parameter.h"
+
+namespace ncl::nn {
+
+/// Handle to a tape node.
+using VarId = int32_t;
+inline constexpr VarId kInvalidVar = -1;
+
+/// \brief Dynamic autodiff tape.
+///
+/// A Tape is single-threaded and intended to be reused: call Reset() between
+/// examples to drop all nodes while keeping allocated capacity.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Drop all recorded nodes (parameters themselves are unaffected).
+  void Reset();
+
+  /// Number of nodes currently recorded.
+  size_t size() const { return nodes_.size(); }
+
+  // --- Leaves -------------------------------------------------------------
+
+  /// Constant leaf: no gradient flows into it.
+  VarId Constant(Matrix value);
+
+  /// Parameter leaf. Repeated calls with the same parameter return the same
+  /// node, so gradient contributions accumulate naturally.
+  VarId Param(Parameter* param);
+
+  /// Embedding-row leaf: row `row` of `table` (a V x d parameter) viewed as
+  /// a d x 1 column vector. Backward scatters into table->grad row `row`.
+  VarId Lookup(Parameter* table, size_t row);
+
+  // --- Ops ----------------------------------------------------------------
+
+  /// Matrix product a(m,k) * b(k,n).
+  VarId MatMul(VarId a, VarId b);
+
+  /// Elementwise sum (same shape).
+  VarId Add(VarId a, VarId b);
+
+  /// Elementwise product (same shape).
+  VarId Mul(VarId a, VarId b);
+
+  /// Elementwise logistic sigmoid.
+  VarId Sigmoid(VarId x);
+
+  /// Elementwise hyperbolic tangent.
+  VarId Tanh(VarId x);
+
+  /// Multiply every entry by a compile-time-known scalar.
+  VarId ScalarMul(VarId x, float alpha);
+
+  /// Vertically stack column vectors: inputs (d_i x 1) -> (sum d_i x 1).
+  VarId ConcatRows(const std::vector<VarId>& xs);
+
+  /// \brief Fused dot-product attention (Eqs. 5–7).
+  ///
+  /// Given value vectors v_r (each d x 1) and a key s (d x 1), computes
+  /// e_r = v_r . s, alpha = softmax(e), and returns sum_r alpha_r v_r.
+  /// When `out_weights` is non-null, the forward attention weights are
+  /// copied into it (for inspection / the paper's qualitative examples).
+  VarId Attention(const std::vector<VarId>& values, VarId key,
+                  std::vector<float>* out_weights = nullptr);
+
+  /// \brief Softmax cross-entropy against a single target class.
+  ///
+  /// logits is (V x 1); returns a (1 x 1) node whose value is
+  /// -log softmax(logits)[target] — i.e. the negative log-probability used
+  /// both as the per-word training loss (Eq. 10) and, negated, as the
+  /// per-word score log p(w_t | w_<t, c) (Eq. 3).
+  VarId SoftmaxCrossEntropy(VarId logits, int32_t target);
+
+  /// Sum of (1 x 1) scalars.
+  VarId AddScalars(const std::vector<VarId>& xs);
+
+  // --- Access & backward ---------------------------------------------------
+
+  const Matrix& Value(VarId id) const;
+  const Matrix& Grad(VarId id) const;
+
+  /// Run reverse-mode accumulation from `loss` (must be 1 x 1), seeding
+  /// d(loss) = seed. Parameter leaves add into Parameter::grad.
+  void Backward(VarId loss, float seed = 1.0f);
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    // Backward closure; empty for constants.
+    std::function<void(Tape&)> backward;
+  };
+
+  VarId Emplace(Matrix value, std::function<void(Tape&)> backward);
+  Node& node(VarId id);
+  const Node& node(VarId id) const;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<const Parameter*, VarId> param_nodes_;
+};
+
+}  // namespace ncl::nn

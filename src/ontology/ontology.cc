@@ -1,0 +1,134 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ncl::ontology {
+
+Ontology::Ontology() {
+  Concept root;
+  root.id = kRootConcept;
+  root.code = "ROOT";
+  root.depth = 0;
+  root.parent = kInvalidConcept;
+  concepts_.push_back(std::move(root));
+  code_index_.emplace("ROOT", kRootConcept);
+}
+
+Result<ConceptId> Ontology::AddConcept(std::string_view code,
+                                       std::vector<std::string> description,
+                                       ConceptId parent) {
+  if (parent < 0 || static_cast<size_t>(parent) >= concepts_.size()) {
+    return Status::InvalidArgument("parent id out of range for concept '" +
+                                   std::string(code) + "'");
+  }
+  std::string code_str(code);
+  if (code_index_.contains(code_str)) {
+    return Status::AlreadyExists("concept code '" + code_str + "' already present");
+  }
+  Concept node;
+  node.id = static_cast<ConceptId>(concepts_.size());
+  node.code = std::move(code_str);
+  node.description = std::move(description);
+  node.parent = parent;
+  node.depth = concepts_[static_cast<size_t>(parent)].depth + 1;
+  max_depth_ = std::max(max_depth_, node.depth);
+  concepts_[static_cast<size_t>(parent)].children.push_back(node.id);
+  code_index_.emplace(node.code, node.id);
+  concepts_.push_back(std::move(node));
+  return concepts_.back().id;
+}
+
+const Concept& Ontology::Get(ConceptId id) const {
+  NCL_CHECK(id >= 0 && static_cast<size_t>(id) < concepts_.size())
+      << "concept id " << id << " out of range";
+  return concepts_[static_cast<size_t>(id)];
+}
+
+ConceptId Ontology::FindByCode(std::string_view code) const {
+  auto it = code_index_.find(std::string(code));
+  return it == code_index_.end() ? kInvalidConcept : it->second;
+}
+
+std::vector<ConceptId> Ontology::AllConcepts() const {
+  std::vector<ConceptId> ids;
+  ids.reserve(concepts_.size() - 1);
+  for (size_t i = 1; i < concepts_.size(); ++i) {
+    ids.push_back(static_cast<ConceptId>(i));
+  }
+  return ids;
+}
+
+std::vector<ConceptId> Ontology::FineGrainedConcepts() const {
+  std::vector<ConceptId> ids;
+  for (size_t i = 1; i < concepts_.size(); ++i) {
+    if (concepts_[i].children.empty()) ids.push_back(static_cast<ConceptId>(i));
+  }
+  return ids;
+}
+
+bool Ontology::IsFineGrained(ConceptId id) const {
+  return id != kRootConcept && Get(id).children.empty();
+}
+
+std::vector<ConceptId> Ontology::AncestorPath(ConceptId id) const {
+  std::vector<ConceptId> path;
+  ConceptId current = Get(id).parent;
+  while (current != kInvalidConcept && current != kRootConcept) {
+    path.push_back(current);
+    current = Get(current).parent;
+  }
+  return path;
+}
+
+std::vector<ConceptId> Ontology::AncestorContext(ConceptId id, int32_t beta) const {
+  NCL_CHECK(beta >= 0);
+  std::vector<ConceptId> context = AncestorPath(id);
+  if (static_cast<int32_t>(context.size()) >= beta) {
+    context.resize(static_cast<size_t>(beta));
+    return context;
+  }
+  // Def. 4.1 padding: duplicate the first-level concept on the path (the
+  // concept itself when it is already at depth 1).
+  ConceptId filler = context.empty() ? id : context.back();
+  while (static_cast<int32_t>(context.size()) < beta) context.push_back(filler);
+  return context;
+}
+
+Status Ontology::Validate() const {
+  for (size_t i = 1; i < concepts_.size(); ++i) {
+    const Concept& node = concepts_[i];
+    if (node.parent < 0 || static_cast<size_t>(node.parent) >= concepts_.size()) {
+      return Status::Internal("concept '" + node.code + "' has invalid parent");
+    }
+    const Concept& parent = concepts_[static_cast<size_t>(node.parent)];
+    if (node.depth != parent.depth + 1) {
+      return Status::Internal("concept '" + node.code + "' has inconsistent depth");
+    }
+    if (std::find(parent.children.begin(), parent.children.end(), node.id) ==
+        parent.children.end()) {
+      return Status::Internal("concept '" + node.code +
+                              "' missing from its parent's child list");
+    }
+    if (node.description.empty()) {
+      return Status::Internal("concept '" + node.code + "' has empty description");
+    }
+  }
+  // Child lists must reference valid nodes that point back.
+  for (size_t i = 0; i < concepts_.size(); ++i) {
+    for (ConceptId child : concepts_[i].children) {
+      if (child <= 0 || static_cast<size_t>(child) >= concepts_.size()) {
+        return Status::Internal("dangling child id under '" + concepts_[i].code + "'");
+      }
+      if (concepts_[static_cast<size_t>(child)].parent !=
+          static_cast<ConceptId>(i)) {
+        return Status::Internal("child/parent mismatch under '" + concepts_[i].code +
+                                "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ncl::ontology

@@ -1,0 +1,89 @@
+// Tree-structured concept ontology (§2.1).
+//
+// An Ontology holds a set of concepts organised by sub-concept edges under a
+// single virtual root. Each concept carries its knowledge-base identifier
+// (an ICD-style code such as "D50.0") and the canonical description used by
+// the COM-AID encoder. Fine-grained concepts are the leaves (Def. "a concept
+// without any sub-concepts"); structural contexts follow Def. 4.1.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ncl::ontology {
+
+/// Dense in-memory concept identifier. The virtual root is id 0.
+using ConceptId = int32_t;
+inline constexpr ConceptId kRootConcept = 0;
+inline constexpr ConceptId kInvalidConcept = -1;
+
+/// \brief One node of the ontology.
+struct Concept {
+  ConceptId id = kInvalidConcept;
+  std::string code;                     ///< KB identifier, e.g. "D50.0".
+  std::vector<std::string> description; ///< canonical description tokens d^c.
+  ConceptId parent = kInvalidConcept;
+  std::vector<ConceptId> children;
+  int32_t depth = 0;  ///< root = 0, first-level concepts = 1, ...
+};
+
+/// \brief Tree of concepts with code-based lookup and Def. 4.1 contexts.
+class Ontology {
+ public:
+  Ontology();
+
+  /// Add a concept under `parent`. The code must be unique; the parent must
+  /// already exist. `description` is stored as given (callers normalise).
+  Result<ConceptId> AddConcept(std::string_view code,
+                               std::vector<std::string> description,
+                               ConceptId parent = kRootConcept);
+
+  /// Concept by dense id. Requires a valid id.
+  const Concept& Get(ConceptId id) const;
+
+  /// Id for a KB code, or kInvalidConcept.
+  ConceptId FindByCode(std::string_view code) const;
+
+  /// All concept ids except the virtual root, in insertion order.
+  std::vector<ConceptId> AllConcepts() const;
+
+  /// Ids of fine-grained concepts (leaves), i.e. the linkable targets C'.
+  std::vector<ConceptId> FineGrainedConcepts() const;
+
+  bool IsFineGrained(ConceptId id) const;
+
+  /// \brief Structural context per Def. 4.1: exactly `beta` ancestor ids of
+  /// `id`, nearest first. When the concept has fewer than `beta` proper
+  /// non-root ancestors, the first-level (depth-1) concept on its path is
+  /// duplicated to pad the context to length `beta`; a depth-1 concept pads
+  /// with itself.
+  std::vector<ConceptId> AncestorContext(ConceptId id, int32_t beta) const;
+
+  /// Path from `id` up to (excluding) the root, nearest ancestor first.
+  std::vector<ConceptId> AncestorPath(ConceptId id) const;
+
+  /// Number of concepts including the virtual root.
+  size_t size() const { return concepts_.size(); }
+
+  /// Number of real (non-root) concepts.
+  size_t num_concepts() const { return concepts_.size() - 1; }
+
+  /// Greatest depth of any concept (root = 0).
+  int32_t max_depth() const { return max_depth_; }
+
+  /// Structural sanity check: parent/child symmetry, depths, acyclicity.
+  Status Validate() const;
+
+ private:
+  std::vector<Concept> concepts_;
+  std::unordered_map<std::string, ConceptId> code_index_;
+  int32_t max_depth_ = 0;
+};
+
+}  // namespace ncl::ontology

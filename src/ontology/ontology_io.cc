@@ -1,0 +1,71 @@
+#include "ontology/ontology_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace ncl::ontology {
+
+Result<Ontology> LoadOntologyFromString(const std::string& tsv) {
+  Ontology ontology;
+  std::istringstream in(tsv);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = SplitKeepEmpty(trimmed, '\t');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("ontology TSV line " + std::to_string(line_no) +
+                                     ": expected 3 tab-separated fields");
+    }
+    const std::string& code = fields[0];
+    const std::string& parent_code = fields[1];
+    ConceptId parent = ontology.FindByCode(parent_code);
+    if (parent == kInvalidConcept) {
+      return Status::InvalidArgument("ontology TSV line " + std::to_string(line_no) +
+                                     ": unknown parent '" + parent_code + "'");
+    }
+    NCL_ASSIGN_OR_RETURN(ConceptId added,
+                         ontology.AddConcept(code, text::Tokenize(fields[2]), parent));
+    (void)added;
+  }
+  NCL_RETURN_NOT_OK(ontology.Validate());
+  return ontology;
+}
+
+Result<Ontology> LoadOntologyFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open ontology file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadOntologyFromString(buffer.str());
+}
+
+std::string SaveOntologyToString(const Ontology& ontology) {
+  std::string out = "# code\tparent\tdescription\n";
+  // Insertion order already guarantees parents precede children.
+  for (ConceptId id : ontology.AllConcepts()) {
+    const Concept& node = ontology.Get(id);
+    const Concept& parent = ontology.Get(node.parent);
+    out += node.code;
+    out += '\t';
+    out += parent.code;
+    out += '\t';
+    out += Join(node.description, " ");
+    out += '\n';
+  }
+  return out;
+}
+
+Status SaveOntologyToFile(const Ontology& ontology, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SaveOntologyToString(ontology);
+  return out.good() ? Status::OK() : Status::IOError("write failed for " + path);
+}
+
+}  // namespace ncl::ontology

@@ -1,0 +1,28 @@
+// TSV persistence for ontologies.
+//
+// Format, one concept per line, topologically ordered (parents first):
+//   <code> \t <parent code or ROOT> \t <canonical description>
+// Lines starting with '#' and blank lines are ignored.
+
+#pragma once
+
+#include <string>
+
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace ncl::ontology {
+
+/// \brief Parse an ontology from TSV text.
+Result<Ontology> LoadOntologyFromString(const std::string& tsv);
+
+/// \brief Read an ontology from a TSV file at `path`.
+Result<Ontology> LoadOntologyFromFile(const std::string& path);
+
+/// \brief Serialise an ontology to TSV text (parents before children).
+std::string SaveOntologyToString(const Ontology& ontology);
+
+/// \brief Write an ontology to a TSV file at `path`.
+Status SaveOntologyToFile(const Ontology& ontology, const std::string& path);
+
+}  // namespace ncl::ontology

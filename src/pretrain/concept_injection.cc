@@ -1,0 +1,24 @@
+#include "pretrain/concept_injection.h"
+
+namespace ncl::pretrain {
+
+std::vector<std::string> InjectConceptId(const std::vector<std::string>& tokens,
+                                         const std::string& cid) {
+  std::vector<std::string> altered;
+  altered.reserve(tokens.size() * 2);
+  for (const auto& token : tokens) {
+    altered.push_back(cid);
+    altered.push_back(token);
+  }
+  return altered;
+}
+
+void AppendInjectedSnippets(
+    const std::vector<std::pair<std::vector<std::string>, std::string>>& labeled,
+    std::vector<std::vector<std::string>>* corpus) {
+  for (const auto& [tokens, cid] : labeled) {
+    corpus->push_back(InjectConceptId(tokens, cid));
+  }
+}
+
+}  // namespace ncl::pretrain

@@ -1,0 +1,31 @@
+// Concept-identifier injection (§4.2, pre-training phase).
+//
+// The paper's fix for the distributional-hypothesis failure on short medical
+// snippets: each *labeled* snippet is altered by interleaving its concept id
+// with the words, e.g. "protein deficiency anemia" labeled D53.0 becomes
+//   "D53.0 protein D53.0 deficiency D53.0 anemia".
+// The concept id enters every word's CBOW context, steering the embeddings
+// of sibling-discriminating words ("protein" vs "iron" vs "folate") apart.
+// Unlabeled snippets are left unchanged.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ncl::pretrain {
+
+/// \brief Interleave `cid` before every word of `tokens`.
+///
+/// Returns the altered token sequence; the input is not modified. An empty
+/// input yields an empty output (no dangling cid token).
+std::vector<std::string> InjectConceptId(const std::vector<std::string>& tokens,
+                                         const std::string& cid);
+
+/// \brief Apply InjectConceptId to a batch of (tokens, cid) pairs and append
+/// the results to `corpus`.
+void AppendInjectedSnippets(
+    const std::vector<std::pair<std::vector<std::string>, std::string>>& labeled,
+    std::vector<std::vector<std::string>>* corpus);
+
+}  // namespace ncl::pretrain

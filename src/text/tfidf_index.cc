@@ -1,0 +1,95 @@
+#include "text/tfidf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ncl::text {
+
+int32_t TfIdfIndex::AddDocument(const std::vector<std::string>& tokens) {
+  NCL_CHECK(!finalized_) << "cannot add documents after Finalize()";
+  int32_t doc_id = static_cast<int32_t>(doc_lengths_.size());
+  doc_lengths_.push_back(static_cast<uint32_t>(tokens.size()));
+
+  std::unordered_map<WordId, uint32_t> tf;
+  for (const auto& token : tokens) {
+    WordId id = vocab_.Add(token);
+    if (static_cast<size_t>(id) >= postings_.size()) {
+      postings_.resize(static_cast<size_t>(id) + 1);
+    }
+    ++tf[id];
+  }
+  for (const auto& [word_id, count] : tf) {
+    postings_[static_cast<size_t>(word_id)].push_back(
+        Posting{doc_id, static_cast<float>(count)});
+  }
+  return doc_id;
+}
+
+void TfIdfIndex::Finalize() {
+  NCL_CHECK(!finalized_) << "Finalize() called twice";
+  const double num_docs = static_cast<double>(doc_lengths_.size());
+  idf_.assign(postings_.size(), 0.0);
+  doc_norms_.assign(doc_lengths_.size(), 0.0);
+  for (size_t w = 0; w < postings_.size(); ++w) {
+    auto& plist = postings_[w];
+    std::sort(plist.begin(), plist.end(),
+              [](const Posting& a, const Posting& b) { return a.doc_id < b.doc_id; });
+    // Smoothed idf: log((N + 1) / (df + 1)) + 1 keeps weights positive even
+    // for terms present in every document.
+    idf_[w] = std::log((num_docs + 1.0) / (static_cast<double>(plist.size()) + 1.0)) +
+              1.0;
+    for (const Posting& p : plist) {
+      double weight = p.tf * idf_[w];
+      doc_norms_[static_cast<size_t>(p.doc_id)] += weight * weight;
+    }
+  }
+  for (double& norm : doc_norms_) norm = std::sqrt(norm);
+  finalized_ = true;
+}
+
+std::vector<ScoredDoc> TfIdfIndex::TopK(const std::vector<std::string>& query,
+                                        size_t k) const {
+  NCL_CHECK(finalized_) << "TopK() requires Finalize()";
+  if (k == 0 || query.empty()) return {};
+
+  // Query-side TF-IDF weights.
+  std::unordered_map<WordId, double> query_weights;
+  for (const auto& token : query) {
+    WordId id = vocab_.Lookup(token);
+    if (id != Vocabulary::kUnknown) query_weights[id] += 1.0;
+  }
+  double query_norm = 0.0;
+  for (auto& [word_id, weight] : query_weights) {
+    weight *= idf_[static_cast<size_t>(word_id)];
+    query_norm += weight * weight;
+  }
+  if (query_weights.empty() || query_norm == 0.0) return {};
+  query_norm = std::sqrt(query_norm);
+
+  // Accumulate dot products by walking the postings of the query terms only.
+  std::unordered_map<int32_t, double> scores;
+  for (const auto& [word_id, q_weight] : query_weights) {
+    double idf = idf_[static_cast<size_t>(word_id)];
+    for (const Posting& p : postings_[static_cast<size_t>(word_id)]) {
+      scores[p.doc_id] += q_weight * (p.tf * idf);
+    }
+  }
+
+  std::vector<ScoredDoc> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [doc_id, dot] : scores) {
+    double denom = doc_norms_[static_cast<size_t>(doc_id)] * query_norm;
+    if (denom > 0.0) ranked.push_back(ScoredDoc{doc_id, dot / denom});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace ncl::text

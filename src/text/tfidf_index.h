@@ -1,0 +1,64 @@
+// TF-IDF weighted inverted index with cosine ranking.
+//
+// Implements Phase I of the paper's online concept linking (§5): "we compute
+// the cosine similarity between each concept and query q with the TF-IDF
+// weighting scheme, and then return the top-k concepts with the largest
+// similarity as the candidates." Documents are the canonical concept
+// descriptions (and optionally their aliases); scoring walks only the
+// postings of the query's terms.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace ncl::text {
+
+/// One ranked retrieval result.
+struct ScoredDoc {
+  int32_t doc_id = -1;
+  double score = 0.0;
+};
+
+/// \brief Inverted index over tokenised documents, scored by TF-IDF cosine.
+class TfIdfIndex {
+ public:
+  /// Add one document; returns its id (dense, insertion order).
+  int32_t AddDocument(const std::vector<std::string>& tokens);
+
+  /// Freeze the collection: compute idf values and document norms.
+  /// Must be called after the last AddDocument and before TopK.
+  void Finalize();
+
+  /// Top-k documents by cosine(query, doc) under TF-IDF weights, sorted by
+  /// descending score (ties broken by ascending doc id). Query words absent
+  /// from the collection vocabulary are ignored.
+  std::vector<ScoredDoc> TopK(const std::vector<std::string>& query,
+                              size_t k) const;
+
+  /// The collection vocabulary (words seen in any indexed document); this is
+  /// the Ω of §5's query rewriting step.
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+  bool finalized() const { return finalized_; }
+
+ private:
+  struct Posting {
+    int32_t doc_id;
+    float tf;  // raw term frequency within the document
+  };
+
+  Vocabulary vocab_;
+  std::vector<std::vector<Posting>> postings_;  // by word id
+  std::vector<double> idf_;                     // by word id
+  std::vector<double> doc_norms_;               // by doc id
+  std::vector<uint32_t> doc_lengths_;           // by doc id
+  bool finalized_ = false;
+};
+
+}  // namespace ncl::text

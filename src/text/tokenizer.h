@@ -1,0 +1,34 @@
+// Text normalisation and tokenisation.
+//
+// Mirrors the paper's preprocessing (§6.1 footnote 9): all words are
+// lowercased, special characters (',', ';', ...) are removed, and duplicate
+// snippets can be eliminated by the caller using the normalised form.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ncl::text {
+
+/// \brief Lowercase and strip special characters, collapsing whitespace.
+///
+/// Characters other than [a-z0-9], '.', '%' and '\'' are treated as word
+/// separators; '.' is kept inside tokens so that ICD-style identifiers
+/// ("D50.0") and decimals survive, and '%' survives for snippets like
+/// "ef 75%".
+std::string Normalize(std::string_view raw);
+
+/// \brief Normalize then split into tokens.
+std::vector<std::string> Tokenize(std::string_view raw);
+
+/// \brief Join tokens back into a snippet string.
+std::string Detokenize(const std::vector<std::string>& tokens);
+
+/// \brief Character n-grams of a token (used by LR+ bigram features and by
+/// the fuzzy matching fallback). Returns the whole token if it is shorter
+/// than n.
+std::vector<std::string> CharNgrams(std::string_view token, size_t n);
+
+}  // namespace ncl::text

@@ -1,0 +1,60 @@
+#include "text/vocabulary.h"
+
+#include "util/logging.h"
+
+namespace ncl::text {
+
+WordId Vocabulary::Add(std::string_view word, uint64_t count) {
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) {
+    counts_[it->second] += count;
+    total_count_ += count;
+    return it->second;
+  }
+  WordId id = static_cast<WordId>(words_.size());
+  words_.emplace_back(word);
+  counts_.push_back(count);
+  total_count_ += count;
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+WordId Vocabulary::Lookup(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kUnknown : it->second;
+}
+
+const std::string& Vocabulary::WordOf(WordId id) const {
+  NCL_DCHECK(id >= 0 && static_cast<size_t>(id) < words_.size());
+  return words_[static_cast<size_t>(id)];
+}
+
+uint64_t Vocabulary::CountOf(WordId id) const {
+  NCL_DCHECK(id >= 0 && static_cast<size_t>(id) < counts_.size());
+  return counts_[static_cast<size_t>(id)];
+}
+
+std::vector<WordId> Vocabulary::PruneRareWords(uint64_t min_count) {
+  std::vector<WordId> remap(words_.size(), kUnknown);
+  std::vector<std::string> kept_words;
+  std::vector<uint64_t> kept_counts;
+  uint64_t kept_total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (counts_[i] >= min_count) {
+      remap[i] = static_cast<WordId>(kept_words.size());
+      kept_words.push_back(std::move(words_[i]));
+      kept_counts.push_back(counts_[i]);
+      kept_total += counts_[i];
+    }
+  }
+  words_ = std::move(kept_words);
+  counts_ = std::move(kept_counts);
+  total_count_ = kept_total;
+  index_.clear();
+  for (size_t i = 0; i < words_.size(); ++i) {
+    index_.emplace(words_[i], static_cast<WordId>(i));
+  }
+  return remap;
+}
+
+}  // namespace ncl::text

@@ -1,0 +1,68 @@
+// Word vocabulary: bidirectional word <-> id mapping with frequencies.
+//
+// Used by the embedding pre-training (Ω' in §5: words from both concept
+// descriptions and unlabeled snippets), by COM-AID's softmax output layer,
+// and by the online query rewriter.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ncl::text {
+
+/// Id type for vocabulary entries.
+using WordId = int32_t;
+
+/// \brief Growable word <-> id map with occurrence counts.
+///
+/// Ids are dense and assigned in insertion order. Reserved entries (such as
+/// BOS/EOS/UNK markers) are added by the owner; the class itself imposes no
+/// special tokens.
+class Vocabulary {
+ public:
+  static constexpr WordId kUnknown = -1;
+
+  /// Insert `word` if absent; returns its id and bumps its count by `count`.
+  WordId Add(std::string_view word, uint64_t count = 1);
+
+  /// Id of `word`, or kUnknown.
+  WordId Lookup(std::string_view word) const;
+
+  /// True if `word` has been added.
+  bool Contains(std::string_view word) const { return Lookup(word) != kUnknown; }
+
+  /// The word for an id. Requires a valid id.
+  const std::string& WordOf(WordId id) const;
+
+  /// Occurrence count of an id. Requires a valid id.
+  uint64_t CountOf(WordId id) const;
+
+  size_t size() const { return words_.size(); }
+
+  /// Total number of occurrences across all words.
+  uint64_t total_count() const { return total_count_; }
+
+  /// All words in id order.
+  const std::vector<std::string>& words() const { return words_; }
+
+  /// Occurrence counts in id order.
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Keep only words with count >= min_count, reassigning dense ids.
+  /// Returns old-id -> new-id (kUnknown for dropped words).
+  std::vector<WordId> PruneRareWords(uint64_t min_count);
+
+ private:
+  std::unordered_map<std::string, WordId> index_;
+  std::vector<std::string> words_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace ncl::text

@@ -1,0 +1,25 @@
+// Environment-variable helpers for scaling experiment harnesses.
+
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace ncl {
+
+/// \brief Integer environment variable, or `fallback` when unset/unparsable.
+inline int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<int64_t>(value);
+}
+
+/// \brief True when the NCL_BENCH_FULL environment variable is set to a
+/// non-zero value; benches then run the paper-scale sweeps instead of the
+/// quick defaults.
+inline bool BenchFullMode() { return GetEnvInt("NCL_BENCH_FULL", 0) != 0; }
+
+}  // namespace ncl

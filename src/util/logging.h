@@ -1,0 +1,65 @@
+// Minimal logging and check macros in the Arrow style.
+//
+// NCL_CHECK(cond)   — always-on invariant; aborts with a message on failure.
+// NCL_DCHECK(cond)  — debug-only invariant (compiled out when NDEBUG).
+// NCL_LOG(INFO)     — streaming log line to stderr.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ncl {
+namespace internal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level actually emitted; settable at runtime for quiet benches.
+LogLevel GetLogThreshold();
+void SetLogThreshold(LogLevel level);
+
+/// \brief One log statement: accumulates a message, emits it on destruction.
+/// Fatal messages abort the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ncl
+
+#define NCL_LOG_INTERNAL(level) \
+  ::ncl::internal::LogMessage(::ncl::internal::LogLevel::level, __FILE__, __LINE__)
+
+#define NCL_LOG(severity) NCL_LOG_INTERNAL(k##severity)
+
+#define NCL_CHECK(condition)                                        \
+  if (!(condition))                                                 \
+  NCL_LOG(Fatal) << "Check failed: " #condition " "
+
+#define NCL_CHECK_OK(expr)                                          \
+  do {                                                              \
+    ::ncl::Status _ncl_st = (expr);                                 \
+    if (!_ncl_st.ok())                                              \
+      NCL_LOG(Fatal) << "Operation failed: " << _ncl_st.ToString(); \
+  } while (0)
+
+#ifdef NDEBUG
+#define NCL_DCHECK(condition) \
+  while (false) NCL_LOG(Fatal)
+#else
+#define NCL_DCHECK(condition) NCL_CHECK(condition)
+#endif

@@ -1,0 +1,59 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace ncl {
+
+size_t Rng::Weighted(const std::vector<double>& weights) {
+  NCL_DCHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return Index(weights.size());
+  double target = Uniform() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  return weights.size() - 1;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  NCL_CHECK(n > 0) << "AliasSampler needs at least one weight";
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  NCL_CHECK(total > 0.0) << "AliasSampler needs a positive total weight";
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's alias method: partition scaled probabilities into small/large.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    size_t s = small.back();
+    small.pop_back();
+    size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t l : large) prob_[l] = 1.0;
+  for (size_t s : small) prob_[s] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  size_t column = rng.Index(prob_.size());
+  return rng.Uniform() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace ncl

@@ -1,0 +1,147 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components in this repository (parameter initialisation,
+// data synthesis, negative sampling, shuffling) draw from ncl::Rng so that
+// every experiment is reproducible from a single seed. The generator is
+// xoshiro256**, seeded via SplitMix64, following the reference
+// implementations of Blackman & Vigna.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ncl {
+
+/// \brief SplitMix64 step; used for seeding and cheap hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** PRNG with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL) { Seed(seed); }
+
+  /// Re-seed the generator deterministically from a single value.
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi) {
+    return lo + static_cast<float>(Uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    NCL_DCHECK(n > 0);
+    // Lemire's nearly-divisionless bounded sampling.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * n;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform index in [0, n) as size_t.
+  size_t Index(size_t n) { return static_cast<size_t>(UniformInt(n)); }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Standard normal via Box–Muller.
+  double Normal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = Uniform();
+    double u2 = Uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Fisher–Yates in-place shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly chosen element. Requires non-empty input.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    NCL_DCHECK(!v.empty());
+    return v[Index(v.size())];
+  }
+
+  /// Sample an index proportional to the given non-negative weights.
+  /// Falls back to uniform if all weights are zero.
+  size_t Weighted(const std::vector<double>& weights);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// \brief Precomputed alias-method sampler for a fixed discrete distribution.
+///
+/// Used by negative sampling in pretraining, where millions of draws are
+/// taken from the (smoothed) unigram distribution: O(1) per draw.
+class AliasSampler {
+ public:
+  /// Build from non-negative weights; at least one must be positive.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draw one index according to the distribution.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace ncl

@@ -1,0 +1,39 @@
+// Small string helpers shared across modules.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ncl {
+
+/// \brief ASCII-lowercase a copy of the input.
+std::string ToLower(std::string_view s);
+
+/// \brief Split on any run of the given delimiter characters; empty pieces
+/// are dropped.
+std::vector<std::string> Split(std::string_view s, std::string_view delims = " \t");
+
+/// \brief Split on a single character, keeping empty fields (TSV semantics).
+std::vector<std::string> SplitKeepEmpty(std::string_view s, char delim);
+
+/// \brief Join pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep = " ");
+
+/// \brief Strip leading and trailing whitespace.
+std::string Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief True if every character is an ASCII digit (and s is non-empty).
+bool IsNumber(std::string_view s);
+
+/// \brief True if the string contains at least one ASCII digit.
+bool ContainsDigit(std::string_view s);
+
+/// \brief Render a double with the given precision (fixed notation).
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace ncl

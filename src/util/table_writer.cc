@@ -1,0 +1,72 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "util/string_util.h"
+
+namespace ncl {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::AddRow(const std::string& label, const std::vector<double>& values,
+                         int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string TableWriter::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < header_.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < header_.size()) line += "  ";
+    }
+    // Right-trim padding on the final column.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TableWriter::Print() const { std::cout << Render() << std::endl; }
+
+Status TableWriter::WriteTsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << Join(header_, "\t") << "\n";
+  for (const auto& row : rows_) out << Join(row, "\t") << "\n";
+  return out.good() ? Status::OK() : Status::IOError("write failed for " + path);
+}
+
+}  // namespace ncl

@@ -1,0 +1,45 @@
+// Aligned text-table rendering used by the experiment harnesses in bench/
+// to print paper-style result rows, with optional TSV export.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ncl {
+
+/// \brief Collects rows of string cells and renders them as an aligned
+/// monospace table (and optionally as TSV for downstream plotting).
+class TableWriter {
+ public:
+  /// \param title caption printed above the table.
+  /// \param header column names.
+  TableWriter(std::string title, std::vector<std::string> header);
+
+  /// Append one row; it is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision into a row.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Render as an aligned table with a separator under the header.
+  std::string Render() const;
+
+  /// Render and print to stdout.
+  void Print() const;
+
+  /// Write the table as TSV to `path`.
+  Status WriteTsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ncl

@@ -1,0 +1,74 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace ncl {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || workers_.size() == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Shared atomic cursor: workers steal indices until exhausted. The calling
+  // thread participates too, so the pool is never idle-blocked on itself.
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  auto body = [cursor, count, &fn] {
+    while (true) {
+      size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(i);
+    }
+  };
+  size_t helpers = std::min(workers_.size(), count - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t i = 0; i < helpers; ++i) futures.push_back(Submit(body));
+  body();
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace ncl

@@ -1,0 +1,49 @@
+// Fixed-size thread pool with a ParallelFor helper.
+//
+// The paper's online linker evaluates the encode-decode probability of the
+// k candidate concepts on ten threads (Appendix B.1); ThreadPool provides
+// that parallelism for Phase II scoring and for batched training.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ncl {
+
+/// \brief A fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Create a pool with `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the returned future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Run fn(i) for every i in [0, count), distributing across the pool and
+  /// blocking until all iterations finish. fn must be thread-safe.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace ncl

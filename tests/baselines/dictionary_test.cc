@@ -1,0 +1,114 @@
+#include "baselines/dictionary_linker.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::baselines {
+namespace {
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("D50", {"iron", "deficiency", "anemia"}, "ROOT");
+  add("D50.0", {"iron", "deficiency", "anemia", "secondary", "to", "blood", "loss"},
+      "D50");
+  add("D50.9", {"iron", "deficiency", "anemia", "unspecified"}, "D50");
+  add("N18", {"chronic", "kidney", "disease"}, "ROOT");
+  add("N18.5", {"chronic", "kidney", "disease", "stage", "5"}, "N18");
+  add("R10", {"abdominal", "and", "pelvic", "pain"}, "ROOT");
+  add("R10.9", {"unspecified", "abdominal", "pain"}, "R10");
+  return onto;
+}
+
+TEST(DictionaryLinkerTest, ExactDescriptionLinksCorrectly) {
+  ontology::Ontology onto = MakeOntology();
+  DictionaryLinker linker(onto, {});
+  auto ranking = linker.Link({"chronic", "kidney", "disease", "stage", "5"}, 5);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking[0].concept_id, onto.FindByCode("N18.5"));
+}
+
+TEST(DictionaryLinkerTest, OovCoreWordFails) {
+  // The paper's q1 failure: "ckd" is not in the word-to-term dictionary.
+  ontology::Ontology onto = MakeOntology();
+  DictionaryLinker linker(onto, {});
+  auto ranking = linker.Link({"ckd", "5"}, 5);
+  // Either empty, or the gold is not found via "ckd"; only "5" may hit.
+  for (const auto& r : ranking) EXPECT_GT(r.score, 0.0);
+}
+
+TEST(DictionaryLinkerTest, AmbiguousWordsLinkMultipleConcepts) {
+  // The paper's q5 failure mode: words from two concepts retrieve both.
+  ontology::Ontology onto = MakeOntology();
+  DictionaryLinker linker(onto, {}, DictionaryConfig{0.2, true});
+  auto ranking = linker.Link({"anemia", "pain"}, 10);
+  bool saw_anemia = false, saw_pain = false;
+  for (const auto& r : ranking) {
+    std::string code = onto.Get(r.concept_id).code;
+    if (code.rfind("D50", 0) == 0) saw_anemia = true;
+    if (code == "R10.9") saw_pain = true;
+  }
+  EXPECT_TRUE(saw_anemia);
+  EXPECT_TRUE(saw_pain);
+}
+
+TEST(DictionaryLinkerTest, AliasIndexingFindsAbbreviatedForms) {
+  ontology::Ontology onto = MakeOntology();
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases = {
+      {onto.FindByCode("N18.5"), {"ckd", "5"}}};
+  DictionaryLinker linker(onto, aliases);
+  auto ranking = linker.Link({"ckd", "5"}, 5);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking[0].concept_id, onto.FindByCode("N18.5"));
+}
+
+TEST(DictionaryLinkerTest, AliasIndexingCanBeDisabled) {
+  ontology::Ontology onto = MakeOntology();
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases = {
+      {onto.FindByCode("N18.5"), {"ckd", "5"}}};
+  DictionaryConfig config;
+  config.index_aliases = false;
+  DictionaryLinker no_alias(onto, aliases, config);
+  DictionaryLinker with_alias(onto, aliases);
+  EXPECT_LT(no_alias.num_terms(), with_alias.num_terms());
+}
+
+TEST(DictionaryLinkerTest, MinCoverageFiltersWeakMatches) {
+  ontology::Ontology onto = MakeOntology();
+  DictionaryConfig strict;
+  strict.min_term_coverage = 0.9;
+  DictionaryLinker strict_linker(onto, {}, strict);
+  // One word out of a 7-word description: below 0.9 coverage.
+  EXPECT_TRUE(strict_linker.Link({"loss"}, 5).empty());
+  DictionaryConfig lax;
+  lax.min_term_coverage = 0.1;
+  DictionaryLinker lax_linker(onto, {}, lax);
+  EXPECT_FALSE(lax_linker.Link({"loss"}, 5).empty());
+}
+
+TEST(DictionaryLinkerTest, KLimitsResults) {
+  ontology::Ontology onto = MakeOntology();
+  DictionaryLinker linker(onto, {}, DictionaryConfig{0.1, true});
+  EXPECT_LE(linker.Link({"anemia", "iron", "deficiency"}, 2).size(), 2u);
+}
+
+TEST(DictionaryLinkerTest, OnlyFineGrainedConceptsReturned) {
+  ontology::Ontology onto = MakeOntology();
+  DictionaryLinker linker(onto, {}, DictionaryConfig{0.1, true});
+  for (const auto& r : linker.Link({"iron", "deficiency", "anemia"}, 10)) {
+    EXPECT_TRUE(onto.IsFineGrained(r.concept_id));
+  }
+}
+
+TEST(DictionaryLinkerTest, EmptyQueryReturnsNothing) {
+  ontology::Ontology onto = MakeOntology();
+  DictionaryLinker linker(onto, {});
+  EXPECT_TRUE(linker.Link({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace ncl::baselines

@@ -1,0 +1,93 @@
+#include "baselines/doc2vec.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::baselines {
+namespace {
+
+std::vector<std::vector<std::string>> TwoTopicDocs() {
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 20; ++i) {
+    docs.push_back({"kidney", "renal", "dialysis"});
+    docs.push_back({"heart", "cardiac", "valve"});
+  }
+  return docs;
+}
+
+Doc2VecConfig SmallConfig() {
+  Doc2VecConfig config;
+  config.dim = 12;
+  config.epochs = 25;
+  config.infer_epochs = 30;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Doc2VecTest, TrainsDocumentVectors) {
+  Doc2Vec model(TwoTopicDocs(), SmallConfig());
+  EXPECT_EQ(model.num_documents(), 40u);
+  EXPECT_EQ(model.dim(), 12u);
+}
+
+TEST(Doc2VecTest, InferredVectorClosestToOwnTopic) {
+  Doc2Vec model(TwoTopicDocs(), SmallConfig());
+  auto inferred = model.Infer({"kidney", "dialysis"});
+  // Average cosine to kidney docs (even indices) vs heart docs (odd).
+  double kidney_sim = 0.0, heart_sim = 0.0;
+  for (size_t d = 0; d < model.num_documents(); ++d) {
+    (d % 2 == 0 ? kidney_sim : heart_sim) += model.Cosine(inferred, d);
+  }
+  EXPECT_GT(kidney_sim, heart_sim);
+}
+
+TEST(Doc2VecTest, InferenceDeterministicForSeed) {
+  Doc2Vec model(TwoTopicDocs(), SmallConfig());
+  auto a = model.Infer({"heart", "valve"}, 42);
+  auto b = model.Infer({"heart", "valve"}, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Doc2VecTest, UnknownWordsGiveRandomButFiniteVector) {
+  Doc2Vec model(TwoTopicDocs(), SmallConfig());
+  auto inferred = model.Infer({"zzz", "qqq"});
+  for (float v : inferred) EXPECT_TRUE(std::isfinite(v));
+}
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("N", {"kidney", "disease"}, "ROOT");
+  add("N.1", {"kidney", "renal", "dialysis"}, "N");
+  add("I", {"heart", "disease"}, "ROOT");
+  add("I.1", {"heart", "cardiac", "valve"}, "I");
+  return onto;
+}
+
+TEST(Doc2VecLinkerTest, LinksTopicallyRelatedQuery) {
+  ontology::Ontology onto = MakeOntology();
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases;
+  for (int i = 0; i < 15; ++i) {
+    aliases.push_back({onto.FindByCode("N.1"), {"renal", "dialysis", "kidney"}});
+    aliases.push_back({onto.FindByCode("I.1"), {"cardiac", "valve", "heart"}});
+  }
+  Doc2VecLinker linker(onto, aliases, SmallConfig());
+  auto ranking = linker.Link({"kidney", "dialysis"}, 2);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(onto.Get(ranking[0].concept_id).code, "N.1");
+}
+
+TEST(Doc2VecLinkerTest, RankingIsOverFineGrainedOnly) {
+  ontology::Ontology onto = MakeOntology();
+  Doc2VecLinker linker(onto, {}, SmallConfig());
+  for (const auto& r : linker.Link({"kidney"}, 10)) {
+    EXPECT_TRUE(onto.IsFineGrained(r.concept_id));
+  }
+}
+
+}  // namespace
+}  // namespace ncl::baselines

@@ -1,0 +1,134 @@
+#include "baselines/lr_linker.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::baselines {
+namespace {
+
+TEST(PairFeaturesTest, IdenticalPairMaximisesOverlapFeatures) {
+  std::vector<std::string> s{"iron", "deficiency", "anemia"};
+  auto f = ComputePairFeatures(s, s);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // bigram Dice
+  EXPECT_DOUBLE_EQ(f[1], 1.0);  // prefix
+  EXPECT_DOUBLE_EQ(f[2], 1.0);  // suffix
+  EXPECT_DOUBLE_EQ(f[6], 1.0);  // Jaccard
+  EXPECT_DOUBLE_EQ(f[9], 1.0);  // length ratio
+}
+
+TEST(PairFeaturesTest, DisjointPairNearZero) {
+  auto f = ComputePairFeatures({"qqq"}, {"zzz"});
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[6], 0.0);
+}
+
+TEST(PairFeaturesTest, SharedNumbersDetected) {
+  // The [43] sharing-number feature that links "ckd 5" to "... stage 5".
+  auto f = ComputePairFeatures({"ckd", "5"},
+                               {"chronic", "kidney", "disease", "stage", "5"});
+  EXPECT_DOUBLE_EQ(f[3], 1.0);  // one shared number
+  EXPECT_DOUBLE_EQ(f[4], 1.0);  // all query numbers matched
+}
+
+TEST(PairFeaturesTest, AcronymFeatureFires) {
+  auto f = ComputePairFeatures({"ckd"}, {"chronic", "kidney", "disease"});
+  EXPECT_DOUBLE_EQ(f[5], 1.0);
+  auto g = ComputePairFeatures({"xyz"}, {"chronic", "kidney", "disease"});
+  EXPECT_DOUBLE_EQ(g[5], 0.0);
+}
+
+TEST(PairFeaturesTest, ContainmentAsymmetry) {
+  auto f = ComputePairFeatures({"anemia"}, {"anemia", "secondary", "to", "blood"});
+  EXPECT_DOUBLE_EQ(f[7], 1.0);   // whole query contained
+  EXPECT_NEAR(f[8], 0.25, 1e-9); // quarter of snippet covered
+}
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("D50", {"iron", "deficiency", "anemia"}, "ROOT");
+  add("D50.0", {"iron", "deficiency", "anemia", "secondary", "to", "blood", "loss"},
+      "D50");
+  add("D50.9", {"iron", "deficiency", "anemia", "unspecified"}, "D50");
+  add("N18", {"chronic", "kidney", "disease"}, "ROOT");
+  add("N18.5", {"chronic", "kidney", "disease", "stage", "5"}, "N18");
+  add("N18.9", {"chronic", "kidney", "disease", "unspecified"}, "N18");
+  return onto;
+}
+
+std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> Aliases(
+    const ontology::Ontology& onto) {
+  return {
+      {onto.FindByCode("D50.0"), {"anemia", "secondary", "blood", "loss"}},
+      {onto.FindByCode("D50.0"), {"iron", "def", "anemia", "blood", "loss"}},
+      {onto.FindByCode("D50.9"), {"iron", "def", "anemia", "nos"}},
+      {onto.FindByCode("N18.5"), {"kidney", "disease", "stage", "5"}},
+      {onto.FindByCode("N18.5"), {"ckd", "5"}},
+      {onto.FindByCode("N18.9"), {"ckd", "unspecified"}},
+  };
+}
+
+TEST(LrPlusLinkerTest, TrainingSeparatesPositivesFromNegatives) {
+  ontology::Ontology onto = MakeOntology();
+  LrPlusLinker linker(onto, Aliases(onto));
+  double gold = linker.Score({"kidney", "disease", "stage", "5"},
+                             onto.FindByCode("N18.5"));
+  double wrong = linker.Score({"kidney", "disease", "stage", "5"},
+                              onto.FindByCode("D50.0"));
+  EXPECT_GT(gold, wrong);
+}
+
+TEST(LrPlusLinkerTest, LinksSyntacticallySimilarQuery) {
+  ontology::Ontology onto = MakeOntology();
+  LrPlusLinker linker(onto, Aliases(onto));
+  auto ranking = linker.Link({"chronic", "kidney", "disease", "stage", "5"}, 3);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking[0].concept_id, onto.FindByCode("N18.5"));
+}
+
+TEST(LrPlusLinkerTest, LinkAmongRestrictsCandidates) {
+  ontology::Ontology onto = MakeOntology();
+  LrPlusLinker linker(onto, Aliases(onto));
+  std::vector<ontology::ConceptId> candidates = {onto.FindByCode("D50.0"),
+                                                 onto.FindByCode("D50.9")};
+  auto ranking = linker.LinkAmong({"ckd", "5"}, candidates, 5);
+  ASSERT_EQ(ranking.size(), 2u);
+  for (const auto& r : ranking) {
+    EXPECT_TRUE(r.concept_id == candidates[0] || r.concept_id == candidates[1]);
+  }
+}
+
+TEST(LrPlusLinkerTest, StructuralFeaturesChangeWeightCount) {
+  ontology::Ontology onto = MakeOntology();
+  LrPlusConfig with;
+  LrPlusConfig without;
+  without.structural_features = false;
+  LrPlusLinker lr_plus(onto, Aliases(onto), with);
+  LrPlusLinker lr_plain(onto, Aliases(onto), without);
+  EXPECT_EQ(lr_plus.weights().size(), 2 * kPairFeatureCount + 1);
+  EXPECT_EQ(lr_plain.weights().size(), kPairFeatureCount + 1);
+}
+
+TEST(LrPlusLinkerTest, ScoresAreProbabilities) {
+  ontology::Ontology onto = MakeOntology();
+  LrPlusLinker linker(onto, Aliases(onto));
+  for (const auto& r : linker.Link({"iron", "anemia"}, 10)) {
+    EXPECT_GE(r.score, 0.0);
+    EXPECT_LE(r.score, 1.0);
+  }
+}
+
+TEST(LrPlusLinkerTest, EmptyTrainingDataStillRanks) {
+  ontology::Ontology onto = MakeOntology();
+  LrPlusLinker linker(onto, {});
+  // Zero weights: all scores 0.5, ranking falls back to id order; no crash.
+  auto ranking = linker.Link({"iron", "anemia"}, 3);
+  EXPECT_EQ(ranking.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ncl::baselines

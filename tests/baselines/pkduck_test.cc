@@ -1,0 +1,181 @@
+#include "baselines/pkduck_linker.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ncl::baselines {
+namespace {
+
+std::vector<AbbreviationRule> TestRules() {
+  return {
+      {"ckd", {"chronic", "kidney", "disease"}},
+      {"chr", {"chronic"}},
+      {"dm", {"diabetes", "mellitus"}},
+  };
+}
+
+TEST(PkduckSimilarityTest, IdenticalStringsScoreOne) {
+  std::vector<std::string> s{"acute", "abdomen"};
+  EXPECT_DOUBLE_EQ(PkduckSimilarity(s, s, TestRules()), 1.0);
+}
+
+TEST(PkduckSimilarityTest, DisjointStringsScoreZero) {
+  EXPECT_DOUBLE_EQ(
+      PkduckSimilarity({"acute", "abdomen"}, {"scorbutic", "anemia"}, TestRules()),
+      0.0);
+}
+
+TEST(PkduckSimilarityTest, AbbreviationExpansionBoostsScore) {
+  std::vector<std::string> query{"ckd", "5"};
+  std::vector<std::string> description{"chronic", "kidney", "disease", "stage", "5"};
+  double without_rules = PkduckSimilarity(query, description, {});
+  double with_rules = PkduckSimilarity(query, description, TestRules());
+  EXPECT_GT(with_rules, without_rules);
+  // Derived "chronic kidney disease 5" vs "... stage 5": 4/5 overlap.
+  EXPECT_NEAR(with_rules, 4.0 / 5.0, 1e-9);
+}
+
+TEST(PkduckSimilarityTest, PhraseCollapseDirection) {
+  // Description side holds the acronym; query holds the expansion.
+  std::vector<std::string> query{"chronic", "kidney", "disease"};
+  std::vector<std::string> entry{"ckd"};
+  EXPECT_DOUBLE_EQ(PkduckSimilarity(query, entry, TestRules()), 1.0);
+}
+
+TEST(PkduckSimilarityTest, Symmetric) {
+  std::vector<std::string> a{"ckd", "5"};
+  std::vector<std::string> b{"chronic", "kidney", "disease", "5"};
+  EXPECT_DOUBLE_EQ(PkduckSimilarity(a, b, TestRules()),
+                   PkduckSimilarity(b, a, TestRules()));
+}
+
+TEST(PkduckSimilarityTest, SharedDanglingWordsInflateScore) {
+  // The paper's weakness example: many shared low-content words beat a
+  // snippet sharing only the essential words.
+  std::vector<std::string> query{"chr", "iron", "deficiency", "anemia"};
+  std::vector<std::string> wrong{"protein", "deficiency", "anemia"};
+  std::vector<std::string> gold{"iron", "deficiency", "anemia", "secondary",
+                                "to",   "blood",      "loss"};
+  double wrong_score = PkduckSimilarity(query, wrong, TestRules());
+  double gold_score = PkduckSimilarity(query, gold, TestRules());
+  // Both overlap, but the long gold description is penalised by Jaccard.
+  EXPECT_GT(wrong_score, 0.0);
+  EXPECT_GT(wrong_score, gold_score);
+}
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("N18", {"chronic", "kidney", "disease"}, "ROOT");
+  add("N18.5", {"chronic", "kidney", "disease", "stage", "5"}, "N18");
+  add("N18.9", {"chronic", "kidney", "disease", "unspecified"}, "N18");
+  add("R10", {"abdominal", "pain"}, "ROOT");
+  add("R10.0", {"acute", "abdomen"}, "R10");
+  return onto;
+}
+
+TEST(PkduckLinkerTest, LinksAbbreviatedQuery) {
+  ontology::Ontology onto = MakeOntology();
+  PkduckConfig config;
+  config.theta = 0.3;
+  PkduckLinker linker(onto, {}, TestRules(), config);
+  auto ranking = linker.Link({"ckd", "stage", "5"}, 3);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking[0].concept_id, onto.FindByCode("N18.5"));
+}
+
+TEST(PkduckLinkerTest, ThetaThresholdPrunes) {
+  ontology::Ontology onto = MakeOntology();
+  PkduckConfig strict;
+  strict.theta = 0.95;
+  PkduckLinker strict_linker(onto, {}, TestRules(), strict);
+  // Partial overlap only: below 0.95.
+  EXPECT_TRUE(strict_linker.Link({"kidney"}, 3).empty());
+
+  PkduckConfig lax;
+  lax.theta = 0.1;
+  PkduckLinker lax_linker(onto, {}, TestRules(), lax);
+  EXPECT_FALSE(lax_linker.Link({"kidney"}, 3).empty());
+}
+
+TEST(PkduckLinkerTest, LowerThetaNeverReducesResults) {
+  ontology::Ontology onto = MakeOntology();
+  std::vector<std::string> query{"chronic", "kidney"};
+  size_t previous = 0;
+  for (double theta : {0.9, 0.5, 0.3, 0.1}) {
+    PkduckConfig config;
+    config.theta = theta;
+    PkduckLinker linker(onto, {}, TestRules(), config);
+    size_t count = linker.Link(query, 10).size();
+    EXPECT_GE(count, previous) << "theta=" << theta;
+    previous = count;
+  }
+}
+
+TEST(PkduckLinkerTest, AliasEntriesJoinable) {
+  ontology::Ontology onto = MakeOntology();
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases = {
+      {onto.FindByCode("R10.0"), {"belly", "ache"}}};
+  PkduckConfig config;
+  config.theta = 0.5;
+  PkduckLinker linker(onto, aliases, TestRules(), config);
+  auto ranking = linker.Link({"belly", "ache"}, 3);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking[0].concept_id, onto.FindByCode("R10.0"));
+}
+
+TEST(PkduckLinkerTest, RulesFromVocabularyNonEmpty) {
+  auto rules = RulesFromVocabulary(datagen::DefaultMedicalVocabulary());
+  EXPECT_GT(rules.size(), 30u);
+  bool has_ckd = false;
+  for (const auto& rule : rules) has_ckd |= rule.abbr == "ckd";
+  EXPECT_TRUE(has_ckd);
+}
+
+TEST(PkduckLinkerTest, ScoresSortedDescending) {
+  ontology::Ontology onto = MakeOntology();
+  PkduckConfig config;
+  config.theta = 0.05;
+  PkduckLinker linker(onto, {}, TestRules(), config);
+  auto ranking = linker.Link({"chronic", "kidney", "disease"}, 10);
+  for (size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].score, ranking[i].score);
+  }
+}
+
+// Property: pkduck similarity is within [0,1], equals 1 on identical
+// strings, and rule application never lowers it below the raw Jaccard.
+class PkduckProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PkduckProperty, BoundsAndRuleMonotonicity) {
+  ncl::Rng rng(GetParam());
+  auto rules = TestRules();
+  std::vector<std::string> pool{"chronic", "kidney",  "disease", "ckd",
+                                "stage",   "5",       "acute",   "abdomen",
+                                "dm",      "diabetes", "mellitus"};
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<std::string> a, b;
+    size_t na = 1 + rng.Index(5), nb = 1 + rng.Index(5);
+    for (size_t i = 0; i < na; ++i) a.push_back(pool[rng.Index(pool.size())]);
+    for (size_t i = 0; i < nb; ++i) b.push_back(pool[rng.Index(pool.size())]);
+
+    double with_rules = PkduckSimilarity(a, b, rules);
+    double without_rules = PkduckSimilarity(a, b, {});
+    EXPECT_GE(with_rules, 0.0);
+    EXPECT_LE(with_rules, 1.0);
+    EXPECT_GE(with_rules + 1e-12, without_rules)
+        << "rules lowered the derived-string maximum";
+    EXPECT_DOUBLE_EQ(PkduckSimilarity(a, a, rules), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PkduckProperty, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace ncl::baselines

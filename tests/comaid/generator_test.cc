@@ -1,0 +1,115 @@
+#include "comaid/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comaid/trainer.h"
+#include "util/string_util.h"
+
+namespace ncl::comaid {
+namespace {
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("N18", {"chronic", "kidney", "disease"}, "ROOT");
+  add("N18.5", {"chronic", "kidney", "disease", "stage", "5"}, "N18");
+  add("D50", {"iron", "deficiency", "anemia"}, "ROOT");
+  add("D50.0", {"iron", "deficiency", "anemia", "blood", "loss"}, "D50");
+  return onto;
+}
+
+ComAidConfig SmallConfig() {
+  ComAidConfig config;
+  config.dim = 16;
+  config.beta = 1;
+  config.seed = 3;
+  return config;
+}
+
+TEST(NextWordLogProbsTest, IsNormalisedDistribution) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  auto log_probs = model.NextWordLogProbs(onto.FindByCode("N18.5"), {});
+  ASSERT_EQ(log_probs.size(), model.vocabulary().size());
+  double total = 0.0;
+  for (double lp : log_probs) total += std::exp(lp);
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST(NextWordLogProbsTest, ConsistentWithScoreLogProb) {
+  // Chained next-word log-probs must reproduce the teacher-forced score.
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {{"ckd", "5"}});
+  auto c = onto.FindByCode("N18.5");
+  std::vector<std::string> query{"ckd", "5"};
+  auto ids = model.MapTokens(query);
+
+  double chained = 0.0;
+  std::vector<text::WordId> prefix;
+  for (text::WordId id : ids) {
+    chained += model.NextWordLogProbs(c, prefix)[static_cast<size_t>(id)];
+    prefix.push_back(id);
+  }
+  chained += model.NextWordLogProbs(c, prefix)[static_cast<size_t>(model.eos_id())];
+  EXPECT_NEAR(chained, model.ScoreLogProb(c, query), 1e-3);
+}
+
+TEST(GenerateSnippetsTest, ProducesRankedResults) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  GenerateConfig config;
+  config.num_results = 3;
+  auto snippets = GenerateSnippets(model, onto.FindByCode("D50.0"), config);
+  ASSERT_FALSE(snippets.empty());
+  for (size_t i = 1; i < snippets.size(); ++i) {
+    EXPECT_GE(snippets[i - 1].log_prob, snippets[i].log_prob);
+  }
+  for (const auto& snippet : snippets) {
+    EXPECT_GE(snippet.tokens.size(), 1u);  // default min_length
+    EXPECT_LE(snippet.tokens.size(), config.max_length);
+    for (const auto& token : snippet.tokens) {
+      EXPECT_NE(token, ComAidModel::kBos);
+      EXPECT_NE(token, ComAidModel::kEos);
+      EXPECT_NE(token, ComAidModel::kUnk);
+    }
+  }
+}
+
+TEST(GenerateSnippetsTest, TrainedModelGeneratesTrainedAlias) {
+  ontology::Ontology onto = MakeOntology();
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> data = {
+      {onto.FindByCode("N18.5"), {"ckd", "5"}},
+      {onto.FindByCode("D50.0"), {"anemia", "blood", "loss"}},
+  };
+  ComAidModel model(SmallConfig(), &onto, {{"ckd", "5"},
+                                           {"anemia", "blood", "loss"}});
+  TrainConfig tc;
+  tc.epochs = 40;
+  ComAidTrainer trainer(tc);
+  trainer.Train(&model, MakeTrainingPairs(model, data));
+
+  auto snippets = GenerateSnippets(model, onto.FindByCode("N18.5"));
+  ASSERT_FALSE(snippets.empty());
+  // The single training alias should be the top generation.
+  EXPECT_EQ(Join(snippets[0].tokens, " "), "ckd 5");
+}
+
+TEST(GenerateSnippetsTest, BeamWiderThanVocabIsSafe) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  GenerateConfig config;
+  config.beam_width = 10000;
+  config.max_length = 3;
+  auto snippets = GenerateSnippets(model, onto.FindByCode("N18"), config);
+  EXPECT_FALSE(snippets.empty());
+}
+
+}  // namespace
+}  // namespace ncl::comaid

@@ -1,0 +1,94 @@
+#include "comaid/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "comaid/trainer.h"
+
+namespace ncl::comaid {
+namespace {
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("N18", {"chronic", "kidney", "disease"}, "ROOT");
+  add("N18.5", {"chronic", "kidney", "disease", "stage", "5"}, "N18");
+  return onto;
+}
+
+TEST(ModelIoTest, RoundTripPreservesScores) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidConfig config;
+  config.dim = 12;
+  ComAidModel model(config, &onto, {{"ckd", "5"}});
+
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> data = {
+      {onto.FindByCode("N18.5"), {"ckd", "5"}}};
+  TrainConfig tc;
+  tc.epochs = 5;
+  ComAidTrainer trainer(tc);
+  trainer.Train(&model, MakeTrainingPairs(model, data));
+
+  std::string path = testing::TempDir() + "/ncl_model_io_test.bin";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  auto loaded = LoadModel(path, &onto);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->config().dim, 12u);
+  EXPECT_EQ((*loaded)->vocabulary().size(), model.vocabulary().size());
+  auto c = onto.FindByCode("N18.5");
+  EXPECT_NEAR((*loaded)->ScoreLogProb(c, {"ckd", "5"}),
+              model.ScoreLogProb(c, {"ckd", "5"}), 1e-9);
+  std::remove(path.c_str());
+  std::remove((path + ".params").c_str());
+}
+
+TEST(ModelIoTest, RoundTripPreservesAblationFlags) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidConfig config;
+  config.dim = 8;
+  config.text_attention = false;
+  ComAidModel model(config, &onto, {});
+  std::string path = testing::TempDir() + "/ncl_model_io_flags_test.bin";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  auto loaded = LoadModel(path, &onto);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE((*loaded)->config().text_attention);
+  EXPECT_TRUE((*loaded)->config().structural_attention);
+  std::remove(path.c_str());
+  std::remove((path + ".params").c_str());
+}
+
+TEST(ModelIoTest, ChangedOntologyDetected) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidConfig config;
+  config.dim = 8;
+  ComAidModel model(config, &onto, {});
+  std::string path = testing::TempDir() + "/ncl_model_io_mismatch_test.bin";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  // A different ontology (extra description words) must be rejected.
+  ontology::Ontology other;
+  ASSERT_TRUE(other.AddConcept("X01", {"totally", "different", "words"},
+                               ontology::kRootConcept).ok());
+  auto loaded = LoadModel(path, &other);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+  std::remove((path + ".params").c_str());
+}
+
+TEST(ModelIoTest, MissingFileFails) {
+  ontology::Ontology onto = MakeOntology();
+  auto loaded = LoadModel("/nonexistent-xyz/model.bin", &onto);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace ncl::comaid

@@ -1,0 +1,213 @@
+#include "comaid/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+
+namespace ncl::comaid {
+namespace {
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("D50", {"iron", "deficiency", "anemia"}, "ROOT");
+  add("D50.0", {"iron", "deficiency", "anemia", "secondary", "to", "blood", "loss"},
+      "D50");
+  add("D50.1", {"iron", "deficiency", "anemia", "unspecified"}, "D50");
+  add("N18", {"chronic", "kidney", "disease"}, "ROOT");
+  add("N18.5", {"chronic", "kidney", "disease", "stage", "5"}, "N18");
+  add("N18.9", {"chronic", "kidney", "disease", "unspecified"}, "N18");
+  return onto;
+}
+
+std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>
+TrainingSnippets(const ontology::Ontology& onto) {
+  return {
+      {onto.FindByCode("D50.0"), {"anemia", "from", "blood", "loss"}},
+      {onto.FindByCode("D50.0"), {"hemorrhagic", "anemia"}},
+      {onto.FindByCode("D50.1"), {"iron", "def", "anemia"}},
+      {onto.FindByCode("N18.5"), {"ckd", "5"}},
+      {onto.FindByCode("N18.5"), {"kidney", "failure", "stage", "5"}},
+      {onto.FindByCode("N18.9"), {"ckd", "nos"}},
+  };
+}
+
+ComAidConfig SmallConfig() {
+  ComAidConfig config;
+  config.dim = 16;
+  config.beta = 1;
+  config.seed = 9;
+  return config;
+}
+
+TEST(MakeTrainingPairsTest, MapsAndSkipsEmpty) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  auto pairs = MakeTrainingPairs(
+      model, {{onto.FindByCode("N18.5"), {"ckd", "5"}},
+              {onto.FindByCode("D50"), {}}});
+  ASSERT_EQ(pairs.size(), 1u);  // empty snippet dropped
+  EXPECT_EQ(pairs[0].concept_id, onto.FindByCode("N18.5"));
+  EXPECT_EQ(pairs[0].target.size(), 2u);
+}
+
+TEST(ComAidTrainerTest, LossDecreasesOverEpochs) {
+  ontology::Ontology onto = MakeOntology();
+  auto snippets = TrainingSnippets(onto);
+  std::vector<std::vector<std::string>> extra;
+  for (auto& [id, tokens] : snippets) extra.push_back(tokens);
+  ComAidModel model(SmallConfig(), &onto, extra);
+
+  std::vector<double> losses;
+  TrainConfig config;
+  config.epochs = 10;
+  config.batch_size = 4;
+  config.on_epoch = [&](size_t, double loss) { losses.push_back(loss); };
+  ComAidTrainer trainer(config);
+  trainer.Train(&model, MakeTrainingPairs(model, snippets));
+  ASSERT_EQ(losses.size(), 10u);
+  EXPECT_LT(losses.back(), losses.front() * 0.7);
+}
+
+TEST(ComAidTrainerTest, TrainingRaisesGoldProbability) {
+  ontology::Ontology onto = MakeOntology();
+  auto snippets = TrainingSnippets(onto);
+  std::vector<std::vector<std::string>> extra;
+  for (auto& [id, tokens] : snippets) extra.push_back(tokens);
+  ComAidModel model(SmallConfig(), &onto, extra);
+
+  auto n185 = onto.FindByCode("N18.5");
+  double before = model.ScoreLogProb(n185, {"ckd", "5"});
+
+  TrainConfig config;
+  config.epochs = 15;
+  ComAidTrainer trainer(config);
+  trainer.Train(&model, MakeTrainingPairs(model, snippets));
+  double after = model.ScoreLogProb(n185, {"ckd", "5"});
+  EXPECT_GT(after, before);
+}
+
+TEST(ComAidTrainerTest, TrainedModelPrefersGoldConcept) {
+  ontology::Ontology onto = MakeOntology();
+  auto snippets = TrainingSnippets(onto);
+  std::vector<std::vector<std::string>> extra;
+  for (auto& [id, tokens] : snippets) extra.push_back(tokens);
+  ComAidModel model(SmallConfig(), &onto, extra);
+
+  TrainConfig config;
+  config.epochs = 25;
+  ComAidTrainer trainer(config);
+  trainer.Train(&model, MakeTrainingPairs(model, snippets));
+
+  // "ckd 5" must now decode better from N18.5 than from D50.0.
+  double gold = model.ScoreLogProb(onto.FindByCode("N18.5"), {"ckd", "5"});
+  double other = model.ScoreLogProb(onto.FindByCode("D50.0"), {"ckd", "5"});
+  EXPECT_GT(gold, other);
+}
+
+TEST(ComAidTrainerTest, DeterministicTraining) {
+  ontology::Ontology onto = MakeOntology();
+  auto snippets = TrainingSnippets(onto);
+  auto run = [&] {
+    ComAidModel model(SmallConfig(), &onto, {});
+    TrainConfig config;
+    config.epochs = 3;
+    ComAidTrainer trainer(config);
+    return trainer.Train(&model, MakeTrainingPairs(model, snippets));
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(ComAidTrainerTest, EmptyTrainingDataIsNoop) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  ComAidTrainer trainer(TrainConfig{});
+  EXPECT_EQ(trainer.Train(&model, {}), 0.0);
+}
+
+TEST(ComAidTrainerTest, TrainBatchReturnsMeanLoss) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  nn::SgdOptimizer optimizer(0.1);
+  std::vector<TrainingPair> batch = {
+      {onto.FindByCode("N18.5"), model.MapTokens({"ckd", "5"})}};
+  ComAidTrainer trainer(TrainConfig{});
+  double loss = trainer.TrainBatch(&model, &optimizer, batch);
+  EXPECT_GT(loss, 0.0);
+  // A second identical step must lower the loss on that same batch.
+  double loss2 = trainer.TrainBatch(&model, &optimizer, batch);
+  EXPECT_LT(loss2, loss);
+}
+
+TEST(ComAidTrainerTest, AllVariantsTrainable) {
+  ontology::Ontology onto = MakeOntology();
+  auto snippets = TrainingSnippets(onto);
+  for (bool text : {true, false}) {
+    for (bool structural : {true, false}) {
+      ComAidConfig config = SmallConfig();
+      config.text_attention = text;
+      config.structural_attention = structural;
+      ComAidModel model(config, &onto, {});
+      TrainConfig tc;
+      tc.epochs = 4;
+      std::vector<double> losses;
+      tc.on_epoch = [&](size_t, double loss) { losses.push_back(loss); };
+      ComAidTrainer trainer(tc);
+      trainer.Train(&model, MakeTrainingPairs(model, snippets));
+      EXPECT_LT(losses.back(), losses.front()) << VariantName(config);
+    }
+  }
+}
+
+TEST(ResidualPairsTest, AddsResidualForEveryAlias) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {{"ckd", "5"}});
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> snippets =
+      {{onto.FindByCode("N18.5"), {"ckd", "5"}},
+       {onto.FindByCode("N18.5"), {"chronic", "kidney", "disease", "5"}}};
+  auto pairs = MakeResidualAugmentedPairs(model, snippets);
+  // 2 full pairs + 2 residual pairs.
+  ASSERT_EQ(pairs.size(), 4u);
+  // Residual of "chronic kidney disease 5" against the N18.5 description
+  // "chronic kidney disease stage 5" is empty (all words shared).
+  EXPECT_TRUE(pairs[3].target.empty());
+  // Residual of "ckd 5": "ckd" survives ("5" is in the description).
+  ASSERT_EQ(pairs[2].target.size(), 1u);
+  EXPECT_EQ(model.vocabulary().WordOf(pairs[2].target[0]), "ckd");
+}
+
+TEST(ResidualPairsTest, EmptyTargetTrainsEosProbability) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  auto n185 = onto.FindByCode("N18.5");
+  double before = model.ScoreLogProb(n185, {});
+  std::vector<TrainingPair> pairs = {{n185, {}}};
+  nn::SgdOptimizer optimizer(0.2);
+  ComAidTrainer trainer(TrainConfig{});
+  for (int i = 0; i < 10; ++i) trainer.TrainBatch(&model, &optimizer, pairs);
+  double after = model.ScoreLogProb(n185, {});
+  EXPECT_GT(after, before);  // p(<eos> | exact match) learned upward
+}
+
+TEST(ResidualPairsTest, TrainingWithResidualsStillLearnsFullAliases) {
+  ontology::Ontology onto = MakeOntology();
+  auto snippets = TrainingSnippets(onto);
+  std::vector<std::vector<std::string>> extra;
+  for (auto& [id, tokens] : snippets) extra.push_back(tokens);
+  ComAidModel model(SmallConfig(), &onto, extra);
+  TrainConfig tc;
+  tc.epochs = 15;
+  ComAidTrainer trainer(tc);
+  trainer.Train(&model, MakeResidualAugmentedPairs(model, snippets));
+  double gold = model.ScoreLogProb(onto.FindByCode("N18.5"), {"ckd", "5"});
+  double other = model.ScoreLogProb(onto.FindByCode("D50.0"), {"ckd", "5"});
+  EXPECT_GT(gold, other);
+}
+
+}  // namespace
+}  // namespace ncl::comaid

@@ -1,0 +1,194 @@
+#include "datagen/alias_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace ncl::datagen {
+namespace {
+
+const MedicalVocabulary& Vocab() { return DefaultMedicalVocabulary(); }
+
+TEST(AliasGeneratorTest, CorruptChangesTheSnippet) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(1);
+  std::vector<std::string> canonical{"chronic", "kidney", "disease", "stage", "5"};
+  for (int i = 0; i < 20; ++i) {
+    auto alias = gen.Corrupt(canonical, rng);
+    EXPECT_FALSE(alias.empty());
+    EXPECT_NE(alias, canonical);
+  }
+}
+
+TEST(AliasGeneratorTest, AcronymCollapseProducesCkd) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(2);
+  std::vector<std::string> tokens{"chronic", "kidney", "disease", "stage", "5"};
+  bool changed = gen.ApplyAcronyms(&tokens, rng, 1.0);
+  ASSERT_TRUE(changed);
+  EXPECT_EQ(tokens[0], "ckd");
+  EXPECT_EQ(tokens.size(), 3u);
+}
+
+TEST(AliasGeneratorTest, NumberRewriteMakesCkd5) {
+  // The paper's "ckd 5" for "chronic kidney disease, stage 5".
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(3);
+  std::vector<std::string> tokens{"ckd", "stage", "5"};
+  bool changed = gen.ApplyNumberRewrite(&tokens, rng, 1.0);
+  ASSERT_TRUE(changed);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ckd", "5"}));
+}
+
+TEST(AliasGeneratorTest, AbbreviationShortensWords) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(4);
+  std::vector<std::string> tokens{"chronic", "anemia"};
+  bool changed = gen.ApplyAbbreviations(&tokens, rng, 1.0);
+  ASSERT_TRUE(changed);
+  EXPECT_EQ(tokens[0], "chr");
+}
+
+TEST(AliasGeneratorTest, SynonymsRespectHeldoutBoundary) {
+  AliasConfig train_config;
+  train_config.use_heldout_synonyms = false;
+  AliasGenerator gen(Vocab(), train_config);
+  Rng rng(5);
+  // "kidney" set: {"kidney", "renal" | heldout: "nephric"}.
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::string> tokens{"kidney"};
+    gen.ApplySynonyms(&tokens, rng, 1.0);
+    EXPECT_NE(tokens[0], "nephric") << "held-out synonym leaked into training";
+  }
+}
+
+TEST(AliasGeneratorTest, HeldoutSynonymsReachableForQueries) {
+  AliasConfig query_config;
+  query_config.use_heldout_synonyms = true;
+  AliasGenerator gen(Vocab(), query_config);
+  Rng rng(6);
+  bool saw_heldout = false;
+  for (int i = 0; i < 300 && !saw_heldout; ++i) {
+    std::vector<std::string> tokens{"kidney"};
+    gen.ApplySynonyms(&tokens, rng, 1.0);
+    saw_heldout = tokens[0] == "nephric";
+  }
+  EXPECT_TRUE(saw_heldout);
+}
+
+TEST(AliasGeneratorTest, DropsKeepAtLeastTwoTokens) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(7);
+  std::vector<std::string> tokens{"polyp", "of", "the", "colon"};
+  gen.ApplyDrops(&tokens, rng, 1.0);
+  EXPECT_GE(tokens.size(), 2u);
+  // Content words survive.
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "polyp"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "colon"), tokens.end());
+}
+
+TEST(AliasGeneratorTest, TyposOnlyOnLongWords) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(8);
+  std::vector<std::string> tokens{"ckd", "neuropathy"};
+  bool changed = gen.ApplyTypos(&tokens, rng, 1.0);
+  ASSERT_TRUE(changed);
+  EXPECT_EQ(tokens[0], "ckd");          // too short to corrupt
+  EXPECT_NE(tokens[1], "neuropathy");   // corrupted
+}
+
+TEST(AliasGeneratorTest, ReorderRotatesQualifierToFront) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(9);
+  std::vector<std::string> tokens{"chronic", "kidney", "disease", "stage", "5"};
+  std::multiset<std::string> before(tokens.begin(), tokens.end());
+  ASSERT_TRUE(gen.ApplyReorder(&tokens, rng));
+  std::multiset<std::string> after(tokens.begin(), tokens.end());
+  EXPECT_EQ(before, after);  // permutation only
+}
+
+TEST(AliasGeneratorTest, GenerateProducesDistinctAliases) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(10);
+  std::vector<std::string> canonical{"chronic", "kidney", "disease", "stage", "5"};
+  auto aliases = gen.Generate(canonical, 5, rng);
+  EXPECT_GE(aliases.size(), 3u);
+  std::set<std::string> seen{ncl::Join(canonical, " ")};
+  for (const auto& alias : aliases) {
+    EXPECT_TRUE(seen.insert(ncl::Join(alias, " ")).second);
+  }
+}
+
+TEST(AliasGeneratorTest, MultiWordSynonymsAreFlattened) {
+  AliasConfig config;
+  config.use_heldout_synonyms = true;
+  AliasGenerator gen(Vocab(), config);
+  Rng rng(11);
+  // "acute" can become "sudden onset" (two words) — output must be flat.
+  for (int i = 0; i < 100; ++i) {
+    auto alias = gen.Corrupt({"acute", "abdomen"}, rng);
+    for (const auto& token : alias) {
+      EXPECT_EQ(token.find(' '), std::string::npos) << token;
+    }
+  }
+}
+
+TEST(AliasGeneratorTest, ShortenKeepsPrefix) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(20);
+  std::vector<std::string> tokens{"dermatitis", "ckd", "stage5x"};
+  bool changed = gen.ApplyShorten(&tokens, rng, 1.0);
+  ASSERT_TRUE(changed);
+  // Long alphabetic word shortened to a 3-5 char prefix of itself.
+  EXPECT_GE(tokens[0].size(), 3u);
+  EXPECT_LE(tokens[0].size(), 5u);
+  EXPECT_EQ(std::string("dermatitis").substr(0, tokens[0].size()), tokens[0]);
+  EXPECT_EQ(tokens[1], "ckd");      // too short
+  EXPECT_EQ(tokens[2], "stage5x");  // contains a digit: kept
+}
+
+TEST(AliasGeneratorTest, TruncateDropsExactlyOneToken) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(21);
+  std::vector<std::string> tokens{"iron", "deficiency", "anemia", "unspecified"};
+  ASSERT_TRUE(gen.ApplyTruncate(&tokens, rng));
+  EXPECT_EQ(tokens.size(), 3u);
+}
+
+TEST(AliasGeneratorTest, TruncateRefusesBelowTwoTokens) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  Rng rng(22);
+  std::vector<std::string> tokens{"acute", "abdomen"};
+  EXPECT_FALSE(gen.ApplyTruncate(&tokens, rng));
+  EXPECT_EQ(tokens.size(), 2u);
+}
+
+TEST(AliasGeneratorTest, HeldoutPreferenceWhenAvailable) {
+  // With use_heldout_synonyms, sets that have held-out forms should mostly
+  // produce them ("kidney" -> "nephric" ~75% of swaps).
+  AliasConfig config;
+  config.use_heldout_synonyms = true;
+  AliasGenerator gen(Vocab(), config);
+  Rng rng(23);
+  size_t heldout = 0, total = 0;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<std::string> tokens{"kidney"};
+    if (!gen.ApplySynonyms(&tokens, rng, 1.0)) continue;
+    ++total;
+    if (tokens[0] == "nephric") ++heldout;
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(heldout) / static_cast<double>(total), 0.5);
+}
+
+TEST(AliasGeneratorTest, DeterministicGivenSeed) {
+  AliasGenerator gen(Vocab(), AliasConfig{});
+  std::vector<std::string> canonical{"iron", "deficiency", "anemia"};
+  Rng rng_a(12), rng_b(12);
+  EXPECT_EQ(gen.Corrupt(canonical, rng_a), gen.Corrupt(canonical, rng_b));
+}
+
+}  // namespace
+}  // namespace ncl::datagen

@@ -1,0 +1,158 @@
+#include "datagen/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::datagen {
+namespace {
+
+DatasetConfig TinyConfig() {
+  DatasetConfig config;
+  config.scale = 0.4;
+  config.aliases_per_concept = 2;
+  config.notes_per_concept = 2;
+  config.num_query_groups = 2;
+  config.queries_per_group = 20;
+  config.purposive_per_group = 5;
+  config.seed = 11;
+  return config;
+}
+
+TEST(DatasetTest, HospitalXBundleComplete) {
+  Dataset data = MakeHospitalX(TinyConfig());
+  EXPECT_EQ(data.name, "hospital-x");
+  EXPECT_TRUE(data.onto.Validate().ok());
+  EXPECT_GT(data.onto.num_concepts(), 10u);
+  EXPECT_GT(data.labeled.size(), data.onto.num_concepts());
+  EXPECT_FALSE(data.unlabeled.empty());
+  ASSERT_EQ(data.query_groups.size(), 2u);
+  EXPECT_EQ(data.query_groups[0].size(), 20u);
+}
+
+TEST(DatasetTest, MimicIsSmallerAndIcd9Flavoured) {
+  DatasetConfig config = TinyConfig();
+  Dataset hospital = MakeHospitalX(config);
+  Dataset mimic = MakeMimicIII(config);
+  EXPECT_EQ(mimic.name, "MIMIC-III");
+  EXPECT_LT(mimic.onto.num_concepts(), hospital.onto.num_concepts());
+  // ICD-9 codes are numeric.
+  auto leaves = mimic.onto.FineGrainedConcepts();
+  ASSERT_FALSE(leaves.empty());
+  EXPECT_TRUE(isdigit(
+      static_cast<unsigned char>(mimic.onto.Get(leaves[0]).code[0])));
+  // ICD-9 tree is shallower than the ICD-10 one (no extra level).
+  EXPECT_LE(mimic.onto.max_depth(), hospital.onto.max_depth());
+}
+
+TEST(DatasetTest, LabeledAliasesAreNonCanonical) {
+  Dataset data = MakeHospitalX(TinyConfig());
+  size_t same = 0;
+  for (const auto& snippet : data.labeled) {
+    if (snippet.tokens == data.onto.Get(snippet.concept_id).description) ++same;
+  }
+  // §6.1 fn 9: canonical descriptions are excluded from aliases.
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(DatasetTest, AliasesCoverAllConcepts) {
+  Dataset data = MakeHospitalX(TinyConfig());
+  std::set<ontology::ConceptId> covered;
+  for (const auto& snippet : data.labeled) covered.insert(snippet.concept_id);
+  // Nearly every concept gets at least one alias (distinctness can fail for
+  // very short descriptions, so allow slack).
+  EXPECT_GT(covered.size(), data.onto.num_concepts() * 9 / 10);
+}
+
+TEST(DatasetTest, NotesContainFillerScaffolding) {
+  Dataset data = MakeHospitalX(TinyConfig());
+  const MedicalVocabulary& vocab = DefaultMedicalVocabulary();
+  size_t with_filler = 0;
+  for (const auto& note : data.unlabeled) {
+    for (const auto& token : note) {
+      if (std::find(vocab.note_fillers.begin(), vocab.note_fillers.end(), token) !=
+          vocab.note_fillers.end()) {
+        ++with_filler;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_filler, data.unlabeled.size() / 2);
+}
+
+TEST(DatasetTest, ScaleGrowsOntology) {
+  DatasetConfig small = TinyConfig();
+  DatasetConfig large = TinyConfig();
+  large.scale = 1.0;
+  EXPECT_GT(MakeHospitalX(large).onto.num_concepts(),
+            MakeHospitalX(small).onto.num_concepts());
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  Dataset a = MakeHospitalX(TinyConfig());
+  Dataset b = MakeHospitalX(TinyConfig());
+  EXPECT_EQ(a.onto.num_concepts(), b.onto.num_concepts());
+  ASSERT_EQ(a.labeled.size(), b.labeled.size());
+  for (size_t i = 0; i < a.labeled.size(); ++i) {
+    EXPECT_EQ(a.labeled[i].tokens, b.labeled[i].tokens);
+  }
+}
+
+TEST(DatasetTest, QueriesUseHeldOutPhenomena) {
+  Dataset data = MakeHospitalX(TinyConfig());
+  // At least one query should contain a held-out synonym or acronym that is
+  // absent from every canonical description (the word-discrepancy regime).
+  std::set<std::string> kb_words;
+  for (auto id : data.onto.AllConcepts()) {
+    for (const auto& w : data.onto.Get(id).description) kb_words.insert(w);
+  }
+  size_t with_oov = 0;
+  for (const auto& group : data.query_groups) {
+    for (const auto& q : group) {
+      for (const auto& w : q.tokens) {
+        if (kb_words.count(w) == 0) {
+          ++with_oov;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(with_oov, 0u);
+}
+
+TEST(DatasetTest, ParentPhrasingAliasesUseAncestorVocabulary) {
+  Dataset data = MakeHospitalX(TinyConfig());
+  // At least one labeled alias of a rephrased leaf must begin with its
+  // parent's canonical description (the standard-phrasing entries).
+  size_t parent_phrased = 0;
+  for (const auto& snippet : data.labeled) {
+    const auto& leaf = data.onto.Get(snippet.concept_id);
+    if (!data.onto.IsFineGrained(snippet.concept_id)) continue;
+    const auto& parent_desc = data.onto.Get(leaf.parent).description;
+    if (snippet.tokens.size() >= parent_desc.size() &&
+        std::equal(parent_desc.begin(), parent_desc.end(),
+                   snippet.tokens.begin()) &&
+        snippet.tokens != leaf.description) {
+      ++parent_phrased;
+    }
+  }
+  EXPECT_GT(parent_phrased, 0u);
+}
+
+TEST(GenerateParentPhrasingAliasesTest, OnlyRephrasedLeavesYieldEntries) {
+  Dataset data = MakeHospitalX(TinyConfig());
+  auto aliases = GenerateParentPhrasingAliases(data.onto, 1.0, 42);
+  for (const auto& alias : aliases) {
+    // Every entry differs from the leaf's own description (verbatim leaves
+    // are skipped) and is non-empty.
+    EXPECT_FALSE(alias.tokens.empty());
+    EXPECT_NE(alias.tokens, data.onto.Get(alias.concept_id).description);
+    EXPECT_TRUE(data.onto.IsFineGrained(alias.concept_id));
+  }
+}
+
+TEST(GenerateParentPhrasingAliasesTest, FractionZeroYieldsNone) {
+  Dataset data = MakeHospitalX(TinyConfig());
+  EXPECT_TRUE(GenerateParentPhrasingAliases(data.onto, 0.0, 42).empty());
+}
+
+}  // namespace
+}  // namespace ncl::datagen

@@ -1,0 +1,94 @@
+#include "datagen/medical_vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ncl::datagen {
+namespace {
+
+TEST(MedicalVocabularyTest, BanksAreNonEmpty) {
+  const MedicalVocabulary& v = DefaultMedicalVocabulary();
+  EXPECT_GT(v.body_systems.size(), 5u);
+  EXPECT_GT(v.sites.size(), 30u);
+  EXPECT_GT(v.disease_roots.size(), 20u);
+  EXPECT_GT(v.modifiers.size(), 10u);
+  EXPECT_GT(v.fine_qualifiers.size(), 10u);
+  EXPECT_GT(v.synonyms.size(), 20u);
+  EXPECT_GT(v.abbreviations.size(), 15u);
+  EXPECT_GT(v.acronyms.size(), 10u);
+  EXPECT_GT(v.note_fillers.size(), 20u);
+}
+
+TEST(MedicalVocabularyTest, FindSynonymsByCanonicalForm) {
+  const MedicalVocabulary& v = DefaultMedicalVocabulary();
+  const SynonymSet* set = v.FindSynonyms("kidney");
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->forms[0], "kidney");
+  EXPECT_NE(std::find(set->forms.begin(), set->forms.end(), "renal"),
+            set->forms.end());
+}
+
+TEST(MedicalVocabularyTest, FindSynonymsByVariantForm) {
+  const MedicalVocabulary& v = DefaultMedicalVocabulary();
+  const SynonymSet* set = v.FindSynonyms("renal");
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->forms[0], "kidney");
+}
+
+TEST(MedicalVocabularyTest, UnknownWordHasNoSynonyms) {
+  const MedicalVocabulary& v = DefaultMedicalVocabulary();
+  EXPECT_EQ(v.FindSynonyms("xylophone"), nullptr);
+}
+
+TEST(MedicalVocabularyTest, HeldoutBoundaryIsValid) {
+  const MedicalVocabulary& v = DefaultMedicalVocabulary();
+  for (const SynonymSet& set : v.synonyms) {
+    EXPECT_GE(set.forms.size(), 2u);
+    EXPECT_GE(set.first_heldout, 1u);
+    EXPECT_LE(set.first_heldout, set.forms.size());
+  }
+}
+
+TEST(MedicalVocabularyTest, AcronymRulesWellFormed) {
+  const MedicalVocabulary& v = DefaultMedicalVocabulary();
+  for (const AcronymRule& rule : v.acronyms) {
+    EXPECT_GE(rule.phrase.size(), 2u) << rule.acronym;
+    EXPECT_FALSE(rule.acronym.empty());
+    // Acronyms must not collide with a phrase word (would be a no-op).
+    for (const auto& w : rule.phrase) EXPECT_NE(w, rule.acronym);
+  }
+}
+
+TEST(MedicalVocabularyTest, CkdRuleMatchesPaperExample) {
+  const MedicalVocabulary& v = DefaultMedicalVocabulary();
+  bool found = false;
+  for (const AcronymRule& rule : v.acronyms) {
+    if (rule.acronym == "ckd") {
+      EXPECT_EQ(rule.phrase,
+                (std::vector<std::string>{"chronic", "kidney", "disease"}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MedicalVocabularyTest, AbbreviationsShorten) {
+  const MedicalVocabulary& v = DefaultMedicalVocabulary();
+  for (const auto& [full, abbr] : v.abbreviations) {
+    EXPECT_LT(abbr.size(), full.size()) << full << " -> " << abbr;
+  }
+}
+
+TEST(MedicalVocabularyTest, SingletonIdentity) {
+  EXPECT_EQ(&DefaultMedicalVocabulary(), &DefaultMedicalVocabulary());
+}
+
+TEST(MedicalVocabularyTest, SitesAreDistinct) {
+  const MedicalVocabulary& v = DefaultMedicalVocabulary();
+  std::set<std::string> unique(v.sites.begin(), v.sites.end());
+  EXPECT_EQ(unique.size(), v.sites.size());
+}
+
+}  // namespace
+}  // namespace ncl::datagen

@@ -1,0 +1,165 @@
+#include "datagen/ontology_synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace ncl::datagen {
+namespace {
+
+OntologySynthesizerConfig SmallConfig(CodeStyle style = CodeStyle::kIcd10) {
+  OntologySynthesizerConfig config;
+  config.code_style = style;
+  config.num_chapters = 3;
+  config.categories_per_chapter = 4;
+  config.max_fine_per_category = 5;
+  config.seed = 42;
+  return config;
+}
+
+TEST(OntologySynthesizerTest, ProducesValidTree) {
+  auto result = SynthesizeOntology(SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->Validate().ok());
+  EXPECT_GE(result->num_concepts(),
+            3u + 12u + 12u * 3u);  // chapters + categories + >=3 leaves each
+}
+
+TEST(OntologySynthesizerTest, Deterministic) {
+  auto a = SynthesizeOntology(SmallConfig());
+  auto b = SynthesizeOntology(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_concepts(), b->num_concepts());
+  for (auto id : a->AllConcepts()) {
+    EXPECT_EQ(a->Get(id).code, b->Get(id).code);
+    EXPECT_EQ(a->Get(id).description, b->Get(id).description);
+  }
+}
+
+TEST(OntologySynthesizerTest, DifferentSeedsDiffer) {
+  auto a = SynthesizeOntology(SmallConfig());
+  OntologySynthesizerConfig other = SmallConfig();
+  other.seed = 43;
+  auto b = SynthesizeOntology(other);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_difference = a->num_concepts() != b->num_concepts();
+  if (!any_difference) {
+    for (auto id : a->AllConcepts()) {
+      if (a->Get(id).description != b->Get(id).description) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(OntologySynthesizerTest, DescriptionsAreUnique) {
+  auto result = SynthesizeOntology(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> seen;
+  for (auto id : result->AllConcepts()) {
+    std::string key = ncl::Join(result->Get(id).description, " ");
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate description: " << key;
+  }
+}
+
+TEST(OntologySynthesizerTest, MostLeavesShareParentStem) {
+  // The fine-grained overlap challenge: leaf descriptions extend their
+  // parent's stem — verbatim for most, rephrased (synonym-substituted) for
+  // a configurable fraction, mirroring codes like N18.6 whose text does
+  // not repeat the parent's wording.
+  auto result = SynthesizeOntology(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  size_t verbatim = 0, total = 0;
+  for (auto id : result->FineGrainedConcepts()) {
+    const auto& leaf = result->Get(id);
+    const auto& parent = result->Get(leaf.parent);
+    ++total;
+    if (leaf.description.size() >= parent.description.size() &&
+        std::equal(parent.description.begin(), parent.description.end(),
+                   leaf.description.begin())) {
+      ++verbatim;
+    }
+  }
+  EXPECT_GT(verbatim, total / 2);  // default rephrase_fraction is 0.35
+  EXPECT_LT(verbatim, total);      // ... and some leaves are rephrased
+}
+
+TEST(OntologySynthesizerTest, RephraseFractionZeroKeepsAllStemsVerbatim) {
+  OntologySynthesizerConfig config = SmallConfig();
+  config.rephrase_fraction = 0.0;
+  auto result = SynthesizeOntology(config);
+  ASSERT_TRUE(result.ok());
+  for (auto id : result->FineGrainedConcepts()) {
+    const auto& leaf = result->Get(id);
+    const auto& parent = result->Get(leaf.parent);
+    ASSERT_GE(leaf.description.size(), parent.description.size());
+    for (size_t i = 0; i < parent.description.size(); ++i) {
+      EXPECT_EQ(leaf.description[i], parent.description[i])
+          << leaf.code << " vs " << parent.code;
+    }
+  }
+}
+
+TEST(OntologySynthesizerTest, Icd10CodesAreAlphanumeric) {
+  auto result = SynthesizeOntology(SmallConfig(CodeStyle::kIcd10));
+  ASSERT_TRUE(result.ok());
+  bool found_dotted = false;
+  for (auto id : result->FineGrainedConcepts()) {
+    const std::string& code = result->Get(id).code;
+    if (code.find('.') != std::string::npos) found_dotted = true;
+    EXPECT_TRUE(isalpha(static_cast<unsigned char>(code[0]))) << code;
+  }
+  EXPECT_TRUE(found_dotted);
+}
+
+TEST(OntologySynthesizerTest, Icd9CodesAreNumeric) {
+  auto result = SynthesizeOntology(SmallConfig(CodeStyle::kIcd9));
+  ASSERT_TRUE(result.ok());
+  for (auto id : result->FineGrainedConcepts()) {
+    const std::string& code = result->Get(id).code;
+    EXPECT_TRUE(isdigit(static_cast<unsigned char>(code[0]))) << code;
+  }
+}
+
+TEST(OntologySynthesizerTest, ExtraLevelFractionAddsDepth) {
+  OntologySynthesizerConfig deep = SmallConfig();
+  deep.extra_level_fraction = 1.0;  // every category gets a subcategory level
+  auto result = SynthesizeOntology(deep);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->max_depth(), 4);
+
+  OntologySynthesizerConfig shallow = SmallConfig();
+  shallow.extra_level_fraction = 0.0;
+  auto flat = SynthesizeOntology(shallow);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->max_depth(), 3);
+}
+
+TEST(OntologySynthesizerTest, RejectsDegenerateConfig) {
+  OntologySynthesizerConfig bad = SmallConfig();
+  bad.num_chapters = 0;
+  EXPECT_FALSE(SynthesizeOntology(bad).ok());
+  bad = SmallConfig();
+  bad.max_fine_per_category = 2;
+  EXPECT_FALSE(SynthesizeOntology(bad).ok());
+}
+
+TEST(OntologySynthesizerTest, EveryLeafHasAncestorForStructuralContext) {
+  auto result = SynthesizeOntology(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  for (auto id : result->FineGrainedConcepts()) {
+    auto context = result->AncestorContext(id, 2);
+    ASSERT_EQ(context.size(), 2u);
+    for (auto anc : context) {
+      EXPECT_NE(anc, ontology::kRootConcept);
+      EXPECT_FALSE(result->Get(anc).description.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncl::datagen

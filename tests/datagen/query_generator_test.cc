@@ -1,0 +1,104 @@
+#include "datagen/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/ontology_synthesizer.h"
+
+namespace ncl::datagen {
+namespace {
+
+ontology::Ontology MakeOntology() {
+  OntologySynthesizerConfig config;
+  config.num_chapters = 2;
+  config.categories_per_chapter = 3;
+  config.max_fine_per_category = 4;
+  config.seed = 5;
+  auto result = SynthesizeOntology(config);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+QueryGeneratorConfig SmallConfig() {
+  QueryGeneratorConfig config;
+  config.group_size = 40;
+  config.purposive_per_group = 10;
+  config.seed = 77;
+  return config;
+}
+
+TEST(QueryGeneratorTest, GroupHasRequestedSize) {
+  ontology::Ontology onto = MakeOntology();
+  QueryGenerator gen(onto, DefaultMedicalVocabulary(), SmallConfig());
+  Rng rng(1);
+  auto group = gen.GenerateGroup({}, rng);
+  EXPECT_EQ(group.size(), 40u);
+}
+
+TEST(QueryGeneratorTest, AllGoldsAreFineGrained) {
+  ontology::Ontology onto = MakeOntology();
+  QueryGenerator gen(onto, DefaultMedicalVocabulary(), SmallConfig());
+  Rng rng(2);
+  for (const auto& q : gen.GenerateGroup({}, rng)) {
+    EXPECT_TRUE(onto.IsFineGrained(q.concept_id));
+    EXPECT_FALSE(q.tokens.empty());
+  }
+}
+
+TEST(QueryGeneratorTest, QueriesDifferFromCanonicalDescriptions) {
+  ontology::Ontology onto = MakeOntology();
+  QueryGenerator gen(onto, DefaultMedicalVocabulary(), SmallConfig());
+  Rng rng(3);
+  size_t different = 0;
+  auto group = gen.GenerateGroup({}, rng);
+  for (const auto& q : group) {
+    if (q.tokens != onto.Get(q.concept_id).description) ++different;
+  }
+  // The corruption model forces change; allow a tiny slack for fallbacks.
+  EXPECT_GE(different, group.size() - 2);
+}
+
+TEST(QueryGeneratorTest, PurposiveKindsPresent) {
+  ontology::Ontology onto = MakeOntology();
+  QueryGeneratorConfig config = SmallConfig();
+  config.purposive_per_group = 20;
+  QueryGenerator gen(onto, DefaultMedicalVocabulary(), config);
+  Rng rng(4);
+  auto group = gen.GenerateGroup({}, rng);
+  size_t non_random = 0;
+  for (const auto& q : group) {
+    if (q.kind != QueryKind::kRandom) ++non_random;
+  }
+  // Most purposive cases apply successfully (some fall back to random).
+  EXPECT_GE(non_random, 8u);
+}
+
+TEST(QueryGeneratorTest, RestrictedTargetsHonoured) {
+  ontology::Ontology onto = MakeOntology();
+  QueryGenerator gen(onto, DefaultMedicalVocabulary(), SmallConfig());
+  auto leaves = onto.FineGrainedConcepts();
+  std::vector<ontology::ConceptId> subset(leaves.begin(), leaves.begin() + 3);
+  Rng rng(5);
+  for (const auto& q : gen.GenerateGroup(subset, rng)) {
+    EXPECT_NE(std::find(subset.begin(), subset.end(), q.concept_id), subset.end());
+  }
+}
+
+TEST(QueryGeneratorTest, GroupsAreIndependentButDeterministic) {
+  ontology::Ontology onto = MakeOntology();
+  QueryGenerator gen(onto, DefaultMedicalVocabulary(), SmallConfig());
+  auto groups_a = gen.GenerateGroups(3);
+  auto groups_b = gen.GenerateGroups(3);
+  ASSERT_EQ(groups_a.size(), 3u);
+  for (size_t g = 0; g < 3; ++g) {
+    ASSERT_EQ(groups_a[g].size(), groups_b[g].size());
+    for (size_t i = 0; i < groups_a[g].size(); ++i) {
+      EXPECT_EQ(groups_a[g][i].tokens, groups_b[g][i].tokens);
+      EXPECT_EQ(groups_a[g][i].concept_id, groups_b[g][i].concept_id);
+    }
+  }
+  // Distinct groups differ from each other.
+  EXPECT_NE(groups_a[0][0].tokens, groups_a[1][0].tokens);
+}
+
+}  // namespace
+}  // namespace ncl::datagen

@@ -1,0 +1,87 @@
+#include "datagen/snippet_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace ncl::datagen {
+namespace {
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  EXPECT_TRUE(onto.AddConcept("D50", {"iron", "deficiency", "anemia"},
+                              ontology::kRootConcept).ok());
+  EXPECT_TRUE(onto.AddConcept("N18.5",
+                              {"chronic", "kidney", "disease", "stage", "5"},
+                              ontology::kRootConcept).ok());
+  return onto;
+}
+
+TEST(SnippetIoTest, LoadFromString) {
+  ontology::Ontology onto = MakeOntology();
+  auto result = LoadSnippetsFromString(
+      "# header\nD50\tIron-Def Anemia!\nN18.5\tckd 5\n", onto);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].concept_id, onto.FindByCode("D50"));
+  // Text is normalised through the tokenizer.
+  EXPECT_EQ((*result)[0].tokens,
+            (std::vector<std::string>{"iron", "def", "anemia"}));
+  EXPECT_EQ((*result)[1].tokens, (std::vector<std::string>{"ckd", "5"}));
+}
+
+TEST(SnippetIoTest, UnknownCodeFails) {
+  ontology::Ontology onto = MakeOntology();
+  auto result = LoadSnippetsFromString("Z99\tmystery\n", onto);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnippetIoTest, MissingTabFails) {
+  ontology::Ontology onto = MakeOntology();
+  EXPECT_FALSE(LoadSnippetsFromString("D50 no tab here\n", onto).ok());
+}
+
+TEST(SnippetIoTest, EmptyTextFails) {
+  ontology::Ontology onto = MakeOntology();
+  EXPECT_FALSE(LoadSnippetsFromString("D50\t ,;! \n", onto).ok());
+}
+
+TEST(SnippetIoTest, RoundTripThroughFile) {
+  ontology::Ontology onto = MakeOntology();
+  std::vector<LabeledSnippet> snippets = {
+      {onto.FindByCode("D50"), {"fe", "def", "anemia"}},
+      {onto.FindByCode("N18.5"), {"ckd", "5"}},
+  };
+  std::string path = testing::TempDir() + "/ncl_snippet_io_test.tsv";
+  ASSERT_TRUE(SaveSnippetsToFile(snippets, onto, path).ok());
+  auto loaded = LoadSnippetsFromFile(path, onto);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].concept_id, snippets[0].concept_id);
+  EXPECT_EQ((*loaded)[0].tokens, snippets[0].tokens);
+  EXPECT_EQ((*loaded)[1].tokens, snippets[1].tokens);
+  std::remove(path.c_str());
+}
+
+TEST(SnippetIoTest, CorpusRoundTrip) {
+  std::vector<std::vector<std::string>> corpus = {
+      {"pt", "presents", "with", "ckd", "5"},
+      {"hx", "of", "anemia"},
+  };
+  std::string path = testing::TempDir() + "/ncl_corpus_io_test.txt";
+  ASSERT_TRUE(SaveCorpusToFile(corpus, path).ok());
+  auto loaded = LoadCorpusFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, corpus);
+  std::remove(path.c_str());
+}
+
+TEST(SnippetIoTest, MissingFilesFail) {
+  ontology::Ontology onto = MakeOntology();
+  EXPECT_FALSE(LoadSnippetsFromFile("/nonexistent-xyz/a.tsv", onto).ok());
+  EXPECT_FALSE(LoadCorpusFromFile("/nonexistent-xyz/c.txt").ok());
+}
+
+}  // namespace
+}  // namespace ncl::datagen

@@ -1,0 +1,169 @@
+// Integration: the Appendix-A feedback loop — uncertain linkages are
+// pooled, a simulated expert answers from ground truth, and retraining on
+// the feedback raises the gold concept's decode probability (the Fig. 10
+// behaviour, asserted on scores rather than PCA plots).
+
+#include <gtest/gtest.h>
+
+#include "comaid/trainer.h"
+#include "linking/feedback.h"
+#include "linking/pca.h"
+
+namespace ncl {
+namespace {
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("D50", {"iron", "deficiency", "anemia"}, "ROOT");
+  add("D50.0", {"iron", "deficiency", "anemia", "blood", "loss", "chronic"}, "D50");
+  add("D53", {"other", "nutritional", "anemias"}, "ROOT");
+  add("D53.1", {"megaloblastic", "anemia"}, "D53");
+  add("D62", {"acute", "blood", "loss", "anemia"}, "ROOT");
+  add("R53", {"malaise", "and", "fatigue"}, "ROOT");
+  add("R53.1", {"weakness", "anemia", "related"}, "R53");
+  return onto;
+}
+
+TEST(FeedbackLoopTest, FeedbackRetrainingRaisesGoldScore) {
+  ontology::Ontology onto = MakeOntology();
+  auto d50_0 = onto.FindByCode("D50.0");
+
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> base = {
+      {d50_0, {"anemia", "blood", "loss"}},
+      {onto.FindByCode("D53.1"), {"megaloblastic", "anemia", "nos"}},
+      {onto.FindByCode("R53.1"), {"weakness", "with", "anemia"}},
+  };
+  comaid::ComAidConfig config;
+  config.dim = 16;
+  config.beta = 1;
+  std::vector<std::vector<std::string>> extra = {
+      {"anemia", "blood", "loss"},   {"megaloblastic", "anemia", "nos"},
+      {"weakness", "with", "anemia"}, {"hemorrhagic", "anemia"}};
+  comaid::ComAidModel model(config, &onto, extra);
+  comaid::TrainConfig tc;
+  tc.epochs = 12;
+  comaid::ComAidTrainer trainer(tc);
+  trainer.Train(&model, comaid::MakeTrainingPairs(model, base));
+
+  // Appendix A.2's f1 = <D50.0, "hemorrhagic anemia">.
+  std::vector<std::string> feedback_query{"hemorrhagic", "anemia"};
+  double before = model.ScoreLogProb(d50_0, feedback_query);
+
+  auto with_feedback = base;
+  with_feedback.push_back({d50_0, feedback_query});
+  trainer.Train(&model, comaid::MakeTrainingPairs(model, with_feedback));
+  double after = model.ScoreLogProb(d50_0, feedback_query);
+  EXPECT_GT(after, before);
+}
+
+TEST(FeedbackLoopTest, FeedbackShiftsConceptRepresentations) {
+  // The Fig. 10 observable: feeding f1 moves concept representations.
+  ontology::Ontology onto = MakeOntology();
+  auto d50_0 = onto.FindByCode("D50.0");
+
+  comaid::ComAidConfig config;
+  config.dim = 16;
+  config.beta = 1;
+  comaid::ComAidModel model(config, &onto, {{"hemorrhagic", "anemia"}});
+  comaid::TrainConfig tc;
+  tc.epochs = 4;
+  comaid::ComAidTrainer trainer(tc);
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> base = {
+      {d50_0, {"anemia", "blood", "loss"}}};
+  trainer.Train(&model, comaid::MakeTrainingPairs(model, base));
+
+  nn::Matrix before = model.EncodeConcept(onto.FindByCode("D53.1"));
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> f1 = {
+      {d50_0, {"hemorrhagic", "anemia"}}};
+  trainer.Train(&model, comaid::MakeTrainingPairs(model, f1));
+  nn::Matrix after = model.EncodeConcept(onto.FindByCode("D53.1"));
+
+  double shift = 0.0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    shift += std::abs(before[i] - after[i]);
+  }
+  EXPECT_GT(shift, 1e-6);  // word embeddings shared, so D53.1 moves too
+}
+
+TEST(FeedbackLoopTest, ControllerDrivesRetrainCycle) {
+  // Full cycle: pool uncertain -> expert answers -> retrain signalled ->
+  // feedback drained into training data.
+  linking::FeedbackConfig fc;
+  fc.loss_threshold = 5.0;
+  fc.std_threshold = 0.2;
+  fc.pool_capacity = 2;
+  fc.retrain_threshold = 2;
+  linking::FeedbackController controller(fc);
+
+  std::vector<linking::ScoredCandidate> uncertain = {
+      {1, -12.0, 12.0}, {2, -12.1, 12.1}};
+  EXPECT_TRUE(controller.Offer({"breast", "for", "investigation"}, uncertain));
+  EXPECT_TRUE(controller.Offer({"scurvy"}, uncertain));
+  ASSERT_TRUE(controller.PoolReady());
+
+  // Simulated experts answer every pooled query from ground truth.
+  for (const auto& pooled : controller.TakePool()) {
+    controller.AddFeedback({pooled.candidates[0].concept_id, pooled.tokens});
+  }
+  ASSERT_TRUE(controller.ShouldRetrain());
+  auto feedback = controller.TakeFeedback();
+  EXPECT_EQ(feedback.size(), 2u);
+  EXPECT_EQ(feedback[0].tokens,
+            (std::vector<std::string>{"breast", "for", "investigation"}));
+}
+
+TEST(FeedbackLoopTest, PcaProjectionOfConceptShifts) {
+  // Sanity for the Fig. 10 rendering path: project concept representations
+  // before/after feedback into 2-D and measure displacement.
+  ontology::Ontology onto = MakeOntology();
+  comaid::ComAidConfig config;
+  config.dim = 16;
+  comaid::ComAidModel model(config, &onto, {{"hemorrhagic", "anemia"}});
+  comaid::ComAidTrainer trainer([] {
+    comaid::TrainConfig tc;
+    tc.epochs = 5;
+    return tc;
+  }());
+
+  auto concepts = onto.FineGrainedConcepts();
+  auto snapshot = [&] {
+    nn::Matrix all(concepts.size(), config.dim);
+    for (size_t i = 0; i < concepts.size(); ++i) {
+      nn::Matrix repr = model.EncodeConcept(concepts[i]);
+      for (size_t j = 0; j < config.dim; ++j) all(i, j) = repr[j];
+    }
+    return all;
+  };
+
+  nn::Matrix before = snapshot();
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> f1 = {
+      {onto.FindByCode("D50.0"), {"hemorrhagic", "anemia"}}};
+  trainer.Train(&model, comaid::MakeTrainingPairs(model, f1));
+  nn::Matrix after = snapshot();
+
+  // Stack both snapshots and project together, as Fig. 10 overlays them.
+  nn::Matrix stacked(before.rows() * 2, before.cols());
+  for (size_t i = 0; i < before.rows(); ++i) {
+    for (size_t j = 0; j < before.cols(); ++j) {
+      stacked(i, j) = before(i, j);
+      stacked(before.rows() + i, j) = after(i, j);
+    }
+  }
+  nn::Matrix projected = linking::PcaProject(stacked, 2);
+  double total_shift = 0.0;
+  for (size_t i = 0; i < before.rows(); ++i) {
+    double dx = projected(i, 0) - projected(before.rows() + i, 0);
+    double dy = projected(i, 1) - projected(before.rows() + i, 1);
+    total_shift += std::sqrt(dx * dx + dy * dy);
+  }
+  EXPECT_GT(total_shift, 0.0);
+}
+
+}  // namespace
+}  // namespace ncl

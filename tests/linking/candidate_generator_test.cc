@@ -1,0 +1,94 @@
+#include "linking/candidate_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::linking {
+namespace {
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("D50", {"iron", "deficiency", "anemia"}, "ROOT");
+  add("D50.0", {"iron", "deficiency", "anemia", "secondary", "to", "blood", "loss"},
+      "D50");
+  add("D50.9", {"iron", "deficiency", "anemia", "unspecified"}, "D50");
+  add("N18", {"chronic", "kidney", "disease"}, "ROOT");
+  add("N18.5", {"chronic", "kidney", "disease", "stage", "5"}, "N18");
+  add("R10", {"abdominal", "pain"}, "ROOT");
+  add("R10.9", {"unspecified", "abdominal", "pain"}, "R10");
+  return onto;
+}
+
+TEST(CandidateGeneratorTest, ExactQueryRetrievesGoldFirst) {
+  ontology::Ontology onto = MakeOntology();
+  CandidateGenerator generator(onto, {});
+  auto candidates = generator.TopK({"chronic", "kidney", "disease", "stage", "5"}, 3);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0], onto.FindByCode("N18.5"));
+}
+
+TEST(CandidateGeneratorTest, OnlyFineGrainedConcepts) {
+  ontology::Ontology onto = MakeOntology();
+  CandidateGenerator generator(onto, {});
+  for (auto id : generator.TopK({"anemia", "iron"}, 10)) {
+    EXPECT_TRUE(onto.IsFineGrained(id));
+  }
+}
+
+TEST(CandidateGeneratorTest, NoDuplicateConcepts) {
+  ontology::Ontology onto = MakeOntology();
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases = {
+      {onto.FindByCode("N18.5"), {"ckd", "5"}},
+      {onto.FindByCode("N18.5"), {"kidney", "failure", "5"}},
+  };
+  CandidateGenerator generator(onto, aliases);
+  auto candidates = generator.TopK({"kidney", "5", "ckd"}, 10);
+  std::set<ontology::ConceptId> unique(candidates.begin(), candidates.end());
+  EXPECT_EQ(unique.size(), candidates.size());
+}
+
+TEST(CandidateGeneratorTest, AliasIndexingRecoversAbbreviatedQueries) {
+  ontology::Ontology onto = MakeOntology();
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases = {
+      {onto.FindByCode("N18.5"), {"ckd", "5"}}};
+  CandidateGenerator with_aliases(onto, aliases);
+  auto hits = with_aliases.TopK({"ckd", "5"}, 5);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0], onto.FindByCode("N18.5"));
+
+  CandidateGeneratorConfig config;
+  config.index_aliases = false;
+  CandidateGenerator without(onto, aliases, config);
+  EXPECT_TRUE(without.TopK({"ckd"}, 5).empty());
+}
+
+TEST(CandidateGeneratorTest, KBoundsResultCount) {
+  ontology::Ontology onto = MakeOntology();
+  CandidateGenerator generator(onto, {});
+  EXPECT_LE(generator.TopK({"anemia"}, 2).size(), 2u);
+}
+
+TEST(CandidateGeneratorTest, LargerKNeverLosesCandidates) {
+  ontology::Ontology onto = MakeOntology();
+  CandidateGenerator generator(onto, {});
+  auto small = generator.TopK({"anemia", "pain"}, 2);
+  auto large = generator.TopK({"anemia", "pain"}, 10);
+  EXPECT_GE(large.size(), small.size());
+  // The small result is a prefix of the large one (same ordering).
+  for (size_t i = 0; i < small.size(); ++i) EXPECT_EQ(small[i], large[i]);
+}
+
+TEST(CandidateGeneratorTest, VocabularyExposesIndexedWords) {
+  ontology::Ontology onto = MakeOntology();
+  CandidateGenerator generator(onto, {});
+  EXPECT_TRUE(generator.vocabulary().Contains("anemia"));
+  EXPECT_FALSE(generator.vocabulary().Contains("ckd"));
+}
+
+}  // namespace
+}  // namespace ncl::linking

@@ -1,0 +1,97 @@
+#include "linking/feedback.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::linking {
+namespace {
+
+std::vector<ScoredCandidate> Candidates(std::vector<double> losses) {
+  std::vector<ScoredCandidate> out;
+  ontology::ConceptId id = 1;
+  for (double loss : losses) {
+    out.push_back(ScoredCandidate{id++, -loss, loss});
+  }
+  return out;
+}
+
+FeedbackConfig SmallConfig() {
+  FeedbackConfig config;
+  config.loss_threshold = 10.0;
+  config.std_threshold = 0.5;
+  config.pool_capacity = 3;
+  config.retrain_threshold = 2;
+  return config;
+}
+
+TEST(FeedbackControllerTest, ConfidentResultNotUncertain) {
+  FeedbackController controller(SmallConfig());
+  // Low top-1 loss, well-separated candidates.
+  EXPECT_FALSE(controller.IsUncertain(Candidates({2.0, 8.0, 9.0})));
+}
+
+TEST(FeedbackControllerTest, HighLossIsUncertain) {
+  FeedbackController controller(SmallConfig());
+  EXPECT_TRUE(controller.IsUncertain(Candidates({25.0, 30.0, 40.0})));
+}
+
+TEST(FeedbackControllerTest, FlatLossesAreUncertain) {
+  // Appendix A: "a low Std suggests the concepts own similar losses".
+  FeedbackController controller(SmallConfig());
+  EXPECT_TRUE(controller.IsUncertain(Candidates({5.0, 5.1, 5.2})));
+}
+
+TEST(FeedbackControllerTest, EmptyRankingIsUncertain) {
+  FeedbackController controller(SmallConfig());
+  EXPECT_TRUE(controller.IsUncertain({}));
+}
+
+TEST(FeedbackControllerTest, SingleConfidentCandidateNotUncertain) {
+  FeedbackController controller(SmallConfig());
+  EXPECT_FALSE(controller.IsUncertain(Candidates({3.0})));
+}
+
+TEST(FeedbackControllerTest, OfferPoolsOnlyUncertain) {
+  FeedbackController controller(SmallConfig());
+  EXPECT_FALSE(controller.Offer({"clear", "case"}, Candidates({2.0, 9.0})));
+  EXPECT_EQ(controller.pool_size(), 0u);
+  EXPECT_TRUE(controller.Offer({"breast", "for", "investigation"},
+                               Candidates({20.0, 20.1})));
+  EXPECT_EQ(controller.pool_size(), 1u);
+}
+
+TEST(FeedbackControllerTest, PoolReadyAtCapacity) {
+  FeedbackController controller(SmallConfig());
+  for (int i = 0; i < 3; ++i) {
+    controller.Offer({"q"}, Candidates({30.0}));
+  }
+  EXPECT_TRUE(controller.PoolReady());
+  auto pool = controller.TakePool();
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(controller.pool_size(), 0u);
+  EXPECT_FALSE(controller.PoolReady());
+}
+
+TEST(FeedbackControllerTest, RetrainSignalAfterEnoughFeedback) {
+  FeedbackController controller(SmallConfig());
+  EXPECT_FALSE(controller.ShouldRetrain());
+  controller.AddFeedback({1, {"hemorrhagic", "anemia"}});
+  EXPECT_FALSE(controller.ShouldRetrain());
+  controller.AddFeedback({2, {"acute", "blood", "loss", "anemia"}});
+  EXPECT_TRUE(controller.ShouldRetrain());
+  auto feedback = controller.TakeFeedback();
+  EXPECT_EQ(feedback.size(), 2u);
+  EXPECT_FALSE(controller.ShouldRetrain());
+}
+
+TEST(FeedbackControllerTest, PooledQueriesCarryCandidates) {
+  FeedbackController controller(SmallConfig());
+  auto candidates = Candidates({20.0, 20.3, 20.4});
+  controller.Offer({"breast", "lump"}, candidates);
+  auto pool = controller.TakePool();
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool[0].tokens, (std::vector<std::string>{"breast", "lump"}));
+  EXPECT_EQ(pool[0].candidates.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ncl::linking

@@ -1,0 +1,80 @@
+#include "linking/fusion_linker.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ncl::linking {
+namespace {
+
+/// Scripted member returning a fixed ranking for any query.
+class FixedLinker : public ConceptLinker {
+ public:
+  FixedLinker(std::string name, Ranking ranking)
+      : name_(std::move(name)), ranking_(std::move(ranking)) {}
+  std::string name() const override { return name_; }
+  Ranking Link(const std::vector<std::string>&, size_t k) const override {
+    Ranking out = ranking_;
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+ private:
+  std::string name_;
+  Ranking ranking_;
+};
+
+TEST(FusionLinkerTest, SingleMemberPreservesOrder) {
+  FixedLinker a("a", {{1, 0.9}, {2, 0.5}, {3, 0.1}});
+  FusionLinker fusion({{&a, 1.0}});
+  Ranking fused = fusion.Link({"q"}, 3);
+  ASSERT_EQ(fused.size(), 3u);
+  EXPECT_EQ(fused[0].concept_id, 1);
+  EXPECT_EQ(fused[1].concept_id, 2);
+  EXPECT_EQ(fused[2].concept_id, 3);
+}
+
+TEST(FusionLinkerTest, AgreementBeatsSingleVotes) {
+  // Concept 7 is ranked 2nd by both members; concepts 1 and 2 are each one
+  // member's top pick. RRF: 2/(k+2) > 1/(k+1) for k = 60.
+  FixedLinker a("a", {{1, 0.9}, {7, 0.8}});
+  FixedLinker b("b", {{2, 0.9}, {7, 0.8}});
+  FusionLinker fusion({{&a, 1.0}, {&b, 1.0}});
+  Ranking fused = fusion.Link({"q"}, 3);
+  ASSERT_FALSE(fused.empty());
+  EXPECT_EQ(fused[0].concept_id, 7);
+}
+
+TEST(FusionLinkerTest, WeightsBias) {
+  FixedLinker a("a", {{1, 0.9}});
+  FixedLinker b("b", {{2, 0.9}});
+  FusionLinker fusion({{&a, 3.0}, {&b, 1.0}});
+  Ranking fused = fusion.Link({"q"}, 2);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_EQ(fused[0].concept_id, 1);
+}
+
+TEST(FusionLinkerTest, ZeroWeightMemberIgnoredInScores) {
+  FixedLinker a("a", {{1, 0.9}});
+  FixedLinker b("b", {{2, 0.9}});
+  FusionLinker fusion({{&a, 1.0}, {&b, 0.0}});
+  Ranking fused = fusion.Link({"q"}, 2);
+  EXPECT_EQ(fused[0].concept_id, 1);
+  // Concept 2 has fused score 0 but is still enumerable.
+}
+
+TEST(FusionLinkerTest, KTruncates) {
+  FixedLinker a("a", {{1, 0.9}, {2, 0.8}, {3, 0.7}});
+  FusionLinker fusion({{&a, 1.0}});
+  EXPECT_EQ(fusion.Link({"q"}, 2).size(), 2u);
+}
+
+TEST(FusionLinkerTest, NameListsMembers) {
+  FixedLinker a("NCL", {});
+  FixedLinker b("pkduck", {});
+  FusionLinker fusion({{&a, 1.0}, {&b, 1.0}});
+  EXPECT_EQ(fusion.name(), "fusion(NCL+pkduck)");
+}
+
+}  // namespace
+}  // namespace ncl::linking

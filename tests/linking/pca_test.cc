@@ -1,0 +1,90 @@
+#include "linking/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace ncl::linking {
+namespace {
+
+TEST(PcaTest, OutputShape) {
+  nn::Matrix data(10, 5);
+  Rng rng(1);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = rng.UniformFloat(-1, 1);
+  nn::Matrix projected = PcaProject(data, 2);
+  EXPECT_EQ(projected.rows(), 10u);
+  EXPECT_EQ(projected.cols(), 2u);
+}
+
+TEST(PcaTest, FirstComponentCapturesDominantDirection) {
+  // Points spread along (1,1,0) with small noise orthogonally.
+  Rng rng(2);
+  nn::Matrix data(50, 3);
+  for (size_t i = 0; i < 50; ++i) {
+    float t = rng.UniformFloat(-10, 10);
+    data(i, 0) = t + rng.UniformFloat(-0.1f, 0.1f);
+    data(i, 1) = t + rng.UniformFloat(-0.1f, 0.1f);
+    data(i, 2) = rng.UniformFloat(-0.1f, 0.1f);
+  }
+  nn::Matrix projected = PcaProject(data, 2);
+  // Variance of component 0 >> variance of component 1.
+  double var0 = 0.0, var1 = 0.0;
+  for (size_t i = 0; i < 50; ++i) {
+    var0 += projected(i, 0) * projected(i, 0);
+    var1 += projected(i, 1) * projected(i, 1);
+  }
+  EXPECT_GT(var0, var1 * 100);
+}
+
+TEST(PcaTest, ProjectionIsMeanCentred) {
+  Rng rng(3);
+  nn::Matrix data(30, 4);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = rng.UniformFloat(5, 10);
+  nn::Matrix projected = PcaProject(data, 2);
+  for (size_t c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    for (size_t i = 0; i < 30; ++i) mean += projected(i, c);
+    EXPECT_NEAR(mean / 30.0, 0.0, 1e-3);
+  }
+}
+
+TEST(PcaTest, IdenticalPointsProjectToZero) {
+  nn::Matrix data(5, 3, 2.0f);
+  nn::Matrix projected = PcaProject(data, 2);
+  for (size_t i = 0; i < projected.size(); ++i) {
+    EXPECT_NEAR(projected[i], 0.0f, 1e-5);
+  }
+}
+
+TEST(PcaTest, ComponentsCappedByDimension) {
+  nn::Matrix data(4, 2);
+  data(0, 0) = 1;
+  data(1, 1) = 1;
+  data(2, 0) = -1;
+  data(3, 1) = -1;
+  nn::Matrix projected = PcaProject(data, 5);
+  EXPECT_EQ(projected.cols(), 2u);
+}
+
+TEST(PcaTest, PreservesPairwiseSeparationOfClusters) {
+  // Two far-apart clusters stay separated in the projection (the property
+  // the Fig. 10 shift analysis relies on).
+  Rng rng(4);
+  nn::Matrix data(20, 6);
+  for (size_t i = 0; i < 20; ++i) {
+    float base = i < 10 ? -5.0f : 5.0f;
+    for (size_t j = 0; j < 6; ++j) {
+      data(i, j) = base + rng.UniformFloat(-0.5f, 0.5f);
+    }
+  }
+  nn::Matrix projected = PcaProject(data, 2);
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < 10; ++i) mean_a += projected(i, 0);
+  for (size_t i = 10; i < 20; ++i) mean_b += projected(i, 0);
+  EXPECT_GT(std::abs(mean_a - mean_b) / 10.0, 5.0);
+}
+
+}  // namespace
+}  // namespace ncl::linking

@@ -1,0 +1,93 @@
+#include "linking/query_rewriter.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::linking {
+namespace {
+
+/// Ω' (embedding vocabulary) contains both KB words and clinician words;
+/// geometry places "ckd" near "kidney" and "dm" near "diabetes".
+pretrain::WordEmbeddings MakeEmbeddings() {
+  text::Vocabulary vocab;
+  vocab.Add("kidney", 10);    // 0: (1, 0)
+  vocab.Add("diabetes", 10);  // 1: (0, 1)
+  vocab.Add("ckd", 5);        // 2: (0.9, 0.1)
+  vocab.Add("dm", 5);         // 3: (0.1, 0.9)
+  vocab.Add("stage", 5);      // 4: (0.5, 0.5)
+  vocab.Add("neuropathy", 4); // 5: (0.2, 0.8)
+  nn::Matrix vectors = nn::Matrix::FromValues(
+      6, 2,
+      {1.0f, 0.0f, 0.0f, 1.0f, 0.9f, 0.1f, 0.1f, 0.9f, 0.5f, 0.5f, 0.2f, 0.8f});
+  return pretrain::WordEmbeddings(std::move(vocab), std::move(vectors));
+}
+
+/// Ω (retrieval vocabulary): only the canonical KB words.
+text::Vocabulary MakeRetrievalVocab() {
+  text::Vocabulary vocab;
+  vocab.Add("kidney");
+  vocab.Add("diabetes");
+  vocab.Add("stage");
+  vocab.Add("neuropathy");
+  return vocab;
+}
+
+TEST(QueryRewriterTest, InVocabularyWordsKept) {
+  auto emb = MakeEmbeddings();
+  auto retrieval = MakeRetrievalVocab();
+  QueryRewriter rewriter(retrieval, emb);
+  EXPECT_EQ(rewriter.RewriteWord("kidney"), "kidney");
+}
+
+TEST(QueryRewriterTest, AbbreviationMapsToNearestKbWord) {
+  // §5: "dm" -> "diabetes" via the embedding space.
+  auto emb = MakeEmbeddings();
+  auto retrieval = MakeRetrievalVocab();
+  QueryRewriter rewriter(retrieval, emb);
+  EXPECT_EQ(rewriter.RewriteWord("ckd"), "kidney");
+  EXPECT_EQ(rewriter.RewriteWord("dm"), "diabetes");
+}
+
+TEST(QueryRewriterTest, TypoCorrectedThenMapped) {
+  // §5: "neuropaty" is a typo; edit-distance maps it into Ω' and it is
+  // already an Ω word.
+  auto emb = MakeEmbeddings();
+  auto retrieval = MakeRetrievalVocab();
+  QueryRewriter rewriter(retrieval, emb);
+  EXPECT_EQ(rewriter.RewriteWord("neuropaty"), "neuropathy");
+}
+
+TEST(QueryRewriterTest, NumbersKeptVerbatim) {
+  auto emb = MakeEmbeddings();
+  auto retrieval = MakeRetrievalVocab();
+  QueryRewriter rewriter(retrieval, emb);
+  EXPECT_EQ(rewriter.RewriteWord("5"), "5");
+}
+
+TEST(QueryRewriterTest, HopelessWordKept) {
+  auto emb = MakeEmbeddings();
+  auto retrieval = MakeRetrievalVocab();
+  QueryRewriterConfig config;
+  config.max_edit_distance = 1;
+  QueryRewriter rewriter(retrieval, emb, config);
+  EXPECT_EQ(rewriter.RewriteWord("xylophone"), "xylophone");
+}
+
+TEST(QueryRewriterTest, FullQueryRewrite) {
+  // The paper's example: "dm 1 with neuropaty" -> "diabetes 1 ... neuropathy".
+  auto emb = MakeEmbeddings();
+  auto retrieval = MakeRetrievalVocab();
+  QueryRewriter rewriter(retrieval, emb);
+  auto rewritten = rewriter.Rewrite({"dm", "1", "neuropaty"});
+  EXPECT_EQ(rewritten,
+            (std::vector<std::string>{"diabetes", "1", "neuropathy"}));
+}
+
+TEST(QueryRewriterTest, PreservesLength) {
+  auto emb = MakeEmbeddings();
+  auto retrieval = MakeRetrievalVocab();
+  QueryRewriter rewriter(retrieval, emb);
+  EXPECT_EQ(rewriter.Rewrite({"ckd", "dm", "kidney", "5"}).size(), 4u);
+}
+
+}  // namespace
+}  // namespace ncl::linking

@@ -1,0 +1,144 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::nn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndShape) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], 0.0f);
+  EXPECT_EQ(m.ShapeString(), "(3 x 4)");
+}
+
+TEST(MatrixTest, FromValuesRowMajor) {
+  Matrix m = Matrix::FromValues(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 1), 2);
+  EXPECT_EQ(m(1, 0), 3);
+  EXPECT_EQ(m(1, 1), 4);
+}
+
+TEST(MatrixTest, FillAndSetZero) {
+  Matrix m(2, 3, 7.0f);
+  EXPECT_EQ(m(1, 2), 7.0f);
+  m.SetZero();
+  EXPECT_EQ(m.Sum(), 0.0);
+  m.Fill(2.0f);
+  EXPECT_EQ(m.Sum(), 12.0);
+}
+
+TEST(MatrixTest, AddInPlaceAndAxpy) {
+  Matrix a = Matrix::FromValues(1, 3, {1, 2, 3});
+  Matrix b = Matrix::FromValues(1, 3, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a[0], 11);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a[2], 33 + 15);
+}
+
+TEST(MatrixTest, ScaleAndNorms) {
+  Matrix m = Matrix::FromValues(1, 2, {3, 4});
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(m.Norm(), 5.0);
+  m.Scale(2.0f);
+  EXPECT_DOUBLE_EQ(m.Norm(), 10.0);
+}
+
+TEST(MatrixTest, MatMulKnownResult) {
+  Matrix a = Matrix::FromValues(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b = Matrix::FromValues(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = a.MatMul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c(0, 0), 58);
+  EXPECT_EQ(c(0, 1), 64);
+  EXPECT_EQ(c(1, 0), 139);
+  EXPECT_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, MatMulIdentity) {
+  Matrix eye(3, 3);
+  for (size_t i = 0; i < 3; ++i) eye(i, i) = 1.0f;
+  Rng rng(3);
+  Matrix a = Matrix::RandomUniform(3, 3, 1.0f, rng);
+  Matrix product = a.MatMul(eye);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(product[i], a[i]);
+}
+
+TEST(MatrixTest, TransposedMatMulAgreesWithExplicit) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomUniform(4, 3, 1.0f, rng);  // A: 4x3
+  Matrix b = Matrix::RandomUniform(4, 2, 1.0f, rng);  // B: 4x2
+  // A^T * B via TransposedMatMul vs. manual transpose.
+  Matrix at(3, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) at(j, i) = a(i, j);
+  }
+  Matrix expected = at.MatMul(b);
+  Matrix actual = a.TransposedMatMul(b);
+  ASSERT_TRUE(actual.SameShape(expected));
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-5);
+  }
+}
+
+TEST(MatrixTest, MatMulTransposedAgreesWithExplicit) {
+  Rng rng(7);
+  Matrix a = Matrix::RandomUniform(2, 3, 1.0f, rng);  // A: 2x3
+  Matrix b = Matrix::RandomUniform(4, 3, 1.0f, rng);  // B: 4x3
+  Matrix bt(3, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) bt(j, i) = b(i, j);
+  }
+  Matrix expected = a.MatMul(bt);
+  Matrix actual = a.MatMulTransposed(b);
+  ASSERT_TRUE(actual.SameShape(expected));
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-5);
+  }
+}
+
+TEST(MatrixTest, DotIsFlatInnerProduct) {
+  Matrix a = Matrix::FromValues(2, 2, {1, 2, 3, 4});
+  Matrix b = Matrix::FromValues(2, 2, {5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 5 + 12 + 21 + 32);
+}
+
+TEST(MatrixTest, RandomUniformWithinRange) {
+  Rng rng(11);
+  Matrix m = Matrix::RandomUniform(10, 10, 0.25f, rng);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m[i], -0.25f);
+    EXPECT_LE(m[i], 0.25f);
+  }
+  // Not all equal (sanity).
+  EXPECT_NE(m[0], m[1]);
+}
+
+TEST(MatrixTest, XavierScaleShrinksWithFanIn) {
+  Rng rng(13);
+  Matrix small_fan = Matrix::Xavier(4, 4, rng);
+  Matrix large_fan = Matrix::Xavier(400, 400, rng);
+  double max_small = 0.0, max_large = 0.0;
+  for (size_t i = 0; i < small_fan.size(); ++i) {
+    max_small = std::max(max_small, std::abs(static_cast<double>(small_fan[i])));
+  }
+  for (size_t i = 0; i < large_fan.size(); ++i) {
+    max_large = std::max(max_large, std::abs(static_cast<double>(large_fan[i])));
+  }
+  EXPECT_GT(max_small, max_large);
+}
+
+TEST(MatrixTest, RowDataPointsIntoStorage) {
+  Matrix m = Matrix::FromValues(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.row_data(1)[0], 4);
+  m.row_data(1)[0] = 40;
+  EXPECT_EQ(m(1, 0), 40);
+}
+
+}  // namespace
+}  // namespace ncl::nn

@@ -1,0 +1,243 @@
+// Autodiff correctness: every op's analytic gradient is checked against
+// central finite differences on random inputs.
+
+#include "nn/tape.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace ncl::nn {
+namespace {
+
+/// Finite-difference check: perturb every entry of `param` and compare the
+/// numeric d(loss)/d(entry) with the accumulated analytic gradient.
+/// `build` must construct the scalar loss from the current parameter values.
+void CheckGradient(ParameterStore& store, Parameter* param,
+                   const std::function<VarId(Tape&)>& build, float epsilon = 1e-3f,
+                   float tolerance = 2e-2f) {
+  // Analytic pass.
+  store.ZeroGrads();
+  Tape tape;
+  VarId loss = build(tape);
+  tape.Backward(loss);
+  Matrix analytic = param->grad;
+
+  // Numeric pass per coordinate.
+  for (size_t i = 0; i < param->value.size(); ++i) {
+    float saved = param->value[i];
+    param->value[i] = saved + epsilon;
+    Tape plus;
+    float f_plus = plus.Value(build(plus))[0];
+    param->value[i] = saved - epsilon;
+    Tape minus;
+    float f_minus = minus.Value(build(minus))[0];
+    param->value[i] = saved;
+    float numeric = (f_plus - f_minus) / (2.0f * epsilon);
+    EXPECT_NEAR(analytic[i], numeric,
+                tolerance * std::max(1.0f, std::abs(numeric)))
+        << param->name << "[" << i << "]";
+  }
+}
+
+class TapeGradientTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+};
+
+TEST_P(TapeGradientTest, MatMulAndAdd) {
+  ParameterStore store;
+  Parameter* w = store.Create("w", 3, 4, Init::kXavier, rng_);
+  Parameter* b = store.Create("b", 3, 1, Init::kSmallUniform, rng_);
+  Matrix x = Matrix::RandomUniform(4, 1, 1.0f, rng_);
+
+  auto build = [&](Tape& tape) {
+    VarId wx = tape.MatMul(tape.Param(w), tape.Constant(x));
+    VarId y = tape.Add(wx, tape.Param(b));
+    // Reduce to scalar via softmax cross entropy against class 0.
+    return tape.SoftmaxCrossEntropy(y, 0);
+  };
+  CheckGradient(store, w, build);
+  CheckGradient(store, b, build);
+}
+
+TEST_P(TapeGradientTest, ElementwiseOps) {
+  ParameterStore store;
+  Parameter* a = store.Create("a", 5, 1, Init::kSmallUniform, rng_);
+  Parameter* b = store.Create("b", 5, 1, Init::kSmallUniform, rng_);
+
+  auto build = [&](Tape& tape) {
+    VarId prod = tape.Mul(tape.Param(a), tape.Param(b));
+    VarId act = tape.Tanh(tape.Sigmoid(prod));
+    return tape.SoftmaxCrossEntropy(act, 2);
+  };
+  CheckGradient(store, a, build);
+  CheckGradient(store, b, build);
+}
+
+TEST_P(TapeGradientTest, ScalarMulAndConcat) {
+  ParameterStore store;
+  Parameter* a = store.Create("a", 2, 1, Init::kSmallUniform, rng_);
+  Parameter* b = store.Create("b", 3, 1, Init::kSmallUniform, rng_);
+
+  auto build = [&](Tape& tape) {
+    VarId joined =
+        tape.ConcatRows({tape.ScalarMul(tape.Param(a), 2.5f), tape.Param(b)});
+    return tape.SoftmaxCrossEntropy(joined, 4);
+  };
+  CheckGradient(store, a, build);
+  CheckGradient(store, b, build);
+}
+
+TEST_P(TapeGradientTest, AttentionGradients) {
+  ParameterStore store;
+  Parameter* v0 = store.Create("v0", 4, 1, Init::kSmallUniform, rng_);
+  Parameter* v1 = store.Create("v1", 4, 1, Init::kSmallUniform, rng_);
+  Parameter* v2 = store.Create("v2", 4, 1, Init::kSmallUniform, rng_);
+  Parameter* key = store.Create("key", 4, 1, Init::kSmallUniform, rng_);
+
+  auto build = [&](Tape& tape) {
+    VarId context = tape.Attention(
+        {tape.Param(v0), tape.Param(v1), tape.Param(v2)}, tape.Param(key));
+    return tape.SoftmaxCrossEntropy(context, 1);
+  };
+  CheckGradient(store, v0, build);
+  CheckGradient(store, v1, build);
+  CheckGradient(store, v2, build);
+  CheckGradient(store, key, build);
+}
+
+TEST_P(TapeGradientTest, LookupGradientScattersIntoRow) {
+  ParameterStore store;
+  Parameter* table = store.Create("emb", 6, 3, Init::kSmallUniform, rng_);
+
+  auto build = [&](Tape& tape) {
+    VarId row = tape.Lookup(table, 2);
+    return tape.SoftmaxCrossEntropy(row, 0);
+  };
+  store.ZeroGrads();
+  Tape tape;
+  tape.Backward(build(tape));
+  // Only row 2 receives gradient.
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      if (r == 2) continue;
+      EXPECT_EQ(table->grad(r, c), 0.0f);
+    }
+  }
+  CheckGradient(store, table, build);
+}
+
+TEST_P(TapeGradientTest, SoftmaxCrossEntropyGradient) {
+  ParameterStore store;
+  Parameter* logits = store.Create("z", 7, 1, Init::kSmallUniform, rng_);
+  auto build = [&](Tape& tape) {
+    return tape.SoftmaxCrossEntropy(tape.Param(logits), 3);
+  };
+  CheckGradient(store, logits, build, 1e-3f, 1e-2f);
+}
+
+TEST_P(TapeGradientTest, AddScalarsSumsLosses) {
+  ParameterStore store;
+  Parameter* z = store.Create("z", 4, 1, Init::kSmallUniform, rng_);
+  auto build = [&](Tape& tape) {
+    VarId l1 = tape.SoftmaxCrossEntropy(tape.Param(z), 0);
+    VarId l2 = tape.SoftmaxCrossEntropy(tape.Param(z), 1);
+    return tape.AddScalars({l1, l2});
+  };
+  CheckGradient(store, z, build);
+}
+
+TEST_P(TapeGradientTest, SharedParameterAccumulates) {
+  // The same parameter used twice must receive the sum of both paths'
+  // gradients (the decoder and encoder share the embedding table).
+  ParameterStore store;
+  Parameter* w = store.Create("w", 3, 3, Init::kXavier, rng_);
+  Matrix x = Matrix::RandomUniform(3, 1, 1.0f, rng_);
+  auto build = [&](Tape& tape) {
+    VarId wv = tape.Param(w);
+    VarId xc = tape.Constant(x);
+    VarId once = tape.MatMul(wv, xc);
+    VarId twice = tape.MatMul(wv, tape.Tanh(once));
+    return tape.SoftmaxCrossEntropy(twice, 1);
+  };
+  CheckGradient(store, w, build);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TapeGradientTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+TEST(TapeTest, ForwardValuesCorrect) {
+  Tape tape;
+  VarId a = tape.Constant(Matrix::FromValues(2, 1, {1.0f, 2.0f}));
+  VarId b = tape.Constant(Matrix::FromValues(2, 1, {3.0f, 4.0f}));
+  EXPECT_FLOAT_EQ(tape.Value(tape.Add(a, b))[0], 4.0f);
+  EXPECT_FLOAT_EQ(tape.Value(tape.Mul(a, b))[1], 8.0f);
+  EXPECT_NEAR(tape.Value(tape.Sigmoid(a))[0], 1.0 / (1.0 + std::exp(-1.0)), 1e-6);
+  EXPECT_NEAR(tape.Value(tape.Tanh(a))[1], std::tanh(2.0), 1e-6);
+}
+
+TEST(TapeTest, SoftmaxCrossEntropyValueIsNegLogProb) {
+  Tape tape;
+  VarId logits = tape.Constant(Matrix::FromValues(3, 1, {0.0f, 0.0f, 0.0f}));
+  VarId loss = tape.SoftmaxCrossEntropy(logits, 1);
+  EXPECT_NEAR(tape.Value(loss)[0], std::log(3.0), 1e-5);
+}
+
+TEST(TapeTest, AttentionUniformWhenScoresEqual) {
+  Tape tape;
+  VarId v0 = tape.Constant(Matrix::FromValues(2, 1, {1.0f, 0.0f}));
+  VarId v1 = tape.Constant(Matrix::FromValues(2, 1, {0.0f, 1.0f}));
+  VarId key = tape.Constant(Matrix::FromValues(2, 1, {1.0f, 1.0f}));
+  std::vector<float> weights;
+  VarId context = tape.Attention({v0, v1}, key, &weights);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_NEAR(weights[0], 0.5f, 1e-6);
+  EXPECT_NEAR(weights[1], 0.5f, 1e-6);
+  EXPECT_NEAR(tape.Value(context)[0], 0.5f, 1e-6);
+}
+
+TEST(TapeTest, AttentionPrefersAlignedValue) {
+  Tape tape;
+  VarId v0 = tape.Constant(Matrix::FromValues(2, 1, {3.0f, 0.0f}));
+  VarId v1 = tape.Constant(Matrix::FromValues(2, 1, {0.0f, 1.0f}));
+  VarId key = tape.Constant(Matrix::FromValues(2, 1, {1.0f, 0.0f}));
+  std::vector<float> weights;
+  tape.Attention({v0, v1}, key, &weights);
+  EXPECT_GT(weights[0], weights[1]);
+}
+
+TEST(TapeTest, ResetClearsNodes) {
+  Tape tape;
+  tape.Constant(Matrix(1, 1));
+  EXPECT_EQ(tape.size(), 1u);
+  tape.Reset();
+  EXPECT_EQ(tape.size(), 0u);
+}
+
+TEST(TapeTest, ParamNodeIsCached) {
+  ParameterStore store;
+  Rng rng(1);
+  Parameter* w = store.Create("w", 2, 2, Init::kXavier, rng);
+  Tape tape;
+  EXPECT_EQ(tape.Param(w), tape.Param(w));
+}
+
+TEST(TapeTest, BackwardSeedScalesGradient) {
+  ParameterStore store;
+  Rng rng(2);
+  Parameter* z = store.Create("z", 3, 1, Init::kSmallUniform, rng);
+  auto run = [&](float seed) {
+    store.ZeroGrads();
+    Tape tape;
+    tape.Backward(tape.SoftmaxCrossEntropy(tape.Param(z), 0), seed);
+    return z->grad[1];
+  };
+  float g1 = run(1.0f);
+  float g_half = run(0.5f);
+  EXPECT_NEAR(g_half, 0.5f * g1, 1e-6);
+}
+
+}  // namespace
+}  // namespace ncl::nn

@@ -1,0 +1,89 @@
+#include "ontology/ontology_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ncl::ontology {
+namespace {
+
+constexpr const char* kTsv =
+    "# code\tparent\tdescription\n"
+    "D50\tROOT\tIron deficiency anemia\n"
+    "D50.0\tD50\tIron deficiency anemia secondary to blood loss\n"
+    "N18\tROOT\tChronic kidney disease\n"
+    "N18.5\tN18\tChronic kidney disease, stage 5\n";
+
+TEST(OntologyIoTest, LoadFromString) {
+  auto result = LoadOntologyFromString(kTsv);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Ontology& onto = *result;
+  EXPECT_EQ(onto.num_concepts(), 4u);
+  ConceptId id = onto.FindByCode("N18.5");
+  ASSERT_NE(id, kInvalidConcept);
+  // Description is normalised/tokenised on load.
+  EXPECT_EQ(onto.Get(id).description,
+            (std::vector<std::string>{"chronic", "kidney", "disease", "stage", "5"}));
+  EXPECT_EQ(onto.Get(onto.Get(id).parent).code, "N18");
+}
+
+TEST(OntologyIoTest, CommentsAndBlanksIgnored) {
+  auto result = LoadOntologyFromString("# header\n\nA00\tROOT\tcholera\n\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_concepts(), 1u);
+}
+
+TEST(OntologyIoTest, BadFieldCountFails) {
+  auto result = LoadOntologyFromString("A00\tROOT\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OntologyIoTest, UnknownParentFails) {
+  auto result = LoadOntologyFromString("A00.1\tA00\tsub\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(OntologyIoTest, DuplicateCodeFails) {
+  auto result =
+      LoadOntologyFromString("A00\tROOT\tcholera\nA00\tROOT\tcholera again\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(OntologyIoTest, RoundTripThroughString) {
+  auto loaded = LoadOntologyFromString(kTsv);
+  ASSERT_TRUE(loaded.ok());
+  std::string saved = SaveOntologyToString(*loaded);
+  auto reloaded = LoadOntologyFromString(saved);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->num_concepts(), loaded->num_concepts());
+  for (ConceptId id : loaded->AllConcepts()) {
+    const Concept& a = loaded->Get(id);
+    ConceptId rid = reloaded->FindByCode(a.code);
+    ASSERT_NE(rid, kInvalidConcept) << a.code;
+    EXPECT_EQ(reloaded->Get(rid).description, a.description);
+    EXPECT_EQ(reloaded->Get(reloaded->Get(rid).parent).code,
+              loaded->Get(a.parent).code);
+  }
+}
+
+TEST(OntologyIoTest, RoundTripThroughFile) {
+  auto loaded = LoadOntologyFromString(kTsv);
+  ASSERT_TRUE(loaded.ok());
+  std::string path = testing::TempDir() + "/ncl_ontology_io_test.tsv";
+  ASSERT_TRUE(SaveOntologyToFile(*loaded, path).ok());
+  auto reloaded = LoadOntologyFromFile(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->num_concepts(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(OntologyIoTest, MissingFileFails) {
+  auto result = LoadOntologyFromFile("/nonexistent-xyz/onto.tsv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace ncl::ontology

@@ -1,0 +1,52 @@
+#include "pretrain/concept_injection.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::pretrain {
+namespace {
+
+TEST(ConceptInjectionTest, MatchesPaperExample) {
+  // §4.2: "protein deficiency anemia" labeled D53.0 becomes
+  // "D53.0 protein D53.0 deficiency D53.0 anemia".
+  auto injected = InjectConceptId({"protein", "deficiency", "anemia"}, "D53.0");
+  EXPECT_EQ(injected,
+            (std::vector<std::string>{"D53.0", "protein", "D53.0", "deficiency",
+                                      "D53.0", "anemia"}));
+}
+
+TEST(ConceptInjectionTest, EmptyInputStaysEmpty) {
+  EXPECT_TRUE(InjectConceptId({}, "D50.0").empty());
+}
+
+TEST(ConceptInjectionTest, SingleWord) {
+  EXPECT_EQ(InjectConceptId({"scurvy"}, "E54"),
+            (std::vector<std::string>{"E54", "scurvy"}));
+}
+
+TEST(ConceptInjectionTest, LengthDoubles) {
+  std::vector<std::string> tokens{"a", "b", "c", "d"};
+  EXPECT_EQ(InjectConceptId(tokens, "X").size(), 8u);
+}
+
+TEST(ConceptInjectionTest, OriginalUnchanged) {
+  std::vector<std::string> tokens{"iron", "anemia"};
+  InjectConceptId(tokens, "D50");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"iron", "anemia"}));
+}
+
+TEST(ConceptInjectionTest, BatchAppend) {
+  std::vector<std::vector<std::string>> corpus{{"existing"}};
+  AppendInjectedSnippets({{{"a", "b"}, "C1"}, {{"c"}, "C2"}}, &corpus);
+  ASSERT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus[1], (std::vector<std::string>{"C1", "a", "C1", "b"}));
+  EXPECT_EQ(corpus[2], (std::vector<std::string>{"C2", "c"}));
+}
+
+TEST(ConceptInjectionTest, InjectedContextsDivergeForSiblings) {
+  auto a = InjectConceptId({"protein", "deficiency", "anemia"}, "D53.0");
+  auto b = InjectConceptId({"iron", "deficiency", "anemia"}, "D50.0");
+  EXPECT_NE(a[2], b[2]);  // "D53.0" vs "D50.0"
+}
+
+}  // namespace
+}  // namespace ncl::pretrain

@@ -1,0 +1,123 @@
+#include "text/tfidf_index.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::text {
+namespace {
+
+TfIdfIndex MakeSmallIndex() {
+  TfIdfIndex index;
+  index.AddDocument({"iron", "deficiency", "anemia"});                      // 0
+  index.AddDocument({"protein", "deficiency", "anemia"});                   // 1
+  index.AddDocument({"chronic", "kidney", "disease", "stage", "5"});        // 2
+  index.AddDocument({"acute", "abdomen"});                                  // 3
+  index.AddDocument({"unspecified", "abdominal", "pain"});                  // 4
+  index.Finalize();
+  return index;
+}
+
+TEST(TfIdfIndexTest, ExactMatchRanksFirst) {
+  TfIdfIndex index = MakeSmallIndex();
+  auto results = index.TopK({"iron", "deficiency", "anemia"}, 3);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].doc_id, 0);
+  EXPECT_NEAR(results[0].score, 1.0, 1e-9);
+}
+
+TEST(TfIdfIndexTest, DiscriminativeWordBeatsCommonWord) {
+  TfIdfIndex index = MakeSmallIndex();
+  // "iron" is unique to doc 0, "anemia" shared by docs 0 and 1: doc 0 first.
+  auto results = index.TopK({"iron", "anemia"}, 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].doc_id, 0);
+  EXPECT_EQ(results[1].doc_id, 1);
+  EXPECT_GT(results[0].score, results[1].score);
+}
+
+TEST(TfIdfIndexTest, UnknownWordsIgnored) {
+  TfIdfIndex index = MakeSmallIndex();
+  auto results = index.TopK({"zzz", "kidney"}, 5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc_id, 2);
+}
+
+TEST(TfIdfIndexTest, AllUnknownYieldsEmpty) {
+  TfIdfIndex index = MakeSmallIndex();
+  EXPECT_TRUE(index.TopK({"zzz", "qqq"}, 5).empty());
+}
+
+TEST(TfIdfIndexTest, EmptyQueryYieldsEmpty) {
+  TfIdfIndex index = MakeSmallIndex();
+  EXPECT_TRUE(index.TopK({}, 5).empty());
+  EXPECT_TRUE(index.TopK({"anemia"}, 0).empty());
+}
+
+TEST(TfIdfIndexTest, KLimitsResults) {
+  TfIdfIndex index = MakeSmallIndex();
+  auto results = index.TopK({"anemia", "deficiency"}, 1);
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST(TfIdfIndexTest, ScoresSortedDescending) {
+  TfIdfIndex index = MakeSmallIndex();
+  auto results = index.TopK({"anemia", "pain", "abdomen"}, 10);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].score, results[i].score);
+  }
+}
+
+TEST(TfIdfIndexTest, ScoresWithinUnitInterval) {
+  TfIdfIndex index = MakeSmallIndex();
+  for (const auto& r : index.TopK({"deficiency", "anemia", "stage"}, 10)) {
+    EXPECT_GT(r.score, 0.0);
+    EXPECT_LE(r.score, 1.0 + 1e-9);
+  }
+}
+
+TEST(TfIdfIndexTest, VocabularyHoldsIndexedWords) {
+  TfIdfIndex index = MakeSmallIndex();
+  EXPECT_TRUE(index.vocabulary().Contains("anemia"));
+  EXPECT_TRUE(index.vocabulary().Contains("5"));
+  EXPECT_FALSE(index.vocabulary().Contains("ckd"));
+}
+
+TEST(TfIdfIndexTest, NumDocuments) {
+  TfIdfIndex index = MakeSmallIndex();
+  EXPECT_EQ(index.num_documents(), 5u);
+  EXPECT_TRUE(index.finalized());
+}
+
+TEST(TfIdfIndexTest, RepeatedTermRaisesTf) {
+  TfIdfIndex index;
+  index.AddDocument({"pain", "pain", "pain"});
+  index.AddDocument({"pain", "relief", "cream"});
+  index.Finalize();
+  auto results = index.TopK({"pain"}, 2);
+  ASSERT_EQ(results.size(), 2u);
+  // Doc 0 is purely "pain": cosine 1 regardless of tf; doc 1 diluted.
+  EXPECT_EQ(results[0].doc_id, 0);
+  EXPECT_GT(results[0].score, results[1].score);
+}
+
+// Property: the top-1 for a full document query is that document.
+class TfIdfSelfRetrieval : public ::testing::TestWithParam<int> {};
+
+TEST_P(TfIdfSelfRetrieval, DocumentRetrievesItself) {
+  TfIdfIndex index = MakeSmallIndex();
+  std::vector<std::vector<std::string>> docs = {
+      {"iron", "deficiency", "anemia"},
+      {"protein", "deficiency", "anemia"},
+      {"chronic", "kidney", "disease", "stage", "5"},
+      {"acute", "abdomen"},
+      {"unspecified", "abdominal", "pain"},
+  };
+  int doc = GetParam();
+  auto results = index.TopK(docs[static_cast<size_t>(doc)], 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc_id, doc);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDocs, TfIdfSelfRetrieval, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace ncl::text

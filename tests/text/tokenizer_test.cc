@@ -1,0 +1,87 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::text {
+namespace {
+
+TEST(NormalizeTest, LowercasesAndStripsSpecials) {
+  EXPECT_EQ(Normalize("Chronic kidney disease, stage 5"),
+            "chronic kidney disease stage 5");
+  EXPECT_EQ(Normalize("Dermatitis; unspecified!"), "dermatitis unspecified");
+}
+
+TEST(NormalizeTest, KeepsIcdCodesAndPercents) {
+  EXPECT_EQ(Normalize("D50.0 noted"), "d50.0 noted");
+  EXPECT_EQ(Normalize("hypertension ef 75%"), "hypertension ef 75%");
+}
+
+TEST(NormalizeTest, CollapsesWhitespaceRuns) {
+  EXPECT_EQ(Normalize("a   b\t\tc"), "a b c");
+  EXPECT_EQ(Normalize("   leading"), "leading");
+}
+
+TEST(NormalizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_EQ(Normalize(""), "");
+  EXPECT_EQ(Normalize(",;!"), "");
+}
+
+TEST(TokenizeTest, SplitsNormalizedText) {
+  EXPECT_EQ(Tokenize("Iron-Deficiency Anemia"),
+            (std::vector<std::string>{"iron", "deficiency", "anemia"}));
+}
+
+TEST(TokenizeTest, StripsSentenceDots) {
+  // "anemia." at the end of a sentence must not keep the dot.
+  EXPECT_EQ(Tokenize("vitamin c def. anemia."),
+            (std::vector<std::string>{"vitamin", "c", "def", "anemia"}));
+}
+
+TEST(TokenizeTest, PreservesInternalDots) {
+  EXPECT_EQ(Tokenize("code D50.0 here"),
+            (std::vector<std::string>{"code", "d50.0", "here"}));
+}
+
+TEST(TokenizeTest, EmptyInputYieldsNoTokens) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize(" ,;! ").empty());
+}
+
+TEST(DetokenizeTest, RoundTrips) {
+  std::vector<std::string> tokens{"ckd", "5"};
+  EXPECT_EQ(Detokenize(tokens), "ckd 5");
+  EXPECT_EQ(Tokenize(Detokenize(tokens)), tokens);
+}
+
+TEST(CharNgramsTest, Bigrams) {
+  EXPECT_EQ(CharNgrams("abc", 2), (std::vector<std::string>{"ab", "bc"}));
+}
+
+TEST(CharNgramsTest, ShortTokenReturnsWhole) {
+  EXPECT_EQ(CharNgrams("a", 2), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(CharNgrams("ab", 2), (std::vector<std::string>{"ab"}));
+}
+
+TEST(CharNgramsTest, TrigramCount) {
+  EXPECT_EQ(CharNgrams("anemia", 3).size(), 4u);
+}
+
+// Property: Tokenize is idempotent through Detokenize.
+class TokenizeRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TokenizeRoundTrip, Stable) {
+  auto once = Tokenize(GetParam());
+  auto twice = Tokenize(Detokenize(once));
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Snippets, TokenizeRoundTrip,
+    ::testing::Values("Chronic kidney disease, stage 5",
+                      "symptomatic anemia  from menorrhagia",
+                      "iron def anemia - from menorrhagia",
+                      "fe def anemia 2' to menorrhagia",
+                      "HYPERTENSION EF 75%", "d50.0", "ckd 5"));
+
+}  // namespace
+}  // namespace ncl::text

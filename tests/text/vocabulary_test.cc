@@ -1,0 +1,87 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl::text {
+namespace {
+
+TEST(VocabularyTest, AddAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Add("anemia"), 0);
+  EXPECT_EQ(vocab.Add("iron"), 1);
+  EXPECT_EQ(vocab.Add("anemia"), 0);  // repeated add returns existing id
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, CountsAccumulate) {
+  Vocabulary vocab;
+  WordId id = vocab.Add("kidney");
+  vocab.Add("kidney");
+  vocab.Add("kidney", 3);
+  EXPECT_EQ(vocab.CountOf(id), 5u);
+  EXPECT_EQ(vocab.total_count(), 5u);
+}
+
+TEST(VocabularyTest, LookupMissingReturnsUnknown) {
+  Vocabulary vocab;
+  vocab.Add("x");
+  EXPECT_EQ(vocab.Lookup("y"), Vocabulary::kUnknown);
+  EXPECT_FALSE(vocab.Contains("y"));
+  EXPECT_TRUE(vocab.Contains("x"));
+}
+
+TEST(VocabularyTest, WordOfInvertsLookup) {
+  Vocabulary vocab;
+  WordId a = vocab.Add("alpha");
+  WordId b = vocab.Add("beta");
+  EXPECT_EQ(vocab.WordOf(a), "alpha");
+  EXPECT_EQ(vocab.WordOf(b), "beta");
+}
+
+TEST(VocabularyTest, PruneRareWordsKeepsFrequent) {
+  Vocabulary vocab;
+  vocab.Add("common", 10);
+  vocab.Add("rare", 1);
+  vocab.Add("medium", 3);
+  auto remap = vocab.PruneRareWords(2);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_TRUE(vocab.Contains("common"));
+  EXPECT_TRUE(vocab.Contains("medium"));
+  EXPECT_FALSE(vocab.Contains("rare"));
+  EXPECT_EQ(remap[1], Vocabulary::kUnknown);  // "rare" dropped
+  EXPECT_EQ(vocab.WordOf(remap[0]), "common");
+  EXPECT_EQ(vocab.WordOf(remap[2]), "medium");
+  EXPECT_EQ(vocab.total_count(), 13u);
+}
+
+TEST(VocabularyTest, PruneReassignsDenseIds) {
+  Vocabulary vocab;
+  vocab.Add("a", 1);
+  vocab.Add("b", 5);
+  vocab.Add("c", 1);
+  vocab.Add("d", 5);
+  vocab.PruneRareWords(2);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.Lookup("b"), 0);
+  EXPECT_EQ(vocab.Lookup("d"), 1);
+}
+
+TEST(VocabularyTest, PruneAllLeavesEmpty) {
+  Vocabulary vocab;
+  vocab.Add("once");
+  vocab.PruneRareWords(100);
+  EXPECT_EQ(vocab.size(), 0u);
+  EXPECT_EQ(vocab.total_count(), 0u);
+}
+
+TEST(VocabularyTest, WordsAndCountsParallelArrays) {
+  Vocabulary vocab;
+  vocab.Add("p", 2);
+  vocab.Add("q", 7);
+  ASSERT_EQ(vocab.words().size(), vocab.counts().size());
+  EXPECT_EQ(vocab.words()[1], "q");
+  EXPECT_EQ(vocab.counts()[1], 7u);
+}
+
+}  // namespace
+}  // namespace ncl::text

@@ -1,0 +1,78 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ncl {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("Chronic Kidney DISEASE"), "chronic kidney disease");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("D50.0"), "d50.0");
+}
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(Split("a  b   c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("  leading and trailing  "),
+            (std::vector<std::string>{"leading", "and", "trailing"}));
+  EXPECT_TRUE(Split("").empty());
+  EXPECT_TRUE(Split("   ").empty());
+}
+
+TEST(StringUtilTest, SplitCustomDelims) {
+  EXPECT_EQ(Split("a,b;c", ",;"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, SplitKeepEmptyPreservesFields) {
+  EXPECT_EQ(SplitKeepEmpty("a\t\tb", '\t'),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitKeepEmpty("", '\t'), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitKeepEmpty("x\t", '\t'), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> pieces{"iron", "deficiency", "anemia"};
+  EXPECT_EQ(Join(pieces, " "), "iron deficiency anemia");
+  EXPECT_EQ(Split(Join(pieces, " ")), pieces);
+  EXPECT_EQ(Join({}, " "), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("chronic", "chr"));
+  EXPECT_FALSE(StartsWith("chr", "chronic"));
+  EXPECT_TRUE(EndsWith("nephropathy", "pathy"));
+  EXPECT_FALSE(EndsWith("pathy", "nephropathy"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, IsNumber) {
+  EXPECT_TRUE(IsNumber("5"));
+  EXPECT_TRUE(IsNumber("123"));
+  EXPECT_FALSE(IsNumber(""));
+  EXPECT_FALSE(IsNumber("5a"));
+  EXPECT_FALSE(IsNumber("5.0"));  // dot is not a digit
+}
+
+TEST(StringUtilTest, ContainsDigit) {
+  EXPECT_TRUE(ContainsDigit("stage5"));
+  EXPECT_TRUE(ContainsDigit("d50.0"));
+  EXPECT_FALSE(ContainsDigit("anemia"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.4667, 3), "0.467");
+  EXPECT_EQ(FormatDouble(1.0, 1), "1.0");
+  EXPECT_EQ(FormatDouble(-2.5, 2), "-2.50");
+}
+
+}  // namespace
+}  // namespace ncl

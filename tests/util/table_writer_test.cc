@@ -1,0 +1,74 @@
+#include "util/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ncl {
+namespace {
+
+TEST(TableWriterTest, RendersHeaderSeparatorAndRows) {
+  TableWriter table("Demo", {"method", "accuracy"});
+  table.AddRow({"NCL", "0.80"});
+  table.AddRow({"pkduck", "0.34"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("accuracy"), std::string::npos);
+  EXPECT_NE(out.find("NCL"), std::string::npos);
+  EXPECT_NE(out.find("0.34"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableWriterTest, NumericRowHelperFormats) {
+  TableWriter table("", {"k", "cov", "acc"});
+  table.AddRow("10", {0.71234, 0.5}, 2);
+  std::string out = table.Render();
+  EXPECT_NE(out.find("0.71"), std::string::npos);
+  EXPECT_NE(out.find("0.50"), std::string::npos);
+}
+
+TEST(TableWriterTest, ShortRowsArePadded) {
+  TableWriter table("", {"a", "b", "c"});
+  table.AddRow({"only-one"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  // Renders without crashing and includes the cell.
+  EXPECT_NE(table.Render().find("only-one"), std::string::npos);
+}
+
+TEST(TableWriterTest, ColumnsAlign) {
+  TableWriter table("", {"x", "yyy"});
+  table.AddRow({"longvalue", "1"});
+  std::string out = table.Render();
+  std::istringstream lines(out);
+  std::string header, sep, row;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row);
+  // The second column starts at the same offset in header and row.
+  EXPECT_EQ(header.find("yyy"), row.find("1"));
+}
+
+TEST(TableWriterTest, WritesTsv) {
+  TableWriter table("t", {"a", "b"});
+  table.AddRow({"1", "2"});
+  std::string path = testing::TempDir() + "/ncl_table_test.tsv";
+  ASSERT_TRUE(table.WriteTsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a\tb");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1\t2");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriterTest, TsvToBadPathFails) {
+  TableWriter table("t", {"a"});
+  EXPECT_FALSE(table.WriteTsv("/nonexistent-dir-xyz/file.tsv").ok());
+}
+
+}  // namespace
+}  // namespace ncl

@@ -1,0 +1,295 @@
+// ncl — command-line interface to the NCL library.
+//
+// Subcommands (all paths are plain files; ontologies and snippets are TSV,
+// corpora are one snippet per line):
+//
+//   ncl synth <out-dir> [--mimic] [--scale S] [--seed N]
+//       Synthesise a dataset: ontology.tsv, aliases.tsv, notes.txt,
+//       queries.tsv. Stand-in for exporting a hospital's own data.
+//
+//   ncl train <dir> [--dim D] [--beta B] [--epochs E] [--cbow-epochs E]
+//       Pre-train embeddings and train COM-AID from <dir>/ontology.tsv,
+//       <dir>/aliases.tsv and <dir>/notes.txt; writes model.bin(+.params)
+//       and embeddings.bin into <dir>.
+//
+//   ncl link <dir> [--k K] "free text query"...
+//       Load the trained artifacts and link each query argument, printing
+//       the top-3 concepts with scores.
+//
+//   ncl eval <dir> [--k K]
+//       Evaluate the trained artifacts on <dir>/queries.tsv (top-1
+//       accuracy and MRR).
+//
+// Exit status is non-zero on any error; diagnostics go to stderr.
+
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "comaid/model_io.h"
+#include "comaid/trainer.h"
+#include "datagen/dataset.h"
+#include "datagen/snippet_io.h"
+#include "linking/candidate_generator.h"
+#include "linking/metrics.h"
+#include "linking/ncl_linker.h"
+#include "linking/query_rewriter.h"
+#include "ontology/ontology_io.h"
+#include "pretrain/cbow.h"
+#include "pretrain/concept_injection.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ncl;
+
+int Fail(const Status& status) {
+  std::cerr << "ncl: " << status.ToString() << std::endl;
+  return 1;
+}
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  ncl synth <out-dir> [--mimic] [--scale S] [--seed N]\n"
+      "  ncl train <dir> [--dim D] [--beta B] [--epochs E] [--cbow-epochs E]\n"
+      "  ncl link <dir> [--k K] \"query text\"...\n"
+      "  ncl eval <dir> [--k K]\n";
+  return 2;
+}
+
+/// Pulls "--name value" pairs out of argv; returns positional arguments.
+std::vector<std::string> ParseFlags(int argc, char** argv,
+                                    std::unordered_map<std::string, std::string>* flags) {
+  std::vector<std::string> positional;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (arg == "--mimic") {
+        (*flags)["mimic"] = "1";
+      } else if (i + 1 < argc) {
+        (*flags)[arg.substr(2)] = argv[++i];
+      } else {
+        (*flags)[arg.substr(2)] = "";
+      }
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  return positional;
+}
+
+double FlagDouble(const std::unordered_map<std::string, std::string>& flags,
+                  const std::string& name, double fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+int64_t FlagInt(const std::unordered_map<std::string, std::string>& flags,
+                const std::string& name, int64_t fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::stoll(it->second);
+}
+
+int CmdSynth(const std::vector<std::string>& args,
+             const std::unordered_map<std::string, std::string>& flags) {
+  if (args.empty()) return Usage();
+  const std::string& dir = args[0];
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Fail(Status::IOError("cannot create " + dir + ": " + ec.message()));
+
+  datagen::DatasetConfig config;
+  config.scale = FlagDouble(flags, "scale", 0.6);
+  config.seed = static_cast<uint64_t>(FlagInt(flags, "seed", 2018));
+  config.notes_per_concept = 12;
+  config.num_query_groups = 1;
+  config.queries_per_group = 200;
+  datagen::Dataset data = flags.contains("mimic")
+                              ? datagen::MakeMimicIII(config)
+                              : datagen::MakeHospitalX(config);
+
+  Status status = ontology::SaveOntologyToFile(data.onto, dir + "/ontology.tsv");
+  if (!status.ok()) return Fail(status);
+  status = datagen::SaveSnippetsToFile(data.labeled, data.onto, dir + "/aliases.tsv");
+  if (!status.ok()) return Fail(status);
+  status = datagen::SaveCorpusToFile(data.unlabeled, dir + "/notes.txt");
+  if (!status.ok()) return Fail(status);
+
+  std::vector<datagen::LabeledSnippet> queries;
+  for (const auto& q : data.query_groups[0]) {
+    queries.push_back(datagen::LabeledSnippet{q.concept_id, q.tokens});
+  }
+  status = datagen::SaveSnippetsToFile(queries, data.onto, dir + "/queries.tsv");
+  if (!status.ok()) return Fail(status);
+
+  std::cout << "wrote " << data.name << " dataset to " << dir << ": "
+            << data.onto.num_concepts() << " concepts, " << data.labeled.size()
+            << " aliases, " << data.unlabeled.size() << " notes, "
+            << queries.size() << " queries\n";
+  return 0;
+}
+
+/// Loads the ontology + aliases + notes triple every downstream command needs.
+struct Workspace {
+  ontology::Ontology onto;
+  std::vector<datagen::LabeledSnippet> aliases;
+  std::vector<std::vector<std::string>> notes;
+};
+
+Result<Workspace> LoadWorkspace(const std::string& dir) {
+  Workspace ws;
+  NCL_ASSIGN_OR_RETURN(ws.onto,
+                       ontology::LoadOntologyFromFile(dir + "/ontology.tsv"));
+  NCL_ASSIGN_OR_RETURN(ws.aliases, datagen::LoadSnippetsFromFile(
+                                       dir + "/aliases.tsv", ws.onto));
+  NCL_ASSIGN_OR_RETURN(ws.notes, datagen::LoadCorpusFromFile(dir + "/notes.txt"));
+  return ws;
+}
+
+int CmdTrain(const std::vector<std::string>& args,
+             const std::unordered_map<std::string, std::string>& flags) {
+  if (args.empty()) return Usage();
+  const std::string& dir = args[0];
+  auto ws = LoadWorkspace(dir);
+  if (!ws.ok()) return Fail(ws.status());
+
+  // Pre-training (§4.2).
+  std::vector<std::vector<std::string>> corpus = ws->notes;
+  for (const auto& snippet : ws->aliases) {
+    corpus.push_back(pretrain::InjectConceptId(
+        snippet.tokens, ws->onto.Get(snippet.concept_id).code));
+  }
+  pretrain::CbowConfig cbow;
+  cbow.dim = static_cast<size_t>(FlagInt(flags, "dim", 32));
+  cbow.epochs = static_cast<size_t>(FlagInt(flags, "cbow-epochs", 12));
+  pretrain::WordEmbeddings embeddings = pretrain::TrainCbow(corpus, cbow);
+  Status status = embeddings.Save(dir + "/embeddings.bin");
+  if (!status.ok()) return Fail(status);
+  std::cout << "pre-trained " << embeddings.size() << " word vectors\n";
+
+  // COM-AID refinement.
+  comaid::ComAidConfig model_config;
+  model_config.dim = cbow.dim;
+  model_config.beta = static_cast<int32_t>(FlagInt(flags, "beta", 2));
+  std::vector<std::vector<std::string>> extra;
+  for (const auto& snippet : ws->aliases) extra.push_back(snippet.tokens);
+  comaid::ComAidModel model(model_config, &ws->onto, extra);
+  model.InitializeEmbeddings(embeddings);
+
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> pairs;
+  for (const auto& snippet : ws->aliases) {
+    pairs.emplace_back(snippet.concept_id, snippet.tokens);
+  }
+  comaid::TrainConfig tc;
+  tc.epochs = static_cast<size_t>(FlagInt(flags, "epochs", 10));
+  tc.on_epoch = [](size_t epoch, double loss) {
+    std::cout << "epoch " << epoch << "  mean loss " << FormatDouble(loss, 3)
+              << "\n";
+  };
+  comaid::ComAidTrainer trainer(tc);
+  trainer.Train(&model, comaid::MakeResidualAugmentedPairs(model, pairs));
+
+  status = comaid::SaveModel(model, dir + "/model.bin");
+  if (!status.ok()) return Fail(status);
+  std::cout << "saved " << dir << "/model.bin ("
+            << model.params().NumWeights() << " weights)\n";
+  return 0;
+}
+
+/// Loads everything `link`/`eval` need; the linker borrows from the bundle.
+struct Serving {
+  Workspace ws;
+  pretrain::WordEmbeddings embeddings;
+  std::unique_ptr<comaid::ComAidModel> model;
+  std::unique_ptr<linking::CandidateGenerator> candidates;
+  std::unique_ptr<linking::QueryRewriter> rewriter;
+};
+
+Result<std::unique_ptr<Serving>> LoadServing(const std::string& dir) {
+  auto serving = std::make_unique<Serving>();
+  NCL_ASSIGN_OR_RETURN(serving->ws, LoadWorkspace(dir));
+  NCL_ASSIGN_OR_RETURN(serving->embeddings,
+                       pretrain::WordEmbeddings::Load(dir + "/embeddings.bin"));
+  NCL_ASSIGN_OR_RETURN(serving->model,
+                       comaid::LoadModel(dir + "/model.bin", &serving->ws.onto));
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases;
+  for (const auto& snippet : serving->ws.aliases) {
+    aliases.emplace_back(snippet.concept_id, snippet.tokens);
+  }
+  serving->candidates = std::make_unique<linking::CandidateGenerator>(
+      serving->ws.onto, aliases);
+  serving->rewriter = std::make_unique<linking::QueryRewriter>(
+      serving->candidates->vocabulary(), serving->embeddings);
+  return serving;
+}
+
+int CmdLink(const std::vector<std::string>& args,
+            const std::unordered_map<std::string, std::string>& flags) {
+  if (args.size() < 2) return Usage();
+  size_t k = static_cast<size_t>(FlagInt(flags, "k", 20));
+  auto serving = LoadServing(args[0]);
+  if (!serving.ok()) return Fail(serving.status());
+
+  linking::NclConfig link_config;
+  link_config.k = k;
+  linking::NclLinker linker((*serving)->model.get(), (*serving)->candidates.get(),
+                            (*serving)->rewriter.get(), link_config);
+  const ontology::Ontology& onto = (*serving)->ws.onto;
+  for (size_t i = 1; i < args.size(); ++i) {
+    std::vector<std::string> tokens = text::Tokenize(args[i]);
+    std::cout << "query: \"" << Join(tokens, " ") << "\"\n";
+    for (const auto& r : linker.Link(tokens, 3)) {
+      std::cout << "  " << onto.Get(r.concept_id).code << "  (log p = "
+                << FormatDouble(r.score, 2) << ")  \""
+                << Join(onto.Get(r.concept_id).description, " ") << "\"\n";
+    }
+  }
+  return 0;
+}
+
+int CmdEval(const std::vector<std::string>& args,
+            const std::unordered_map<std::string, std::string>& flags) {
+  if (args.empty()) return Usage();
+  const std::string& dir = args[0];
+  size_t k = static_cast<size_t>(FlagInt(flags, "k", 20));
+  auto serving = LoadServing(dir);
+  if (!serving.ok()) return Fail(serving.status());
+
+  auto queries =
+      datagen::LoadSnippetsFromFile(dir + "/queries.tsv", (*serving)->ws.onto);
+  if (!queries.ok()) return Fail(queries.status());
+  std::vector<linking::EvalQuery> eval;
+  for (const auto& q : *queries) {
+    eval.push_back(linking::EvalQuery{q.tokens, q.concept_id});
+  }
+
+  linking::NclConfig link_config;
+  link_config.k = k;
+  linking::NclLinker linker((*serving)->model.get(), (*serving)->candidates.get(),
+                            (*serving)->rewriter.get(), link_config);
+  auto result = linking::EvaluateLinker(linker, eval, k);
+  std::cout << "queries=" << result.num_queries
+            << "  accuracy=" << FormatDouble(result.accuracy, 3)
+            << "  MRR=" << FormatDouble(result.mrr, 3) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::unordered_map<std::string, std::string> flags;
+  std::vector<std::string> positional = ParseFlags(argc - 2, argv + 2, &flags);
+
+  if (command == "synth") return CmdSynth(positional, flags);
+  if (command == "train") return CmdTrain(positional, flags);
+  if (command == "link") return CmdLink(positional, flags);
+  if (command == "eval") return CmdEval(positional, flags);
+  return Usage();
+}
