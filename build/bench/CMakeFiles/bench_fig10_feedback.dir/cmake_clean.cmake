@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_feedback.dir/bench_fig10_feedback.cc.o"
+  "CMakeFiles/bench_fig10_feedback.dir/bench_fig10_feedback.cc.o.d"
+  "bench_fig10_feedback"
+  "bench_fig10_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_kernels.cc" "bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cc.o" "gcc" "bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/ncl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/pretrain/CMakeFiles/ncl_pretrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ncl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ncl_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ncl_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/ncl_ontology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

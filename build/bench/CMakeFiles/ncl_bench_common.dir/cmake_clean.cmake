@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ncl_bench_common.dir/bench_common.cc.o.d"
+  "libncl_bench_common.a"
+  "libncl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icd_linking.dir/icd_linking.cpp.o"
+  "CMakeFiles/icd_linking.dir/icd_linking.cpp.o.d"
+  "icd_linking"
+  "icd_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icd_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

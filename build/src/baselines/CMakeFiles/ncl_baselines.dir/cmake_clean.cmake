@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_baselines.dir/dictionary_linker.cc.o"
+  "CMakeFiles/ncl_baselines.dir/dictionary_linker.cc.o.d"
+  "CMakeFiles/ncl_baselines.dir/doc2vec.cc.o"
+  "CMakeFiles/ncl_baselines.dir/doc2vec.cc.o.d"
+  "CMakeFiles/ncl_baselines.dir/lr_linker.cc.o"
+  "CMakeFiles/ncl_baselines.dir/lr_linker.cc.o.d"
+  "CMakeFiles/ncl_baselines.dir/pkduck_linker.cc.o"
+  "CMakeFiles/ncl_baselines.dir/pkduck_linker.cc.o.d"
+  "CMakeFiles/ncl_baselines.dir/wmd.cc.o"
+  "CMakeFiles/ncl_baselines.dir/wmd.cc.o.d"
+  "libncl_baselines.a"
+  "libncl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

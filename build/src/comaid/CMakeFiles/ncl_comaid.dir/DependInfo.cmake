@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comaid/generator.cc" "src/comaid/CMakeFiles/ncl_comaid.dir/generator.cc.o" "gcc" "src/comaid/CMakeFiles/ncl_comaid.dir/generator.cc.o.d"
+  "/root/repo/src/comaid/model.cc" "src/comaid/CMakeFiles/ncl_comaid.dir/model.cc.o" "gcc" "src/comaid/CMakeFiles/ncl_comaid.dir/model.cc.o.d"
+  "/root/repo/src/comaid/model_io.cc" "src/comaid/CMakeFiles/ncl_comaid.dir/model_io.cc.o" "gcc" "src/comaid/CMakeFiles/ncl_comaid.dir/model_io.cc.o.d"
+  "/root/repo/src/comaid/trainer.cc" "src/comaid/CMakeFiles/ncl_comaid.dir/trainer.cc.o" "gcc" "src/comaid/CMakeFiles/ncl_comaid.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ncl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/ncl_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/pretrain/CMakeFiles/ncl_pretrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ncl_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_comaid.dir/generator.cc.o"
+  "CMakeFiles/ncl_comaid.dir/generator.cc.o.d"
+  "CMakeFiles/ncl_comaid.dir/model.cc.o"
+  "CMakeFiles/ncl_comaid.dir/model.cc.o.d"
+  "CMakeFiles/ncl_comaid.dir/model_io.cc.o"
+  "CMakeFiles/ncl_comaid.dir/model_io.cc.o.d"
+  "CMakeFiles/ncl_comaid.dir/trainer.cc.o"
+  "CMakeFiles/ncl_comaid.dir/trainer.cc.o.d"
+  "libncl_comaid.a"
+  "libncl_comaid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_comaid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/alias_generator.cc" "src/datagen/CMakeFiles/ncl_datagen.dir/alias_generator.cc.o" "gcc" "src/datagen/CMakeFiles/ncl_datagen.dir/alias_generator.cc.o.d"
+  "/root/repo/src/datagen/dataset.cc" "src/datagen/CMakeFiles/ncl_datagen.dir/dataset.cc.o" "gcc" "src/datagen/CMakeFiles/ncl_datagen.dir/dataset.cc.o.d"
+  "/root/repo/src/datagen/medical_vocabulary.cc" "src/datagen/CMakeFiles/ncl_datagen.dir/medical_vocabulary.cc.o" "gcc" "src/datagen/CMakeFiles/ncl_datagen.dir/medical_vocabulary.cc.o.d"
+  "/root/repo/src/datagen/ontology_synthesizer.cc" "src/datagen/CMakeFiles/ncl_datagen.dir/ontology_synthesizer.cc.o" "gcc" "src/datagen/CMakeFiles/ncl_datagen.dir/ontology_synthesizer.cc.o.d"
+  "/root/repo/src/datagen/query_generator.cc" "src/datagen/CMakeFiles/ncl_datagen.dir/query_generator.cc.o" "gcc" "src/datagen/CMakeFiles/ncl_datagen.dir/query_generator.cc.o.d"
+  "/root/repo/src/datagen/snippet_io.cc" "src/datagen/CMakeFiles/ncl_datagen.dir/snippet_io.cc.o" "gcc" "src/datagen/CMakeFiles/ncl_datagen.dir/snippet_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ontology/CMakeFiles/ncl_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ncl_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

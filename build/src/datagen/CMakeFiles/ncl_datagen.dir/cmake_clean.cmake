@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_datagen.dir/alias_generator.cc.o"
+  "CMakeFiles/ncl_datagen.dir/alias_generator.cc.o.d"
+  "CMakeFiles/ncl_datagen.dir/dataset.cc.o"
+  "CMakeFiles/ncl_datagen.dir/dataset.cc.o.d"
+  "CMakeFiles/ncl_datagen.dir/medical_vocabulary.cc.o"
+  "CMakeFiles/ncl_datagen.dir/medical_vocabulary.cc.o.d"
+  "CMakeFiles/ncl_datagen.dir/ontology_synthesizer.cc.o"
+  "CMakeFiles/ncl_datagen.dir/ontology_synthesizer.cc.o.d"
+  "CMakeFiles/ncl_datagen.dir/query_generator.cc.o"
+  "CMakeFiles/ncl_datagen.dir/query_generator.cc.o.d"
+  "CMakeFiles/ncl_datagen.dir/snippet_io.cc.o"
+  "CMakeFiles/ncl_datagen.dir/snippet_io.cc.o.d"
+  "libncl_datagen.a"
+  "libncl_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

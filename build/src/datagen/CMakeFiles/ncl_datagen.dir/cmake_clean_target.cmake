@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libncl_datagen.a"
+)

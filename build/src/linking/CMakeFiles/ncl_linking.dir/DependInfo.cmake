@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linking/candidate_generator.cc" "src/linking/CMakeFiles/ncl_linking.dir/candidate_generator.cc.o" "gcc" "src/linking/CMakeFiles/ncl_linking.dir/candidate_generator.cc.o.d"
+  "/root/repo/src/linking/feedback.cc" "src/linking/CMakeFiles/ncl_linking.dir/feedback.cc.o" "gcc" "src/linking/CMakeFiles/ncl_linking.dir/feedback.cc.o.d"
+  "/root/repo/src/linking/fusion_linker.cc" "src/linking/CMakeFiles/ncl_linking.dir/fusion_linker.cc.o" "gcc" "src/linking/CMakeFiles/ncl_linking.dir/fusion_linker.cc.o.d"
+  "/root/repo/src/linking/metrics.cc" "src/linking/CMakeFiles/ncl_linking.dir/metrics.cc.o" "gcc" "src/linking/CMakeFiles/ncl_linking.dir/metrics.cc.o.d"
+  "/root/repo/src/linking/ncl_linker.cc" "src/linking/CMakeFiles/ncl_linking.dir/ncl_linker.cc.o" "gcc" "src/linking/CMakeFiles/ncl_linking.dir/ncl_linker.cc.o.d"
+  "/root/repo/src/linking/pca.cc" "src/linking/CMakeFiles/ncl_linking.dir/pca.cc.o" "gcc" "src/linking/CMakeFiles/ncl_linking.dir/pca.cc.o.d"
+  "/root/repo/src/linking/query_rewriter.cc" "src/linking/CMakeFiles/ncl_linking.dir/query_rewriter.cc.o" "gcc" "src/linking/CMakeFiles/ncl_linking.dir/query_rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comaid/CMakeFiles/ncl_comaid.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/ncl_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/pretrain/CMakeFiles/ncl_pretrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ncl_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ncl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

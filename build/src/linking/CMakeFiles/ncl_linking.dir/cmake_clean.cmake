@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_linking.dir/candidate_generator.cc.o"
+  "CMakeFiles/ncl_linking.dir/candidate_generator.cc.o.d"
+  "CMakeFiles/ncl_linking.dir/feedback.cc.o"
+  "CMakeFiles/ncl_linking.dir/feedback.cc.o.d"
+  "CMakeFiles/ncl_linking.dir/fusion_linker.cc.o"
+  "CMakeFiles/ncl_linking.dir/fusion_linker.cc.o.d"
+  "CMakeFiles/ncl_linking.dir/metrics.cc.o"
+  "CMakeFiles/ncl_linking.dir/metrics.cc.o.d"
+  "CMakeFiles/ncl_linking.dir/ncl_linker.cc.o"
+  "CMakeFiles/ncl_linking.dir/ncl_linker.cc.o.d"
+  "CMakeFiles/ncl_linking.dir/pca.cc.o"
+  "CMakeFiles/ncl_linking.dir/pca.cc.o.d"
+  "CMakeFiles/ncl_linking.dir/query_rewriter.cc.o"
+  "CMakeFiles/ncl_linking.dir/query_rewriter.cc.o.d"
+  "libncl_linking.a"
+  "libncl_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

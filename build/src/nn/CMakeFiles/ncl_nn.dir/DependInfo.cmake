@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/ncl_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/ncl_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/ncl_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/ncl_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/ncl_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/ncl_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/parameter.cc" "src/nn/CMakeFiles/ncl_nn.dir/parameter.cc.o" "gcc" "src/nn/CMakeFiles/ncl_nn.dir/parameter.cc.o.d"
+  "/root/repo/src/nn/tape.cc" "src/nn/CMakeFiles/ncl_nn.dir/tape.cc.o" "gcc" "src/nn/CMakeFiles/ncl_nn.dir/tape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ncl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_nn.dir/lstm.cc.o"
+  "CMakeFiles/ncl_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/ncl_nn.dir/matrix.cc.o"
+  "CMakeFiles/ncl_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/ncl_nn.dir/optimizer.cc.o"
+  "CMakeFiles/ncl_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/ncl_nn.dir/parameter.cc.o"
+  "CMakeFiles/ncl_nn.dir/parameter.cc.o.d"
+  "CMakeFiles/ncl_nn.dir/tape.cc.o"
+  "CMakeFiles/ncl_nn.dir/tape.cc.o.d"
+  "libncl_nn.a"
+  "libncl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_ontology.dir/ontology.cc.o"
+  "CMakeFiles/ncl_ontology.dir/ontology.cc.o.d"
+  "CMakeFiles/ncl_ontology.dir/ontology_io.cc.o"
+  "CMakeFiles/ncl_ontology.dir/ontology_io.cc.o.d"
+  "libncl_ontology.a"
+  "libncl_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

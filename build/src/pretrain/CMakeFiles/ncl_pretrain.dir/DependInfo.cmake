@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pretrain/cbow.cc" "src/pretrain/CMakeFiles/ncl_pretrain.dir/cbow.cc.o" "gcc" "src/pretrain/CMakeFiles/ncl_pretrain.dir/cbow.cc.o.d"
+  "/root/repo/src/pretrain/concept_injection.cc" "src/pretrain/CMakeFiles/ncl_pretrain.dir/concept_injection.cc.o" "gcc" "src/pretrain/CMakeFiles/ncl_pretrain.dir/concept_injection.cc.o.d"
+  "/root/repo/src/pretrain/embeddings.cc" "src/pretrain/CMakeFiles/ncl_pretrain.dir/embeddings.cc.o" "gcc" "src/pretrain/CMakeFiles/ncl_pretrain.dir/embeddings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ncl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ncl_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_pretrain.dir/cbow.cc.o"
+  "CMakeFiles/ncl_pretrain.dir/cbow.cc.o.d"
+  "CMakeFiles/ncl_pretrain.dir/concept_injection.cc.o"
+  "CMakeFiles/ncl_pretrain.dir/concept_injection.cc.o.d"
+  "CMakeFiles/ncl_pretrain.dir/embeddings.cc.o"
+  "CMakeFiles/ncl_pretrain.dir/embeddings.cc.o.d"
+  "libncl_pretrain.a"
+  "libncl_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_text.dir/edit_distance.cc.o"
+  "CMakeFiles/ncl_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/ncl_text.dir/tfidf_index.cc.o"
+  "CMakeFiles/ncl_text.dir/tfidf_index.cc.o.d"
+  "CMakeFiles/ncl_text.dir/tokenizer.cc.o"
+  "CMakeFiles/ncl_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/ncl_text.dir/vocabulary.cc.o"
+  "CMakeFiles/ncl_text.dir/vocabulary.cc.o.d"
+  "libncl_text.a"
+  "libncl_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

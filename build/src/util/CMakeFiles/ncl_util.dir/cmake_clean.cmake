@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_util.dir/logging.cc.o"
+  "CMakeFiles/ncl_util.dir/logging.cc.o.d"
+  "CMakeFiles/ncl_util.dir/random.cc.o"
+  "CMakeFiles/ncl_util.dir/random.cc.o.d"
+  "CMakeFiles/ncl_util.dir/status.cc.o"
+  "CMakeFiles/ncl_util.dir/status.cc.o.d"
+  "CMakeFiles/ncl_util.dir/string_util.cc.o"
+  "CMakeFiles/ncl_util.dir/string_util.cc.o.d"
+  "CMakeFiles/ncl_util.dir/table_writer.cc.o"
+  "CMakeFiles/ncl_util.dir/table_writer.cc.o.d"
+  "CMakeFiles/ncl_util.dir/thread_pool.cc.o"
+  "CMakeFiles/ncl_util.dir/thread_pool.cc.o.d"
+  "libncl_util.a"
+  "libncl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

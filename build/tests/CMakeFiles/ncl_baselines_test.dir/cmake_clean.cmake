@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_baselines_test.dir/baselines/dictionary_test.cc.o"
+  "CMakeFiles/ncl_baselines_test.dir/baselines/dictionary_test.cc.o.d"
+  "CMakeFiles/ncl_baselines_test.dir/baselines/doc2vec_test.cc.o"
+  "CMakeFiles/ncl_baselines_test.dir/baselines/doc2vec_test.cc.o.d"
+  "CMakeFiles/ncl_baselines_test.dir/baselines/lr_test.cc.o"
+  "CMakeFiles/ncl_baselines_test.dir/baselines/lr_test.cc.o.d"
+  "CMakeFiles/ncl_baselines_test.dir/baselines/pkduck_test.cc.o"
+  "CMakeFiles/ncl_baselines_test.dir/baselines/pkduck_test.cc.o.d"
+  "CMakeFiles/ncl_baselines_test.dir/baselines/wmd_test.cc.o"
+  "CMakeFiles/ncl_baselines_test.dir/baselines/wmd_test.cc.o.d"
+  "ncl_baselines_test"
+  "ncl_baselines_test.pdb"
+  "ncl_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

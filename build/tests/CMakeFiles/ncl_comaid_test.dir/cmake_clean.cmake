@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_comaid_test.dir/comaid/generator_test.cc.o"
+  "CMakeFiles/ncl_comaid_test.dir/comaid/generator_test.cc.o.d"
+  "CMakeFiles/ncl_comaid_test.dir/comaid/model_io_test.cc.o"
+  "CMakeFiles/ncl_comaid_test.dir/comaid/model_io_test.cc.o.d"
+  "CMakeFiles/ncl_comaid_test.dir/comaid/model_test.cc.o"
+  "CMakeFiles/ncl_comaid_test.dir/comaid/model_test.cc.o.d"
+  "CMakeFiles/ncl_comaid_test.dir/comaid/trainer_test.cc.o"
+  "CMakeFiles/ncl_comaid_test.dir/comaid/trainer_test.cc.o.d"
+  "ncl_comaid_test"
+  "ncl_comaid_test.pdb"
+  "ncl_comaid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_comaid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

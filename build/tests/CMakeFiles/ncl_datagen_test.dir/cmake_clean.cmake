@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_datagen_test.dir/datagen/alias_generator_test.cc.o"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/alias_generator_test.cc.o.d"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/dataset_test.cc.o"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/dataset_test.cc.o.d"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/medical_vocabulary_test.cc.o"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/medical_vocabulary_test.cc.o.d"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/ontology_synthesizer_test.cc.o"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/ontology_synthesizer_test.cc.o.d"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/query_generator_test.cc.o"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/query_generator_test.cc.o.d"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/snippet_io_test.cc.o"
+  "CMakeFiles/ncl_datagen_test.dir/datagen/snippet_io_test.cc.o.d"
+  "ncl_datagen_test"
+  "ncl_datagen_test.pdb"
+  "ncl_datagen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/ncl_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/ncl_integration_test.dir/integration/feedback_loop_test.cc.o"
+  "CMakeFiles/ncl_integration_test.dir/integration/feedback_loop_test.cc.o.d"
+  "ncl_integration_test"
+  "ncl_integration_test.pdb"
+  "ncl_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

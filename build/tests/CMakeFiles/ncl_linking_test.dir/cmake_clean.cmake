@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_linking_test.dir/linking/candidate_generator_test.cc.o"
+  "CMakeFiles/ncl_linking_test.dir/linking/candidate_generator_test.cc.o.d"
+  "CMakeFiles/ncl_linking_test.dir/linking/feedback_test.cc.o"
+  "CMakeFiles/ncl_linking_test.dir/linking/feedback_test.cc.o.d"
+  "CMakeFiles/ncl_linking_test.dir/linking/fusion_linker_test.cc.o"
+  "CMakeFiles/ncl_linking_test.dir/linking/fusion_linker_test.cc.o.d"
+  "CMakeFiles/ncl_linking_test.dir/linking/metrics_test.cc.o"
+  "CMakeFiles/ncl_linking_test.dir/linking/metrics_test.cc.o.d"
+  "CMakeFiles/ncl_linking_test.dir/linking/ncl_linker_test.cc.o"
+  "CMakeFiles/ncl_linking_test.dir/linking/ncl_linker_test.cc.o.d"
+  "CMakeFiles/ncl_linking_test.dir/linking/pca_test.cc.o"
+  "CMakeFiles/ncl_linking_test.dir/linking/pca_test.cc.o.d"
+  "CMakeFiles/ncl_linking_test.dir/linking/query_rewriter_test.cc.o"
+  "CMakeFiles/ncl_linking_test.dir/linking/query_rewriter_test.cc.o.d"
+  "ncl_linking_test"
+  "ncl_linking_test.pdb"
+  "ncl_linking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_linking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_nn_test.dir/nn/lstm_test.cc.o"
+  "CMakeFiles/ncl_nn_test.dir/nn/lstm_test.cc.o.d"
+  "CMakeFiles/ncl_nn_test.dir/nn/matrix_test.cc.o"
+  "CMakeFiles/ncl_nn_test.dir/nn/matrix_test.cc.o.d"
+  "CMakeFiles/ncl_nn_test.dir/nn/optimizer_test.cc.o"
+  "CMakeFiles/ncl_nn_test.dir/nn/optimizer_test.cc.o.d"
+  "CMakeFiles/ncl_nn_test.dir/nn/parameter_test.cc.o"
+  "CMakeFiles/ncl_nn_test.dir/nn/parameter_test.cc.o.d"
+  "CMakeFiles/ncl_nn_test.dir/nn/tape_test.cc.o"
+  "CMakeFiles/ncl_nn_test.dir/nn/tape_test.cc.o.d"
+  "ncl_nn_test"
+  "ncl_nn_test.pdb"
+  "ncl_nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_ontology_test.dir/ontology/ontology_io_test.cc.o"
+  "CMakeFiles/ncl_ontology_test.dir/ontology/ontology_io_test.cc.o.d"
+  "CMakeFiles/ncl_ontology_test.dir/ontology/ontology_test.cc.o"
+  "CMakeFiles/ncl_ontology_test.dir/ontology/ontology_test.cc.o.d"
+  "ncl_ontology_test"
+  "ncl_ontology_test.pdb"
+  "ncl_ontology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_ontology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

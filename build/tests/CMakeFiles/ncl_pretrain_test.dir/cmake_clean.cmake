@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_pretrain_test.dir/pretrain/cbow_test.cc.o"
+  "CMakeFiles/ncl_pretrain_test.dir/pretrain/cbow_test.cc.o.d"
+  "CMakeFiles/ncl_pretrain_test.dir/pretrain/concept_injection_test.cc.o"
+  "CMakeFiles/ncl_pretrain_test.dir/pretrain/concept_injection_test.cc.o.d"
+  "CMakeFiles/ncl_pretrain_test.dir/pretrain/embeddings_test.cc.o"
+  "CMakeFiles/ncl_pretrain_test.dir/pretrain/embeddings_test.cc.o.d"
+  "ncl_pretrain_test"
+  "ncl_pretrain_test.pdb"
+  "ncl_pretrain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_pretrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_text_test.dir/text/edit_distance_test.cc.o"
+  "CMakeFiles/ncl_text_test.dir/text/edit_distance_test.cc.o.d"
+  "CMakeFiles/ncl_text_test.dir/text/tfidf_index_test.cc.o"
+  "CMakeFiles/ncl_text_test.dir/text/tfidf_index_test.cc.o.d"
+  "CMakeFiles/ncl_text_test.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/ncl_text_test.dir/text/tokenizer_test.cc.o.d"
+  "CMakeFiles/ncl_text_test.dir/text/vocabulary_test.cc.o"
+  "CMakeFiles/ncl_text_test.dir/text/vocabulary_test.cc.o.d"
+  "ncl_text_test"
+  "ncl_text_test.pdb"
+  "ncl_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

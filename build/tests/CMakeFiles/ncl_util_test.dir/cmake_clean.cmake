@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_util_test.dir/util/random_test.cc.o"
+  "CMakeFiles/ncl_util_test.dir/util/random_test.cc.o.d"
+  "CMakeFiles/ncl_util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/ncl_util_test.dir/util/status_test.cc.o.d"
+  "CMakeFiles/ncl_util_test.dir/util/string_util_test.cc.o"
+  "CMakeFiles/ncl_util_test.dir/util/string_util_test.cc.o.d"
+  "CMakeFiles/ncl_util_test.dir/util/table_writer_test.cc.o"
+  "CMakeFiles/ncl_util_test.dir/util/table_writer_test.cc.o.d"
+  "CMakeFiles/ncl_util_test.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/ncl_util_test.dir/util/thread_pool_test.cc.o.d"
+  "ncl_util_test"
+  "ncl_util_test.pdb"
+  "ncl_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

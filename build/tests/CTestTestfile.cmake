@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ncl_util_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_text_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_ontology_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_nn_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_pretrain_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_comaid_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_linking_test[1]_include.cmake")
+include("/root/repo/build/tests/ncl_integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncl_cli.dir/ncl_cli.cc.o"
+  "CMakeFiles/ncl_cli.dir/ncl_cli.cc.o.d"
+  "ncl"
+  "ncl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

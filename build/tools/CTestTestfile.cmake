@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke_setup "/usr/bin/cmake" "-E" "make_directory" "/root/repo/build/tools/cli_smoke_ws")
+set_tests_properties(cli_smoke_setup PROPERTIES  FIXTURES_SETUP "cli_ws" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_synth "/root/repo/build/tools/ncl" "synth" "/root/repo/build/tools/cli_smoke_ws" "--scale" "0.3" "--seed" "7")
+set_tests_properties(cli_smoke_synth PROPERTIES  FIXTURES_REQUIRED "cli_ws" FIXTURES_SETUP "cli_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_train "/root/repo/build/tools/ncl" "train" "/root/repo/build/tools/cli_smoke_ws" "--dim" "16" "--epochs" "3" "--cbow-epochs" "3")
+set_tests_properties(cli_smoke_train PROPERTIES  FIXTURES_REQUIRED "cli_data" FIXTURES_SETUP "cli_model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_link "/root/repo/build/tools/ncl" "link" "/root/repo/build/tools/cli_smoke_ws" "iron def anemia")
+set_tests_properties(cli_smoke_link PROPERTIES  FIXTURES_REQUIRED "cli_model" PASS_REGULAR_EXPRESSION "log p" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_eval "/root/repo/build/tools/ncl" "eval" "/root/repo/build/tools/cli_smoke_ws")
+set_tests_properties(cli_smoke_eval PROPERTIES  FIXTURES_REQUIRED "cli_model" PASS_REGULAR_EXPRESSION "accuracy=" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
