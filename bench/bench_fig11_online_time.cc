@@ -10,11 +10,18 @@
 // encode-decode runs); ED and CR grow with |q| (longer decode sequences and
 // more postings walked); hospital-x is slower than MIMIC-III because its
 // canonical descriptions are longer.
+//
+// This bench additionally compares the tape-free inference fast path
+// (cached concept encodings + zero-allocation decoder, the serving
+// configuration) against the reference tape-based scorer, and emits the
+// whole sweep as machine-readable BENCH_fig11.json so the perf trajectory
+// is tracked across PRs.
 
 #include <iostream>
 
 #include "bench_common.h"
 #include "util/env.h"
+#include "util/json_writer.h"
 #include "util/table_writer.h"
 
 using namespace ncl;
@@ -42,11 +49,30 @@ linking::PhaseTimings MeanTimings(const linking::NclLinker& linker,
   return total;
 }
 
+void EmitTimings(JsonWriter& json, const char* key,
+                 const linking::PhaseTimings& t) {
+  json.Key(key).BeginObject();
+  json.Key("rewrite_us").Value(t.rewrite_us);
+  json.Key("retrieve_us").Value(t.retrieve_us);
+  json.Key("score_us").Value(t.score_us);
+  json.Key("rank_us").Value(t.rank_us);
+  json.Key("total_us").Value(t.total_us());
+  json.Key("qps").Value(t.total_us() > 0 ? 1e6 / t.total_us() : 0.0);
+  json.EndObject();
+}
+
 }  // namespace
 
 int main() {
   const bool full = BenchFullMode();
   const double scale = full ? 0.8 : 0.35;
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("fig11_online_time");
+  json.Key("full_mode").Value(full);
+  json.Key("scale").Value(scale);
+  json.Key("corpora").BeginArray();
 
   for (Corpus corpus : {Corpus::kHospitalX, Corpus::kMimicIII}) {
     PipelineConfig config;
@@ -55,28 +81,54 @@ int main() {
     config.train_epochs = 3;  // timings need a model, not a good one
     auto pipeline = BuildPipeline(config);
     const auto& queries = pipeline->eval_groups[0];
+    // Serving configuration: encodings precomputed, so the vs-k sweep below
+    // measures steady state rather than cold-cache fills.
+    pipeline->model->PrecomputeConceptEncodings();
 
-    // --- (a, b): vary k. ---------------------------------------------------
+    json.BeginObject();
+    json.Key("corpus").Value(CorpusName(corpus));
+    json.Key("dim").Value(config.dim);
+    json.Key("num_queries").Value(queries.size());
+
+    // --- (a, b): vary k, fast path vs tape path. ---------------------------
     TableWriter table_k("Fig 11(a/b)  Per-query time vs k [us], " +
-                            CorpusName(corpus),
-                        {"k", "OR", "CR", "ED", "RT", "total"});
+                            CorpusName(corpus) + " (fast | tape ED)",
+                        {"k", "OR", "CR", "ED", "RT", "total", "ED tape",
+                         "ED speedup"});
+    json.Key("vs_k").BeginArray();
     for (size_t k : {10u, 20u, 30u, 40u, 50u}) {
       linking::NclConfig link_config;
       link_config.k = k;
       link_config.scoring_threads = 10;  // Appendix B.1 thread count
-      linking::NclLinker linker = pipeline->MakeLinker(link_config);
-      linking::PhaseTimings t = MeanTimings(linker, queries);
+      link_config.use_fast_scoring = true;
+      linking::NclLinker fast_linker = pipeline->MakeLinker(link_config);
+      linking::PhaseTimings fast = MeanTimings(fast_linker, queries);
+
+      link_config.use_fast_scoring = false;
+      linking::NclLinker tape_linker = pipeline->MakeLinker(link_config);
+      linking::PhaseTimings tape = MeanTimings(tape_linker, queries);
+
+      double speedup = fast.score_us > 0 ? tape.score_us / fast.score_us : 0.0;
       table_k.AddRow(std::to_string(k),
-                     {t.rewrite_us, t.retrieve_us, t.score_us, t.rank_us,
-                      t.total_us()},
+                     {fast.rewrite_us, fast.retrieve_us, fast.score_us,
+                      fast.rank_us, fast.total_us(), tape.score_us, speedup},
                      1);
+
+      json.BeginObject();
+      json.Key("k").Value(k);
+      EmitTimings(json, "fast", fast);
+      EmitTimings(json, "tape", tape);
+      json.Key("ed_speedup").Value(speedup);
+      json.EndObject();
     }
+    json.EndArray();
     table_k.Print();
 
-    // --- (c, d): vary |q|. ------------------------------------------------
+    // --- (c, d): vary |q| (fast path). ------------------------------------
     TableWriter table_q("Fig 11(c/d)  Per-query time vs |q| [us], " +
                             CorpusName(corpus),
                         {"|q|", "OR", "CR", "ED", "RT", "total"});
+    json.Key("vs_query_length").BeginArray();
     for (size_t len = 1; len <= 6; ++len) {
       // Truncate/pad real queries to the target length.
       std::vector<linking::EvalQuery> sized;
@@ -97,8 +149,23 @@ int main() {
                      {t.rewrite_us, t.retrieve_us, t.score_us, t.rank_us,
                       t.total_us()},
                      1);
+      json.BeginObject();
+      json.Key("query_length").Value(len);
+      EmitTimings(json, "fast", t);
+      json.EndObject();
     }
+    json.EndArray();
     table_q.Print();
+    json.EndObject();
   }
+
+  json.EndArray().EndObject();
+  Status status = json.WriteFile("BENCH_fig11.json");
+  if (!status.ok()) {
+    std::cerr << "failed to write BENCH_fig11.json: " << status.ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "wrote BENCH_fig11.json\n";
   return 0;
 }

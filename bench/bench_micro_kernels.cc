@@ -2,8 +2,16 @@
 // analysis attributes cost to: LSTM steps and attention (the ED phase),
 // the TF-IDF index (CR), edit distance and embedding nearest-neighbour
 // (OR), pkduck similarity, and the dense matrix product underneath it all.
+//
+// The custom main additionally times the inference-critical kernels with a
+// plain stopwatch loop and writes matmul/matvec GFLOP/s (and LSTM steps/s)
+// to BENCH_kernels.json so kernel throughput is tracked across PRs.
 
 #include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "baselines/pkduck_linker.h"
 #include "nn/lstm.h"
@@ -11,7 +19,9 @@
 #include "pretrain/cbow.h"
 #include "text/edit_distance.h"
 #include "text/tfidf_index.h"
+#include "util/json_writer.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -28,6 +38,50 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(d * d));
 }
 BENCHMARK(BM_MatMul)->Arg(50)->Arg(100)->Arg(150)->Arg(200);
+
+void BM_MatVecInto(benchmark::State& state) {
+  // The dominant inference shape: square hidden-dim matvec, no allocation.
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  nn::Matrix a = nn::Matrix::RandomUniform(d, d, 1.0f, rng);
+  std::vector<float> x(d, 0.5f), y(d);
+  for (auto _ : state) {
+    a.MatVecInto(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(d * d));
+}
+BENCHMARK(BM_MatVecInto)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatVecVocab(benchmark::State& state) {
+  // The Eq. 9 softmax projection shape: (V x d) * d.
+  const size_t vocab = static_cast<size_t>(state.range(0));
+  const size_t d = 64;
+  Rng rng(1);
+  nn::Matrix w = nn::Matrix::RandomUniform(vocab, d, 0.1f, rng);
+  std::vector<float> x(d, 0.5f), y(vocab);
+  for (auto _ : state) {
+    w.MatVecInto(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(vocab * d));
+}
+BENCHMARK(BM_MatVecVocab)->Arg(1000)->Arg(10000);
+
+void BM_LstmStepValue(benchmark::State& state) {
+  // Tape-free LSTM step (inference fast path) — compare with BM_LstmStep.
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  nn::ParameterStore store;
+  nn::LstmCell cell("bench", d, d, &store, rng);
+  std::vector<float> x(d, 0.3f), h(d, 0.0f), c(d, 0.0f), scratch(2 * d);
+  for (auto _ : state) {
+    cell.StepValue(x.data(), h.data(), c.data(), h.data(), c.data(),
+                   scratch.data());
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_LstmStepValue)->Arg(50)->Arg(150);
 
 void BM_LstmStep(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
@@ -156,6 +210,113 @@ void BM_CbowEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_CbowEpoch)->Unit(benchmark::kMillisecond);
 
+/// Seconds per call of `fn`, amortised over enough iterations to be stable.
+template <typename Fn>
+double TimePerCall(Fn&& fn) {
+  // Warm up and pick an iteration count targeting ~50ms of work.
+  fn();
+  Stopwatch probe;
+  fn();
+  double once = probe.ElapsedSeconds();
+  size_t iters = once > 0 ? static_cast<size_t>(0.05 / once) + 1 : 1000;
+  Stopwatch watch;
+  for (size_t i = 0; i < iters; ++i) fn();
+  return watch.ElapsedSeconds() / static_cast<double>(iters);
+}
+
+/// Hand-timed GFLOP/s of the inference-critical kernels, appended to `json`
+/// as one array entry per kernel/shape.
+void WriteKernelReport() {
+  Rng rng(42);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("micro_kernels");
+  json.Key("kernels").BeginArray();
+
+  // Square matmul (training shapes).
+  for (size_t d : {32u, 64u, 128u, 256u}) {
+    nn::Matrix a = nn::Matrix::RandomUniform(d, d, 1.0f, rng);
+    nn::Matrix b = nn::Matrix::RandomUniform(d, d, 1.0f, rng);
+    double sec = TimePerCall([&] {
+      nn::Matrix c = a.MatMul(b);
+      benchmark::DoNotOptimize(c.data());
+    });
+    json.BeginObject();
+    json.Key("kernel").Value("matmul");
+    json.Key("shape").Value(std::to_string(d) + "x" + std::to_string(d) + "*" +
+                            std::to_string(d) + "x" + std::to_string(d));
+    json.Key("gflops").Value(2.0 * d * d * d / sec / 1e9);
+    json.EndObject();
+  }
+
+  // Square matvec (the LSTM gate shape at hidden dims 32-256).
+  for (size_t d : {32u, 64u, 128u, 256u}) {
+    nn::Matrix a = nn::Matrix::RandomUniform(d, d, 1.0f, rng);
+    std::vector<float> x(d, 0.5f), y(d);
+    double sec = TimePerCall([&] {
+      a.MatVecInto(x.data(), y.data());
+      benchmark::DoNotOptimize(y.data());
+    });
+    json.BeginObject();
+    json.Key("kernel").Value("matvec");
+    json.Key("shape").Value(std::to_string(d) + "x" + std::to_string(d) + "*" +
+                            std::to_string(d));
+    json.Key("gflops").Value(2.0 * d * d / sec / 1e9);
+    json.EndObject();
+  }
+
+  // Vocabulary projection matvec (Eq. 9, the ED-phase dominant cost).
+  for (size_t vocab : {1000u, 10000u}) {
+    const size_t d = 64;
+    nn::Matrix w = nn::Matrix::RandomUniform(vocab, d, 0.1f, rng);
+    std::vector<float> x(d, 0.5f), y(vocab);
+    double sec = TimePerCall([&] {
+      w.MatVecInto(x.data(), y.data());
+      benchmark::DoNotOptimize(y.data());
+    });
+    json.BeginObject();
+    json.Key("kernel").Value("matvec_vocab");
+    json.Key("shape").Value(std::to_string(vocab) + "x64*64");
+    json.Key("gflops").Value(2.0 * vocab * d / sec / 1e9);
+    json.EndObject();
+  }
+
+  // Tape-free LSTM step throughput.
+  for (size_t d : {32u, 64u, 128u}) {
+    nn::ParameterStore store;
+    nn::LstmCell cell("report", d, d, &store, rng);
+    std::vector<float> x(d, 0.3f), h(d, 0.0f), c(d, 0.0f), scratch(2 * d);
+    double sec = TimePerCall([&] {
+      cell.StepValue(x.data(), h.data(), c.data(), h.data(), c.data(),
+                     scratch.data());
+      benchmark::DoNotOptimize(h.data());
+    });
+    json.BeginObject();
+    json.Key("kernel").Value("lstm_step_value");
+    json.Key("shape").Value("d=" + std::to_string(d));
+    json.Key("steps_per_second").Value(1.0 / sec);
+    // 8 matvecs dominate: 4 gates x (W x + U h).
+    json.Key("gflops").Value(16.0 * d * d / sec / 1e9);
+    json.EndObject();
+  }
+
+  json.EndArray().EndObject();
+  Status status = json.WriteFile("BENCH_kernels.json");
+  if (!status.ok()) {
+    std::cerr << "failed to write BENCH_kernels.json: " << status.ToString()
+              << "\n";
+  } else {
+    std::cout << "wrote BENCH_kernels.json\n";
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteKernelReport();
+  return 0;
+}

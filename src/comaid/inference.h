@@ -1,0 +1,153 @@
+// Inference fast path support: the concept-encoding cache and per-thread
+// scratch for tape-free Phase II scoring (§5).
+//
+// ScoreLogProb builds a fresh autodiff tape and re-runs the LSTM encoder
+// over the candidate's canonical description for every (query, candidate)
+// pair, although concept encodings are query-independent and inference
+// never calls Backward. The fast path splits that work:
+//
+//   * ConceptEncoding holds everything about a concept that does not depend
+//     on the query: the encoder's per-step hidden states (consumed by the
+//     text attention, Eqs. 5-6) and the structural-context representations
+//     (consumed by the structure attention, Eq. 7).
+//   * ConceptEncodingCache memoises ConceptEncodings per concept, filled
+//     lazily on first use or eagerly for the whole ontology
+//     (ComAidModel::PrecomputeConceptEncodings). Readers are lock-free.
+//   * InferenceContext is reusable scratch for the decoder loop so a score
+//     evaluation performs zero heap allocations after warm-up.
+//
+// Invalidation contract: cached encodings are functions of the encoder
+// weights. ComAidModel::NotifyWeightsChanged() (called by the trainer after
+// every optimizer step, by InitializeEmbeddings, and by model loading) bumps
+// the model's weights version and clears the cache. Weight mutation must
+// not run concurrently with scoring — same contract as training itself.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace ncl::comaid {
+
+/// \brief Query-independent encoder outputs for one concept.
+struct ConceptEncoding {
+  /// Per-step encoder hidden states over the canonical description, one row
+  /// per description word (n x d). Row-major, so the text attention's score
+  /// pass e_r = h_r . s is a single matvec.
+  nn::Matrix encoder_states;
+  /// Structural-context representations, one row per Def. 4.1 ancestor slot
+  /// (m x d). Padded/duplicated slots keep their duplicate rows so the
+  /// attention softmax matches the tape path exactly. Empty when structural
+  /// attention is off or the context is empty.
+  nn::Matrix ancestors;
+
+  /// The concept representation h_n^c (final encoder state).
+  const float* final_state() const {
+    return encoder_states.row_data(encoder_states.rows() - 1);
+  }
+};
+
+/// \brief Lock-free-read memo of ConceptEncodings, indexed by concept id.
+///
+/// Get/Put are safe to call concurrently (Phase II scores candidates on a
+/// thread pool); when two threads race to encode the same concept the loser's
+/// encoding is discarded and the winner's is returned to both. Clear must
+/// not run concurrently with readers — it is only called from
+/// NotifyWeightsChanged, which by contract happens while no scoring runs.
+class ConceptEncodingCache {
+ public:
+  explicit ConceptEncodingCache(size_t num_slots) : slots_(num_slots) {}
+  ~ConceptEncodingCache() { Clear(); }
+
+  ConceptEncodingCache(const ConceptEncodingCache&) = delete;
+  ConceptEncodingCache& operator=(const ConceptEncodingCache&) = delete;
+
+  /// The cached encoding for `slot`, or nullptr when absent.
+  const ConceptEncoding* Get(size_t slot) const {
+    return slots_[slot].load(std::memory_order_acquire);
+  }
+
+  /// Install `encoding` at `slot` unless another thread won the race; either
+  /// way returns the encoding now cached at `slot`.
+  const ConceptEncoding* Put(size_t slot,
+                             std::unique_ptr<ConceptEncoding> encoding) {
+    ConceptEncoding* expected = nullptr;
+    ConceptEncoding* candidate = encoding.release();
+    if (slots_[slot].compare_exchange_strong(expected, candidate,
+                                             std::memory_order_acq_rel)) {
+      return candidate;
+    }
+    delete candidate;  // lost the race; `expected` holds the winner
+    return expected;
+  }
+
+  /// Drop every cached encoding. Not safe concurrently with Get/Put.
+  void Clear() {
+    for (auto& slot : slots_) {
+      delete slot.exchange(nullptr, std::memory_order_acq_rel);
+    }
+  }
+
+  size_t num_slots() const { return slots_.size(); }
+
+  /// Number of populated slots (O(n); diagnostics/tests).
+  size_t NumCached() const {
+    size_t count = 0;
+    for (const auto& slot : slots_) {
+      if (slot.load(std::memory_order_acquire) != nullptr) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<std::atomic<ConceptEncoding*>> slots_;
+};
+
+/// \brief Reusable scratch buffers for one scoring thread.
+///
+/// A context may be reused across calls and across models; Prepare()
+/// re-sizes buffers only when they grow. Not thread-safe: use one context
+/// per thread (ScoreLogProbFast falls back to a thread_local one when none
+/// is passed).
+class InferenceContext {
+ public:
+  /// Ensure capacity for hidden width `dim`, vocabulary size `vocab`,
+  /// `pieces` composite blocks (Eq. 8) and attention over up to `attn_rows`
+  /// values.
+  void Prepare(size_t dim, size_t vocab, size_t pieces, size_t attn_rows) {
+    Grow(h_, dim);
+    Grow(c_, dim);
+    Grow(lstm_scratch_, 2 * dim);
+    Grow(composite_, pieces * dim);
+    Grow(s_tilde_, dim);
+    Grow(logits_, vocab);
+    Grow(attn_scores_, attn_rows);
+  }
+
+  float* h() { return h_.data(); }
+  float* c() { return c_.data(); }
+  float* lstm_scratch() { return lstm_scratch_.data(); }
+  float* composite() { return composite_.data(); }
+  float* s_tilde() { return s_tilde_.data(); }
+  float* logits() { return logits_.data(); }
+  float* attn_scores() { return attn_scores_.data(); }
+
+ private:
+  static void Grow(std::vector<float>& buf, size_t n) {
+    if (buf.size() < n) buf.resize(n);
+  }
+
+  std::vector<float> h_;
+  std::vector<float> c_;
+  std::vector<float> lstm_scratch_;
+  std::vector<float> composite_;
+  std::vector<float> s_tilde_;
+  std::vector<float> logits_;
+  std::vector<float> attn_scores_;
+};
+
+}  // namespace ncl::comaid

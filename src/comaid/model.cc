@@ -53,6 +53,8 @@ ComAidModel::ComAidModel(ComAidConfig config, const ontology::Ontology* onto,
   for (ontology::ConceptId id : onto_->AllConcepts()) {
     concept_words_[static_cast<size_t>(id)] = MapTokens(onto_->Get(id).description);
   }
+
+  encoding_cache_ = std::make_unique<ConceptEncodingCache>(onto_->size());
 }
 
 size_t ComAidModel::InitializeEmbeddings(const pretrain::WordEmbeddings& pretrained) {
@@ -69,6 +71,7 @@ size_t ComAidModel::InitializeEmbeddings(const pretrain::WordEmbeddings& pretrai
     for (size_t c = 0; c < config_.dim; ++c) dst[c] = vec[c];
     ++initialised;
   }
+  NotifyWeightsChanged();
   return initialised;
 }
 
@@ -166,8 +169,13 @@ nn::VarId ComAidModel::BuildExampleLoss(nn::Tape& tape,
 
 double ComAidModel::ScoreLogProb(ontology::ConceptId concept_id,
                                  const std::vector<std::string>& query_tokens) const {
+  return ScoreLogProbIds(concept_id, MapTokens(query_tokens));
+}
+
+double ComAidModel::ScoreLogProbIds(ontology::ConceptId concept_id,
+                                    const std::vector<text::WordId>& target) const {
   nn::Tape tape;
-  nn::VarId loss = Forward(tape, concept_id, MapTokens(query_tokens));
+  nn::VarId loss = Forward(tape, concept_id, target);
   return -static_cast<double>(tape.Value(loss)[0]);
 }
 

@@ -18,9 +18,12 @@
 
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "comaid/inference.h"
 #include "nn/lstm.h"
 #include "nn/parameter.h"
 #include "nn/tape.h"
@@ -28,6 +31,10 @@
 #include "pretrain/embeddings.h"
 #include "text/vocabulary.h"
 #include "util/status.h"
+
+namespace ncl {
+class ThreadPool;
+}
 
 namespace ncl::comaid {
 
@@ -51,9 +58,15 @@ std::string VariantName(const ComAidConfig& config);
 
 /// \brief The model: parameters + forward/score entry points.
 ///
-/// Thread-safety: after training, ScoreLogProb / EncodeConcept are safe to
-/// call concurrently (they only read parameter values through private
-/// tapes). Training must be single-threaded.
+/// Thread-safety: while no weight mutation is in flight, the scoring entry
+/// points (ScoreLogProb / ScoreLogProbIds / ScoreLogProbFast / EncodeConcept
+/// / NextWordLogProbs) are safe to call concurrently. The tape paths read
+/// parameter values through private tapes; the fast path additionally shares
+/// the concept-encoding cache, whose readers are lock-free and whose lazy
+/// fills are race-safe (see ConceptEncodingCache). Weight mutation —
+/// training, InitializeEmbeddings, model loading — must be single-threaded
+/// and must not overlap any scoring call; each mutation ends with
+/// NotifyWeightsChanged(), which invalidates the encoding cache.
 class ComAidModel {
  public:
   /// Special decoder tokens (always present in the model vocabulary).
@@ -83,9 +96,53 @@ class ComAidModel {
                              const std::vector<text::WordId>& target) const;
 
   /// \brief log p(q | c; Θ): teacher-forced log-likelihood of decoding the
-  /// query from the concept (Eq. 3). Thread-safe after training.
+  /// query from the concept (Eq. 3). Thread-safe after training. Reference
+  /// tape-based path; prefer ScoreLogProbFast in inference hot loops.
   double ScoreLogProb(ontology::ConceptId concept_id,
                       const std::vector<std::string>& query_tokens) const;
+
+  /// Tape-based ScoreLogProb over pre-mapped word ids (lets callers map the
+  /// query once instead of once per candidate).
+  double ScoreLogProbIds(ontology::ConceptId concept_id,
+                         const std::vector<text::WordId>& target) const;
+
+  /// \brief Tape-free log p(q | c; Θ) — the Phase II hot-loop entry point.
+  ///
+  /// Numerically equivalent to ScoreLogProbIds (within float round-off; the
+  /// parity test pins the two within 1e-5) but builds no autodiff graph and
+  /// reuses the concept's cached encoding, so the encoder runs once per
+  /// concept instead of once per (query, candidate) pair. `ctx` supplies
+  /// per-thread scratch; pass nullptr to use an internal thread_local one.
+  /// Thread-safe under the same contract as ScoreLogProb.
+  double ScoreLogProbFast(ontology::ConceptId concept_id,
+                          const std::vector<text::WordId>& target,
+                          InferenceContext* ctx = nullptr) const;
+
+  /// Convenience overload: maps tokens, then scores tape-free.
+  double ScoreLogProbFast(ontology::ConceptId concept_id,
+                          const std::vector<std::string>& query_tokens) const;
+
+  /// \brief Eagerly fill the concept-encoding cache for the whole ontology
+  /// (on `pool` when given). Returns the number of encodings computed.
+  /// Optional: ScoreLogProbFast fills the cache lazily per concept.
+  size_t PrecomputeConceptEncodings(ThreadPool* pool = nullptr) const;
+
+  /// Drop all cached concept encodings (they are recomputed on demand).
+  void InvalidateConceptEncodings() const;
+
+  /// \brief Record that parameter values changed (optimizer step, embedding
+  /// initialisation, checkpoint load): bumps the weights version and
+  /// invalidates the concept-encoding cache. Must not run concurrently with
+  /// scoring.
+  void NotifyWeightsChanged();
+
+  /// Monotone counter of weight mutations (cache-coherency diagnostics).
+  uint64_t weights_version() const {
+    return weights_version_.load(std::memory_order_acquire);
+  }
+
+  /// Number of concepts currently in the encoding cache (tests/diagnostics).
+  size_t num_cached_encodings() const { return encoding_cache_->NumCached(); }
 
   /// \brief Log-probability over the next word (softmax of Eq. 9) after
   /// decoding `prefix` from `concept_id`. Index eos_id() closes the
@@ -100,6 +157,12 @@ class ComAidModel {
 
   /// \brief The embedding vector of an in-vocabulary word (copy).
   nn::Matrix WordVector(text::WordId id) const;
+
+  /// The concept's canonical description pre-mapped to model word ids.
+  const std::vector<text::WordId>& ConceptWords(ontology::ConceptId id) const {
+    NCL_DCHECK(id > 0 && static_cast<size_t>(id) < concept_words_.size());
+    return concept_words_[static_cast<size_t>(id)];
+  }
 
   const text::Vocabulary& vocabulary() const { return vocab_; }
   const ComAidConfig& config() const { return config_; }
@@ -122,6 +185,24 @@ class ComAidModel {
   nn::VarId Forward(nn::Tape& tape, ontology::ConceptId concept_id,
                     const std::vector<text::WordId>& target) const;
 
+  // --- Inference fast path (comaid/inference.cc) -------------------------
+
+  /// Row pointer into the embedding table.
+  const float* EmbeddingRow(text::WordId word) const {
+    return embeddings_->value.row_data(static_cast<size_t>(word));
+  }
+
+  /// Number of composite blocks in Eq. 8 under this config.
+  size_t CompositePieces() const;
+
+  /// Tape-free encoder pass filling `out` for one concept.
+  void ComputeConceptEncoding(ontology::ConceptId concept_id,
+                              ConceptEncoding* out) const;
+
+  /// The cached encoding for `concept_id`, computing and installing it on a
+  /// miss.
+  const ConceptEncoding& EncodingFor(ontology::ConceptId concept_id) const;
+
   ComAidConfig config_;
   const ontology::Ontology* onto_;
   text::Vocabulary vocab_;
@@ -140,6 +221,11 @@ class ComAidModel {
 
   /// Concept descriptions pre-mapped to model word ids.
   std::vector<std::vector<text::WordId>> concept_words_;
+
+  /// Memo of query-independent encoder work, lazily filled by the inference
+  /// fast path and cleared by NotifyWeightsChanged().
+  mutable std::unique_ptr<ConceptEncodingCache> encoding_cache_;
+  std::atomic<uint64_t> weights_version_{0};
 };
 
 }  // namespace ncl::comaid

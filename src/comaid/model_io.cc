@@ -101,6 +101,7 @@ Result<std::unique_ptr<ComAidModel>> LoadModel(const std::string& path,
     }
   }
   NCL_RETURN_NOT_OK(model->params()->Load(path + ".params"));
+  model->NotifyWeightsChanged();
   return model;
 }
 

@@ -56,6 +56,8 @@ double ComAidTrainer::TrainBatch(ComAidModel* model, nn::Optimizer* optimizer,
     tape.Backward(loss, inv_batch);
   }
   optimizer->Step(model->params());
+  // The weights moved: cached concept encodings are stale from here on.
+  model->NotifyWeightsChanged();
   return total_loss / static_cast<double>(batch.size());
 }
 

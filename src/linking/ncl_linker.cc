@@ -39,26 +39,35 @@ std::vector<ScoredCandidate> NclLinker::LinkDetailed(
 
   // --- ED: encode-decode probability per candidate (Phase II). ---
   watch.Reset();
+  // Tokenise/map the query once; candidates only ever need the word ids.
+  // (Description words are always in-vocabulary, so filtering on ids is
+  // equivalent to filtering on strings: an out-of-vocabulary query word maps
+  // to <unk>, which no description contains, and is therefore kept.)
+  const std::vector<text::WordId> query_ids = model_->MapTokens(rewritten);
   std::vector<ScoredCandidate> scored(candidates.size());
   auto score_one = [&](size_t i) {
     ontology::ConceptId id = candidates[i];
-    std::vector<std::string> target = rewritten;
+    const std::vector<text::WordId>* target = &query_ids;
+    std::vector<text::WordId> filtered;
     if (config_.remove_shared_words) {
-      const auto& description = model_->onto().Get(id).description;
-      std::unordered_set<std::string> shared(description.begin(), description.end());
-      std::vector<std::string> filtered;
-      for (const auto& word : rewritten) {
+      const auto& description = model_->ConceptWords(id);
+      std::unordered_set<text::WordId> shared(description.begin(),
+                                              description.end());
+      filtered.reserve(query_ids.size());
+      for (text::WordId word : query_ids) {
         if (shared.count(word) == 0) filtered.push_back(word);
       }
       // An empty residue (every query word appears in the description) is
       // the strongest possible lexical evidence; the model scores it as
       // p(<eos> | c), one factor, which keeps the removal heuristic
       // monotone: more shared words can only help a candidate.
-      target = std::move(filtered);
+      target = &filtered;
     }
-    double log_prob = model_->ScoreLogProb(id, target);
+    double log_prob = config_.use_fast_scoring
+                          ? model_->ScoreLogProbFast(id, *target)
+                          : model_->ScoreLogProbIds(id, *target);
     if (config_.length_normalize) {
-      log_prob /= static_cast<double>(target.size() + 1);  // words + <eos>
+      log_prob /= static_cast<double>(target->size() + 1);  // words + <eos>
     }
     if (!config_.concept_prior.empty()) {
       // MAP estimation (Eq. 11): p(c|q) ∝ p(q|c) p(c).

@@ -41,6 +41,10 @@ struct NclConfig {
   bool length_normalize = false;
   /// Threads for parallel encode-decode scoring (paper uses ten).
   size_t scoring_threads = 10;
+  /// Score Phase II with the tape-free fast path (cached concept encodings,
+  /// zero graph allocations). Off => the reference tape-based scorer; both
+  /// agree within float round-off (pinned by the parity tests).
+  bool use_fast_scoring = true;
   /// Optional non-uniform concept prior for MAP estimation (Eq. 11): maps
   /// concept id -> prior probability. Candidates absent from the map get
   /// `default_prior`. When empty, the uniform-prior MLE of Eq. 12 applies.

@@ -1,5 +1,7 @@
 #include "nn/lstm.h"
 
+#include <cmath>
+
 namespace ncl::nn {
 
 LstmCell::LstmCell(std::string name, size_t input_dim, size_t hidden_dim,
@@ -54,6 +56,45 @@ LstmState LstmCell::Step(Tape& tape, VarId x, const LstmState& prev) const {
   next.c = tape.Add(tape.Mul(f, prev.c), tape.Mul(i, c_tilde));
   next.h = tape.Mul(o, tape.Tanh(next.c));
   return next;
+}
+
+void LstmCell::StepValue(const float* x, const float* h_prev, const float* c_prev,
+                         float* h_out, float* c_out, float* scratch) const {
+  const size_t d = hidden_dim_;
+  float* buf0 = scratch;      // gate pre-activation / activation
+  float* buf1 = scratch + d;  // second gate when two are needed at once
+  auto gate = [&](const Parameter* w, const Parameter* u, const Parameter* b,
+                  float* out) {
+    w->value.MatVecInto(x, out);
+    u->value.MatVecAccumInto(h_prev, out);
+    const float* bias = b->value.data();
+    for (size_t j = 0; j < d; ++j) out[j] += bias[j];
+  };
+  auto sigmoid = [&](float* v) {
+    for (size_t j = 0; j < d; ++j) v[j] = 1.0f / (1.0f + std::exp(-v[j]));
+  };
+  auto tanh_inplace = [&](float* v) {
+    for (size_t j = 0; j < d; ++j) v[j] = std::tanh(v[j]);
+  };
+
+  // f_t, then c_out = f_t (.) c_prev (element j only reads c_prev[j], so
+  // c_out may alias c_prev).
+  gate(w_f_, u_f_, b_f_, buf0);
+  sigmoid(buf0);
+  for (size_t j = 0; j < d; ++j) c_out[j] = buf0[j] * c_prev[j];
+
+  // i_t and c~_t together: c_out += i_t (.) c~_t.
+  gate(w_i_, u_i_, b_i_, buf0);
+  sigmoid(buf0);
+  gate(w_c_, u_c_, b_c_, buf1);
+  tanh_inplace(buf1);
+  for (size_t j = 0; j < d; ++j) c_out[j] += buf0[j] * buf1[j];
+
+  // o_t last (it still reads h_prev), then h_out = o_t (.) tanh(c_out) —
+  // only now may h_out overwrite h_prev.
+  gate(w_o_, u_o_, b_o_, buf0);
+  sigmoid(buf0);
+  for (size_t j = 0; j < d; ++j) h_out[j] = buf0[j] * std::tanh(c_out[j]);
 }
 
 }  // namespace ncl::nn

@@ -46,6 +46,16 @@ class LstmCell {
   /// state; return the new state.
   LstmState Step(Tape& tape, VarId x, const LstmState& prev) const;
 
+  /// \brief Value-only step for the tape-free inference fast path.
+  ///
+  /// Reads x (input_dim floats) and the previous state h_prev/c_prev
+  /// (hidden_dim floats each); writes the new state into h_out/c_out.
+  /// `scratch` must hold at least 2 * hidden_dim floats. Allocates nothing
+  /// and records no autodiff graph. Aliasing h_out == h_prev and
+  /// c_out == c_prev is allowed; x must not alias any output.
+  void StepValue(const float* x, const float* h_prev, const float* c_prev,
+                 float* h_out, float* c_out, float* scratch) const;
+
   size_t input_dim() const { return input_dim_; }
   size_t hidden_dim() const { return hidden_dim_; }
 

@@ -56,16 +56,48 @@ double Matrix::Sum() const {
   return total;
 }
 
+namespace {
+
+/// Branch-free dot product with four independent accumulators so the
+/// compiler can keep vector lanes busy (a single accumulator serialises on
+/// the add latency).
+inline float RowDot(const float* a, const float* x, size_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc0 += a[k] * x[k];
+    acc1 += a[k + 1] * x[k + 1];
+    acc2 += a[k + 2] * x[k + 2];
+    acc3 += a[k + 3] * x[k + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; k < n; ++k) acc += a[k] * x[k];
+  return acc;
+}
+
+}  // namespace
+
+void Matrix::MatVecInto(const float* x, float* y) const {
+  for (size_t i = 0; i < rows_; ++i) y[i] = RowDot(row_data(i), x, cols_);
+}
+
+void Matrix::MatVecAccumInto(const float* x, float* y) const {
+  for (size_t i = 0; i < rows_; ++i) y[i] += RowDot(row_data(i), x, cols_);
+}
+
 Matrix Matrix::MatMul(const Matrix& other) const {
   NCL_CHECK(cols_ == other.rows_)
       << "MatMul shape mismatch " << ShapeString() << " x " << other.ShapeString();
   Matrix out(rows_, other.cols_);
+  if (other.cols_ == 1) {
+    MatVecInto(other.data(), out.data());
+    return out;
+  }
   for (size_t i = 0; i < rows_; ++i) {
     const float* a_row = row_data(i);
     float* out_row = out.row_data(i);
     for (size_t k = 0; k < cols_; ++k) {
       float a = a_row[k];
-      if (a == 0.0f) continue;
       const float* b_row = other.row_data(k);
       for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
     }
@@ -82,7 +114,6 @@ Matrix Matrix::TransposedMatMul(const Matrix& other) const {
     const float* b_row = other.row_data(k);
     for (size_t i = 0; i < cols_; ++i) {
       float a = a_row[i];
-      if (a == 0.0f) continue;
       float* out_row = out.row_data(i);
       for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
     }

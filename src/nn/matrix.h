@@ -78,8 +78,18 @@ class Matrix {
   /// Sum of all entries.
   double Sum() const;
 
-  /// Matrix product: returns this(m,k) * other(k,n).
+  /// Matrix product: returns this(m,k) * other(k,n). Column-vector operands
+  /// (n == 1) dispatch to the dedicated matvec path.
   Matrix MatMul(const Matrix& other) const;
+
+  /// Matrix-vector product into a caller buffer: y = this(m,k) * x, where x
+  /// has k entries and y has m. The dominant kernel shape of the inference
+  /// fast path (hidden dims 32-256); blocked accumulation, branch-free inner
+  /// loop so the compiler can vectorise.
+  void MatVecInto(const float* x, float* y) const;
+
+  /// Accumulating matrix-vector product: y += this(m,k) * x.
+  void MatVecAccumInto(const float* x, float* y) const;
   /// Transposed product: returns this^T(k,m)^T... i.e. (this^T) * other,
   /// with this(k,m), other(k,n) -> (m,n). Avoids materialising transposes.
   Matrix TransposedMatMul(const Matrix& other) const;

@@ -1,0 +1,158 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace ncl {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void JsonWriter::BeforeItem() {
+  if (stack_.empty()) {
+    NCL_CHECK(out_.empty()) << "JsonWriter: only one top-level value allowed";
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    NCL_CHECK(key_pending_) << "JsonWriter: value inside an object needs Key()";
+  } else if (has_items_.back()) {
+    out_.push_back(',');
+  }
+}
+
+void JsonWriter::AfterValue() {
+  if (!stack_.empty()) has_items_.back() = true;
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeItem();
+  out_.push_back('{');
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  key_pending_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  NCL_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "JsonWriter: unbalanced EndObject";
+  NCL_CHECK(!key_pending_) << "JsonWriter: dangling Key() at EndObject";
+  out_.push_back('}');
+  stack_.pop_back();
+  has_items_.pop_back();
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeItem();
+  out_.push_back('[');
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  key_pending_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  NCL_CHECK(!stack_.empty() && stack_.back() == Scope::kArray)
+      << "JsonWriter: unbalanced EndArray";
+  out_.push_back(']');
+  stack_.pop_back();
+  has_items_.pop_back();
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  NCL_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "JsonWriter: Key() outside an object";
+  NCL_CHECK(!key_pending_) << "JsonWriter: consecutive Key() calls";
+  if (has_items_.back()) out_.push_back(',');
+  AppendEscaped(out_, key);
+  out_.push_back(':');
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  BeforeItem();
+  AppendEscaped(out_, value);
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  BeforeItem();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ += buf;
+  }
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  BeforeItem();
+  out_ += std::to_string(value);
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t value) {
+  BeforeItem();
+  out_ += std::to_string(value);
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  BeforeItem();
+  out_ += value ? "true" : "false";
+  AfterValue();
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  NCL_CHECK(stack_.empty()) << "JsonWriter: document has unclosed containers";
+  return out_;
+}
+
+Status JsonWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  file << str() << "\n";
+  if (!file) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace ncl

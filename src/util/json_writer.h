@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer for machine-readable bench output.
+//
+// The benches emit BENCH_*.json files so the perf trajectory can be tracked
+// across PRs without scraping the human-readable tables. The writer covers
+// exactly what those files need — nested objects/arrays, string/number/bool
+// values, escaping — with comma placement handled automatically.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ncl {
+
+/// \brief Streaming JSON document builder.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject().Key("qps").Value(123.4).Key("rows").BeginArray();
+///   w.Value(1).Value(2).EndArray().EndObject();
+///   w.WriteFile("BENCH_x.json");
+///
+/// Misuse (e.g. a value with no pending key inside an object) trips an
+/// NCL_CHECK. Non-finite doubles are emitted as null (JSON has no NaN/inf).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) { return Value(std::string_view(value)); }
+  JsonWriter& Value(double value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(bool value);
+
+  /// The document so far. Complete (all containers closed) documents only.
+  const std::string& str() const;
+
+  /// Write the (complete) document to `path`, newline-terminated.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  /// Emit the separating comma (if needed) before a value/key in the current
+  /// scope.
+  void BeforeItem();
+  /// Note that a value was emitted in the current scope.
+  void AfterValue();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  /// Whether the current scope already holds at least one item.
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+};
+
+}  // namespace ncl

@@ -41,12 +41,34 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
   }
   // Shared atomic cursor: workers steal indices until exhausted. The calling
   // thread participates too, so the pool is never idle-blocked on itself.
-  auto cursor = std::make_shared<std::atomic<size_t>>(0);
-  auto body = [cursor, count, &fn] {
-    while (true) {
-      size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+  //
+  // Exception safety: `body` captures `fn` (and this frame's state) by
+  // reference, so the calling frame must never unwind while worker copies
+  // are still running. The body therefore swallows exceptions into the
+  // shared state — guaranteeing `f.get()` below never throws and every
+  // future is awaited — and the first exception is rethrown only after all
+  // participants finished. A thrown iteration also cancels the remaining
+  // unstarted iterations.
+  struct SharedState {
+    std::atomic<size_t> cursor{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<SharedState>();
+  auto body = [state, count, &fn] {
+    while (!state->cancelled.load(std::memory_order_relaxed)) {
+      size_t i = state->cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(state->error_mutex);
+          if (!state->error) state->error = std::current_exception();
+        }
+        state->cancelled.store(true, std::memory_order_relaxed);
+      }
     }
   };
   size_t helpers = std::min(workers_.size(), count - 1);
@@ -55,6 +77,7 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
   for (size_t i = 0; i < helpers; ++i) futures.push_back(Submit(body));
   body();
   for (auto& f : futures) f.get();
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 void ThreadPool::WorkerLoop() {

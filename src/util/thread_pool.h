@@ -31,7 +31,10 @@ class ThreadPool {
   std::future<void> Submit(std::function<void()> task);
 
   /// Run fn(i) for every i in [0, count), distributing across the pool and
-  /// blocking until all iterations finish. fn must be thread-safe.
+  /// blocking until all iterations finish. fn must be thread-safe. If any
+  /// iteration throws, the remaining unstarted iterations are cancelled,
+  /// every participating task is still awaited, and the first exception is
+  /// rethrown on the calling thread.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }

@@ -1,0 +1,207 @@
+// Tests for the tape-free inference fast path: fast-vs-tape score parity
+// across COM-AID variants, concept-encoding cache lifecycle (lazy fill,
+// eager precompute, invalidation on weight updates), and thread-safety of
+// concurrent scoring. Run these under -fsanitize=thread (the `tsan` CMake
+// preset) when touching the cache or the scoring hot loop.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "comaid/model.h"
+#include "comaid/trainer.h"
+#include "nn/optimizer.h"
+#include "util/thread_pool.h"
+
+namespace ncl::comaid {
+namespace {
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("D50", {"iron", "deficiency", "anemia"}, "ROOT");
+  add("D50.0", {"iron", "deficiency", "anemia", "secondary", "to", "blood", "loss"},
+      "D50");
+  add("D50.9", {"iron", "deficiency", "anemia", "unspecified"}, "D50");
+  add("N18", {"chronic", "kidney", "disease"}, "ROOT");
+  add("N18.5", {"chronic", "kidney", "disease", "stage", "5"}, "N18");
+  return onto;
+}
+
+ComAidConfig SmallConfig() {
+  ComAidConfig config;
+  config.dim = 12;
+  config.beta = 2;
+  config.seed = 17;
+  return config;
+}
+
+/// Targets covering the Phase II shapes: multi-word, single word, the
+/// empty/<eos>-only residue, and an out-of-vocabulary word (<unk>).
+std::vector<std::vector<std::string>> TestQueries() {
+  return {{"anemia", "blood", "loss"},
+          {"ckd"},
+          {},
+          {"anemia", "xylophone", "stage"}};
+}
+
+TEST(InferenceTest, FastMatchesTapeAcrossVariants) {
+  ontology::Ontology onto = MakeOntology();
+  for (bool text : {true, false}) {
+    for (bool structural : {true, false}) {
+      ComAidConfig config = SmallConfig();
+      config.text_attention = text;
+      config.structural_attention = structural;
+      ComAidModel model(config, &onto, {{"ckd"}});
+      for (ontology::ConceptId id : onto.AllConcepts()) {
+        for (const auto& query : TestQueries()) {
+          auto target = model.MapTokens(query);
+          double tape = model.ScoreLogProbIds(id, target);
+          double fast = model.ScoreLogProbFast(id, target);
+          EXPECT_NEAR(tape, fast, 1e-5)
+              << VariantName(config) << " concept " << onto.Get(id).code;
+        }
+      }
+    }
+  }
+}
+
+TEST(InferenceTest, FastMatchesTapeAfterTraining) {
+  // Parity must hold for refined (non-initial) weights too.
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {{"ckd", "5"}});
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases = {
+      {onto.FindByCode("N18.5"), {"ckd", "5"}},
+      {onto.FindByCode("D50.0"), {"anemia", "blood", "loss"}},
+  };
+  TrainConfig tc;
+  tc.epochs = 5;
+  ComAidTrainer trainer(tc);
+  trainer.Train(&model, MakeTrainingPairs(model, aliases));
+
+  for (ontology::ConceptId id : onto.AllConcepts()) {
+    for (const auto& query : TestQueries()) {
+      auto target = model.MapTokens(query);
+      EXPECT_NEAR(model.ScoreLogProbIds(id, target),
+                  model.ScoreLogProbFast(id, target), 1e-5);
+    }
+  }
+}
+
+TEST(InferenceTest, StringOverloadMatchesIdOverload) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  auto id = onto.FindByCode("N18.5");
+  std::vector<std::string> query{"kidney", "disease"};
+  EXPECT_EQ(model.ScoreLogProbFast(id, query),
+            model.ScoreLogProbFast(id, model.MapTokens(query)));
+}
+
+TEST(InferenceTest, CacheFillsLazilyAndPrecomputesEagerly) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  EXPECT_EQ(model.num_cached_encodings(), 0u);
+
+  model.ScoreLogProbFast(onto.FindByCode("N18.5"),
+                         std::vector<text::WordId>{});
+  EXPECT_GE(model.num_cached_encodings(), 1u);
+
+  size_t computed = model.PrecomputeConceptEncodings();
+  EXPECT_EQ(model.num_cached_encodings(), onto.num_concepts());
+  EXPECT_EQ(computed + 1, onto.num_concepts());  // one was already cached
+
+  // Idempotent: everything already cached.
+  EXPECT_EQ(model.PrecomputeConceptEncodings(), 0u);
+}
+
+TEST(InferenceTest, PrecomputeOnThreadPool) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  ThreadPool pool(4);
+  EXPECT_EQ(model.PrecomputeConceptEncodings(&pool), onto.num_concepts());
+  EXPECT_EQ(model.num_cached_encodings(), onto.num_concepts());
+}
+
+TEST(InferenceTest, TrainingInvalidatesCacheAndKeepsParity) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {{"ckd", "5"}});
+  auto concept_id = onto.FindByCode("N18.5");
+  auto target = model.MapTokens({"ckd", "5"});
+
+  model.PrecomputeConceptEncodings();
+  uint64_t version_before = model.weights_version();
+  double score_before = model.ScoreLogProbFast(concept_id, target);
+
+  // One gradient step through TrainBatch must invalidate every cached
+  // encoding — otherwise the fast path would keep scoring with pre-update
+  // encoder states while the tape path uses the new weights.
+  TrainConfig tc;
+  ComAidTrainer trainer(tc);
+  nn::SgdOptimizer optimizer(0.5, 0.0, 5.0);
+  trainer.TrainBatch(&model, &optimizer,
+                     {TrainingPair{concept_id, target}});
+
+  EXPECT_GT(model.weights_version(), version_before);
+  EXPECT_EQ(model.num_cached_encodings(), 0u);
+
+  double fast_after = model.ScoreLogProbFast(concept_id, target);
+  double tape_after = model.ScoreLogProbIds(concept_id, target);
+  EXPECT_NEAR(fast_after, tape_after, 1e-5);
+  // A 0.5-learning-rate step on this exact pair moves the score.
+  EXPECT_NE(fast_after, score_before);
+}
+
+TEST(InferenceTest, ConcurrentScoringMatchesSerial) {
+  // Phase II scores k candidates concurrently on a pool; racing lazy cache
+  // fills and shared encoding reads must produce identical scores. Run
+  // under the `tsan` preset to check the synchronisation.
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {{"ckd", "5"}});
+  std::vector<ontology::ConceptId> ids = onto.AllConcepts();
+  auto queries = TestQueries();
+
+  std::vector<std::pair<ontology::ConceptId, std::vector<text::WordId>>> work;
+  for (ontology::ConceptId id : ids) {
+    for (const auto& query : queries) work.emplace_back(id, model.MapTokens(query));
+  }
+  std::vector<double> serial(work.size());
+  for (size_t i = 0; i < work.size(); ++i) {
+    serial[i] = model.ScoreLogProbIds(work[i].first, work[i].second);
+  }
+
+  // Fresh cache so the concurrent pass exercises racing fills.
+  model.InvalidateConceptEncodings();
+  std::vector<double> concurrent(work.size());
+  ThreadPool pool(8);
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    pool.ParallelFor(work.size(), [&](size_t i) {
+      concurrent[i] = model.ScoreLogProbFast(work[i].first, work[i].second);
+    });
+    for (size_t i = 0; i < work.size(); ++i) {
+      EXPECT_NEAR(concurrent[i], serial[i], 1e-5) << "work item " << i;
+    }
+  }
+}
+
+TEST(InferenceTest, ExplicitContextReuse) {
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  InferenceContext ctx;
+  auto target = model.MapTokens({"anemia", "blood"});
+  double first = model.ScoreLogProbFast(onto.FindByCode("D50.0"), target, &ctx);
+  // Reusing the same context across concepts/targets must not leak state.
+  model.ScoreLogProbFast(onto.FindByCode("N18.5"), model.MapTokens({"ckd"}),
+                         &ctx);
+  double again = model.ScoreLogProbFast(onto.FindByCode("D50.0"), target, &ctx);
+  EXPECT_EQ(first, again);
+}
+
+}  // namespace
+}  // namespace ncl::comaid

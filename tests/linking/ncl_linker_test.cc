@@ -98,6 +98,30 @@ TEST(NclLinkerTest, KCapsPhaseOneCandidates) {
   EXPECT_LE(linker.LinkDetailed({"anemia", "kidney"}).size(), 2u);
 }
 
+TEST(NclLinkerTest, FastAndTapeScoringAgree) {
+  // The default tape-free scorer must reproduce the tape path's ranking and
+  // log-probabilities within the inference fast path's parity bound.
+  Fixture f;
+  NclConfig fast_config;
+  fast_config.use_fast_scoring = true;
+  NclConfig tape_config;
+  tape_config.use_fast_scoring = false;
+  NclLinker fast(f.model.get(), f.candidates.get(), nullptr, fast_config);
+  NclLinker tape(f.model.get(), f.candidates.get(), nullptr, tape_config);
+  for (const std::vector<std::string>& query :
+       {std::vector<std::string>{"ckd", "5"},
+        std::vector<std::string>{"iron", "anemia", "nos"},
+        std::vector<std::string>{"anemia", "blood", "loss"}}) {
+    auto rf = fast.LinkDetailed(query);
+    auto rt = tape.LinkDetailed(query);
+    ASSERT_EQ(rf.size(), rt.size());
+    for (size_t i = 0; i < rf.size(); ++i) {
+      EXPECT_EQ(rf[i].concept_id, rt[i].concept_id);
+      EXPECT_NEAR(rf[i].log_prob, rt[i].log_prob, 1e-5);
+    }
+  }
+}
+
 TEST(NclLinkerTest, SingleAndMultiThreadAgree) {
   Fixture f;
   NclConfig serial;

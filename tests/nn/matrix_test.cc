@@ -140,5 +140,72 @@ TEST(MatrixTest, RowDataPointsIntoStorage) {
   EXPECT_EQ(m(1, 0), 40);
 }
 
+TEST(MatrixTest, MatVecIntoKnownResult) {
+  Matrix m = Matrix::FromValues(2, 3, {1, 2, 3, 4, 5, 6});
+  const float x[3] = {1, 0, -1};
+  float y[2] = {99, 99};  // must be overwritten, not accumulated
+  m.MatVecInto(x, y);
+  EXPECT_FLOAT_EQ(y[0], -2.0f);
+  EXPECT_FLOAT_EQ(y[1], -2.0f);
+}
+
+TEST(MatrixTest, MatVecAccumIntoAddsToExisting) {
+  Matrix m = Matrix::FromValues(2, 2, {1, 2, 3, 4});
+  const float x[2] = {2, 1};
+  float y[2] = {10, 20};
+  m.MatVecAccumInto(x, y);
+  EXPECT_FLOAT_EQ(y[0], 10 + 4);
+  EXPECT_FLOAT_EQ(y[1], 20 + 10);
+}
+
+TEST(MatrixTest, MatVecHandlesNonMultipleOfFourWidth) {
+  // Widths 1..9 cross the unrolled-by-4 boundary and its scalar tail.
+  for (size_t n = 1; n <= 9; ++n) {
+    Matrix m(3, n);
+    std::vector<float> x(n);
+    for (size_t j = 0; j < n; ++j) x[j] = static_cast<float>(j + 1);
+    for (size_t i = 0; i < 3; ++i) {
+      for (size_t j = 0; j < n; ++j) m(i, j) = static_cast<float>(i + 1);
+    }
+    float y[3];
+    m.MatVecInto(x.data(), y);
+    const float row_sum = static_cast<float>(n * (n + 1)) / 2.0f;
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_FLOAT_EQ(y[i], static_cast<float>(i + 1) * row_sum) << "n=" << n;
+    }
+  }
+}
+
+TEST(MatrixTest, MatMulColumnVectorMatchesGeneralPath) {
+  // MatMul dispatches cols == 1 to the matvec kernel; both paths must agree
+  // bit-for-bit on the same accumulation order... within float tolerance.
+  Rng rng(7);
+  Matrix a = Matrix::RandomUniform(5, 9, 1.0f, rng);
+  Matrix x = Matrix::RandomUniform(9, 1, 1.0f, rng);
+  Matrix fast = a.MatMul(x);
+  ASSERT_EQ(fast.rows(), 5u);
+  ASSERT_EQ(fast.cols(), 1u);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double expect = 0.0;
+    for (size_t k = 0; k < a.cols(); ++k) {
+      expect += static_cast<double>(a(i, k)) * static_cast<double>(x[k]);
+    }
+    EXPECT_NEAR(fast[i], expect, 1e-5) << "row " << i;
+  }
+}
+
+TEST(MatrixTest, MatMulZeroEntriesContribute) {
+  // Regression for the old `if (a == 0.0f) continue;` branch: zeros in the
+  // left operand must still produce exact results (and -0.0 / denormals
+  // must not change the sum).
+  Matrix a = Matrix::FromValues(2, 3, {0, -0.0f, 2, 1, 0, 0});
+  Matrix b = Matrix::FromValues(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix c = a.MatMul(b);
+  EXPECT_FLOAT_EQ(c(0, 0), 10);
+  EXPECT_FLOAT_EQ(c(0, 1), 12);
+  EXPECT_FLOAT_EQ(c(1, 0), 1);
+  EXPECT_FLOAT_EQ(c(1, 1), 2);
+}
+
 }  // namespace
 }  // namespace ncl::nn

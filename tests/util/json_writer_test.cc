@@ -1,0 +1,104 @@
+#include "util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace ncl {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter w;
+  w.BeginObject().EndObject();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriterTest, EmptyArray) {
+  JsonWriter w;
+  w.BeginArray().EndArray();
+  EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectMembersGetCommas) {
+  JsonWriter w;
+  w.BeginObject().Key("a").Value(1).Key("b").Value(2).EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(JsonWriterTest, ArrayElementsGetCommas) {
+  JsonWriter w;
+  w.BeginArray().Value(1).Value(2).Value(3).EndArray();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("rows")
+      .BeginArray()
+      .BeginObject()
+      .Key("k")
+      .Value(10)
+      .EndObject()
+      .BeginObject()
+      .Key("k")
+      .Value(20)
+      .EndObject()
+      .EndArray()
+      .Key("done")
+      .Value(true)
+      .EndObject();
+  EXPECT_EQ(w.str(), "{\"rows\":[{\"k\":10},{\"k\":20}],\"done\":true}");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  JsonWriter w;
+  w.BeginObject().Key("s").Value("a\"b\\c\n\t\x01z").EndObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001z\"}");
+}
+
+TEST(JsonWriterTest, NumberFormats) {
+  JsonWriter w;
+  w.BeginArray()
+      .Value(-7)
+      .Value(static_cast<size_t>(42))
+      .Value(1.5)
+      .Value(false)
+      .EndArray();
+  EXPECT_EQ(w.str(), "[-7,42,1.5,false]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Value(std::nan(""))
+      .Value(std::numeric_limits<double>::infinity())
+      .EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, WriteFileRoundTrips) {
+  JsonWriter w;
+  w.BeginObject().Key("qps").Value(123.25).EndObject();
+  const std::string path = ::testing::TempDir() + "/json_writer_test.json";
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{\"qps\":123.25}\n");
+  std::remove(path.c_str());
+}
+
+TEST(JsonWriterTest, WriteFileToBadPathFails) {
+  JsonWriter w;
+  w.BeginObject().EndObject();
+  EXPECT_FALSE(w.WriteFile("/nonexistent-dir-ncl/x.json").ok());
+}
+
+}  // namespace
+}  // namespace ncl

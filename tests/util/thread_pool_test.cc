@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace ncl {
@@ -80,6 +82,63 @@ TEST(ThreadPoolTest, NestedSubmitFromParallelForBody) {
   // The body itself is cheap; this exercises contention on the cursor.
   pool.ParallelFor(64, [&](size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter, 64);
+}
+
+// Regression: a throwing iteration used to propagate out of a worker's
+// future.get() while the remaining futures were abandoned, terminating the
+// process once a second worker also threw. ParallelFor must join every
+// worker, then rethrow the first exception on the calling thread.
+TEST(ThreadPoolTest, ParallelForRethrowsIterationException) {
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  EXPECT_THROW(
+      pool.ParallelFor(128,
+                       [&](size_t i) {
+                         ++started;
+                         if (i == 7) throw std::runtime_error("iteration 7");
+                       }),
+      std::runtime_error);
+  // At least the throwing iteration ran; later iterations may be skipped.
+  EXPECT_GE(started.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionMessagePreserved) {
+  ThreadPool pool(3);
+  try {
+    pool.ParallelFor(16, [&](size_t i) {
+      if (i == 3) throw std::runtime_error("boom at 3");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 3");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForUsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(32, [](size_t) { throw std::runtime_error("die"); }),
+      std::runtime_error);
+  // The pool and its workers must survive the failed run intact.
+  std::vector<std::atomic<int>> hits(256);
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionCancelsRemainingWork) {
+  // With a single worker plus the calling thread, an early throw must stop
+  // the sweep instead of grinding through every remaining index.
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.ParallelFor(100000,
+                                [&](size_t) {
+                                  ++executed;
+                                  throw std::runtime_error("first");
+                                }),
+               std::runtime_error);
+  // Cancellation is cooperative: a few iterations may start before every
+  // thread observes the flag, but nowhere near the full range.
+  EXPECT_LT(executed.load(), 100);
 }
 
 }  // namespace

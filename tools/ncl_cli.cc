@@ -197,7 +197,7 @@ int CmdTrain(const std::vector<std::string>& args,
   status = comaid::SaveModel(model, dir + "/model.bin");
   if (!status.ok()) return Fail(status);
   std::cout << "saved " << dir << "/model.bin ("
-            << model.params().NumWeights() << " weights)\n";
+            << model.params()->NumWeights() << " weights)\n";
   return 0;
 }
 
