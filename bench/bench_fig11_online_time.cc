@@ -17,9 +17,12 @@
 // whole sweep as machine-readable BENCH_fig11.json so the perf trajectory
 // is tracked across PRs.
 
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/env.h"
 #include "util/json_writer.h"
 #include "util/table_writer.h"
@@ -156,10 +159,74 @@ int main() {
     }
     json.EndArray();
     table_q.Print();
+
+    // --- Observability overhead (hospital-x): ED phase with the metrics/
+    // tracing instrumentation disabled vs the serving default (metrics on,
+    // tracing off) vs tracing on. Rounds are interleaved and the min mean
+    // per configuration is kept, so machine noise hits all three equally.
+    // Acceptance: < 2 % ED regression with tracing disabled.
+    if (corpus == Corpus::kHospitalX) {
+      linking::NclConfig link_config;
+      link_config.k = 20;
+      link_config.scoring_threads = 10;
+      link_config.use_fast_scoring = true;
+      linking::NclLinker linker = pipeline->MakeLinker(link_config);
+      MeanTimings(linker, queries);  // warm up caches and pool
+
+      const int rounds = 5;
+      double ed_off = 0.0, ed_metrics = 0.0, ed_trace = 0.0;
+      auto keep_min = [](double& slot, double value) {
+        slot = slot == 0.0 ? value : std::min(slot, value);
+      };
+      for (int round = 0; round < rounds; ++round) {
+        obs::SetMetricsEnabled(false);
+        obs::SetTracingEnabled(false);
+        keep_min(ed_off, MeanTimings(linker, queries).score_us);
+        obs::SetMetricsEnabled(true);
+        keep_min(ed_metrics, MeanTimings(linker, queries).score_us);
+        obs::SetTracingEnabled(true);
+        keep_min(ed_trace, MeanTimings(linker, queries).score_us);
+        obs::SetTracingEnabled(false);
+      }
+      double metrics_pct = (ed_metrics - ed_off) / ed_off * 100.0;
+      double trace_pct = (ed_trace - ed_off) / ed_off * 100.0;
+
+      TableWriter overhead("Observability overhead, ED phase [us] (k=20)",
+                           {"configuration", "ED", "vs off [%]"});
+      overhead.AddRow("instrumentation disabled", {ed_off, 0.0}, 1);
+      overhead.AddRow("metrics on, tracing off (serving)",
+                      {ed_metrics, metrics_pct}, 1);
+      overhead.AddRow("metrics on, tracing on", {ed_trace, trace_pct}, 1);
+      overhead.Print();
+
+      json.Key("obs_overhead").BeginObject();
+      json.Key("k").Value(20);
+      json.Key("rounds").Value(rounds);
+      json.Key("ed_us_obs_disabled").Value(ed_off);
+      json.Key("ed_us_metrics_on_tracing_off").Value(ed_metrics);
+      json.Key("ed_us_tracing_on").Value(ed_trace);
+      json.Key("overhead_pct_tracing_disabled").Value(metrics_pct);
+      json.Key("overhead_pct_tracing_on").Value(trace_pct);
+      json.EndObject();
+    }
     json.EndObject();
   }
 
-  json.EndArray().EndObject();
+  // The whole sweep ran instrumented: snapshot the metrics registry next to
+  // the timing JSON (the machine-readable face of `ncl_cli --metrics-json`).
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  std::cout << "\n" << snapshot.RenderTables() << "\n";
+  Status metrics_status = snapshot.WriteJsonFile("BENCH_fig11_metrics.json");
+  if (!metrics_status.ok()) {
+    std::cerr << "failed to write BENCH_fig11_metrics.json: "
+              << metrics_status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote BENCH_fig11_metrics.json\n";
+
+  json.EndArray();
+  json.Key("metrics_snapshot").Value("BENCH_fig11_metrics.json");
+  json.EndObject();
   Status status = json.WriteFile("BENCH_fig11.json");
   if (!status.ok()) {
     std::cerr << "failed to write BENCH_fig11.json: " << status.ToString()

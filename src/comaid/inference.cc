@@ -17,6 +17,24 @@
 
 namespace ncl::comaid {
 
+namespace internal {
+
+const ConceptCacheMetrics& GetConceptCacheMetrics() {
+  static const ConceptCacheMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return ConceptCacheMetrics{
+        registry.GetCounter("ncl.concept_cache.hits"),
+        registry.GetCounter("ncl.concept_cache.misses"),
+        registry.GetCounter("ncl.concept_cache.fills"),
+        registry.GetCounter("ncl.concept_cache.fill_races"),
+        registry.GetCounter("ncl.concept_cache.invalidations"),
+        registry.GetCounter("ncl.concept_cache.evictions")};
+  }();
+  return metrics;
+}
+
+}  // namespace internal
+
 namespace {
 
 /// Fused dot-product attention on values (Eqs. 5-7): out = sum_r alpha_r v_r

@@ -30,8 +30,24 @@
 #include <vector>
 
 #include "nn/matrix.h"
+#include "obs/metrics.h"
 
 namespace ncl::comaid {
+
+namespace internal {
+/// Cache observability, published under `ncl.concept_cache.*`. Handles are
+/// resolved once (defined in inference.cc); every ConceptEncodingCache in
+/// the process shares them.
+struct ConceptCacheMetrics {
+  obs::Counter* hits;           ///< Get returned a cached encoding
+  obs::Counter* misses;         ///< Get found the slot empty
+  obs::Counter* fills;          ///< Put installed a new encoding
+  obs::Counter* fill_races;     ///< Put lost the install race (work wasted)
+  obs::Counter* invalidations;  ///< Clear calls (weight mutations)
+  obs::Counter* evictions;      ///< encodings dropped across all Clears
+};
+const ConceptCacheMetrics& GetConceptCacheMetrics();
+}  // namespace internal
 
 /// \brief Query-independent encoder outputs for one concept.
 struct ConceptEncoding {
@@ -66,9 +82,14 @@ class ConceptEncodingCache {
   ConceptEncodingCache(const ConceptEncodingCache&) = delete;
   ConceptEncodingCache& operator=(const ConceptEncodingCache&) = delete;
 
-  /// The cached encoding for `slot`, or nullptr when absent.
+  /// The cached encoding for `slot`, or nullptr when absent. Counts a
+  /// `ncl.concept_cache` hit or miss.
   const ConceptEncoding* Get(size_t slot) const {
-    return slots_[slot].load(std::memory_order_acquire);
+    const ConceptEncoding* encoding =
+        slots_[slot].load(std::memory_order_acquire);
+    const auto& metrics = internal::GetConceptCacheMetrics();
+    (encoding != nullptr ? metrics.hits : metrics.misses)->Increment();
+    return encoding;
   }
 
   /// Install `encoding` at `slot` unless another thread won the race; either
@@ -79,17 +100,25 @@ class ConceptEncodingCache {
     ConceptEncoding* candidate = encoding.release();
     if (slots_[slot].compare_exchange_strong(expected, candidate,
                                              std::memory_order_acq_rel)) {
+      internal::GetConceptCacheMetrics().fills->Increment();
       return candidate;
     }
     delete candidate;  // lost the race; `expected` holds the winner
+    internal::GetConceptCacheMetrics().fill_races->Increment();
     return expected;
   }
 
   /// Drop every cached encoding. Not safe concurrently with Get/Put.
   void Clear() {
+    uint64_t evicted = 0;
     for (auto& slot : slots_) {
-      delete slot.exchange(nullptr, std::memory_order_acq_rel);
+      ConceptEncoding* encoding = slot.exchange(nullptr, std::memory_order_acq_rel);
+      if (encoding != nullptr) ++evicted;
+      delete encoding;
     }
+    const auto& metrics = internal::GetConceptCacheMetrics();
+    metrics.invalidations->Increment();
+    metrics.evictions->Increment(evicted);
   }
 
   size_t num_slots() const { return slots_.size(); }

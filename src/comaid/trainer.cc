@@ -4,10 +4,40 @@
 #include <unordered_set>
 
 #include "nn/tape.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace ncl::comaid {
+
+namespace {
+
+/// Registry handles for `ncl.train.*`, resolved once.
+struct TrainMetrics {
+  obs::Counter* epochs;
+  obs::Counter* batches;
+  obs::Counter* examples;
+  obs::Histogram* epoch_us;
+  obs::Histogram* batch_us;
+  obs::Gauge* epoch_loss;
+};
+
+const TrainMetrics& GetTrainMetrics() {
+  static const TrainMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return TrainMetrics{registry.GetCounter("ncl.train.epochs"),
+                        registry.GetCounter("ncl.train.batches"),
+                        registry.GetCounter("ncl.train.examples"),
+                        registry.GetHistogram("ncl.train.epoch_us"),
+                        registry.GetHistogram("ncl.train.batch_us"),
+                        registry.GetGauge("ncl.train.epoch_loss")};
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 std::vector<TrainingPair> MakeTrainingPairs(
     const ComAidModel& model,
@@ -45,6 +75,8 @@ std::vector<TrainingPair> MakeResidualAugmentedPairs(
 double ComAidTrainer::TrainBatch(ComAidModel* model, nn::Optimizer* optimizer,
                                  const std::vector<TrainingPair>& batch) const {
   NCL_CHECK(!batch.empty());
+  NCL_TRACE_SPAN("ncl.train.batch");
+  Stopwatch batch_watch;
   nn::Tape tape;
   double total_loss = 0.0;
   float inv_batch = 1.0f / static_cast<float>(batch.size());
@@ -58,6 +90,10 @@ double ComAidTrainer::TrainBatch(ComAidModel* model, nn::Optimizer* optimizer,
   optimizer->Step(model->params());
   // The weights moved: cached concept encodings are stale from here on.
   model->NotifyWeightsChanged();
+  const TrainMetrics& metrics = GetTrainMetrics();
+  metrics.batch_us->RecordMicros(batch_watch.ElapsedMicros());
+  metrics.batches->Increment();
+  metrics.examples->Increment(batch.size());
   return total_loss / static_cast<double>(batch.size());
 }
 
@@ -74,6 +110,8 @@ double ComAidTrainer::Train(ComAidModel* model,
 
   double epoch_loss = 0.0;
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    NCL_TRACE_SPAN("ncl.train.epoch");
+    Stopwatch epoch_watch;
     rng.Shuffle(order);
     double loss_sum = 0.0;
     size_t example_count = 0;
@@ -87,6 +125,10 @@ double ComAidTrainer::Train(ComAidModel* model,
       example_count += batch.size();
     }
     epoch_loss = loss_sum / static_cast<double>(example_count);
+    const TrainMetrics& metrics = GetTrainMetrics();
+    metrics.epoch_us->RecordMicros(epoch_watch.ElapsedMicros());
+    metrics.epochs->Increment();
+    metrics.epoch_loss->Set(epoch_loss);
     if (config_.on_epoch) config_.on_epoch(epoch, epoch_loss);
     optimizer.set_learning_rate(optimizer.learning_rate() * config_.lr_decay);
   }

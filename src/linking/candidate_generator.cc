@@ -2,7 +2,32 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
 namespace ncl::linking {
+
+namespace {
+
+/// Registry handles for `ncl.candidates.*`, resolved once.
+struct CandidateMetrics {
+  obs::Counter* queries;
+  obs::Counter* returned;
+  obs::Histogram* topk_us;
+};
+
+const CandidateMetrics& GetCandidateMetrics() {
+  static const CandidateMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return CandidateMetrics{registry.GetCounter("ncl.candidates.queries"),
+                            registry.GetCounter("ncl.candidates.returned"),
+                            registry.GetHistogram("ncl.candidates.topk_us")};
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 CandidateGenerator::CandidateGenerator(
     const ontology::Ontology& onto,
@@ -26,6 +51,8 @@ CandidateGenerator::CandidateGenerator(
 
 std::vector<ontology::ConceptId> CandidateGenerator::TopK(
     const std::vector<std::string>& query, size_t k) const {
+  NCL_TRACE_SPAN("ncl.candidates.topk");
+  Stopwatch watch;
   // Over-fetch documents: several documents may map to one concept.
   std::vector<text::ScoredDoc> docs = index_.TopK(query, k * 4);
   std::vector<ontology::ConceptId> concepts;
@@ -37,6 +64,10 @@ std::vector<ontology::ConceptId> CandidateGenerator::TopK(
       if (concepts.size() == k) break;
     }
   }
+  const CandidateMetrics& metrics = GetCandidateMetrics();
+  metrics.queries->Increment();
+  metrics.returned->Increment(concepts.size());
+  metrics.topk_us->RecordMicros(watch.ElapsedMicros());
   return concepts;
 }
 

@@ -2,7 +2,38 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace ncl::linking {
+
+namespace {
+
+/// Registry handles for `ncl.feedback.*`, resolved once.
+struct FeedbackMetrics {
+  obs::Counter* offered;
+  obs::Counter* pooled;
+  obs::Counter* expert_answers;
+  obs::Counter* pool_drains;
+  obs::Counter* retrain_drains;
+  obs::Gauge* pool_size;
+  obs::Gauge* pending_feedback;
+};
+
+const FeedbackMetrics& GetFeedbackMetrics() {
+  static const FeedbackMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return FeedbackMetrics{registry.GetCounter("ncl.feedback.offered"),
+                           registry.GetCounter("ncl.feedback.pooled"),
+                           registry.GetCounter("ncl.feedback.expert_answers"),
+                           registry.GetCounter("ncl.feedback.pool_drains"),
+                           registry.GetCounter("ncl.feedback.retrain_drains"),
+                           registry.GetGauge("ncl.feedback.pool_size"),
+                           registry.GetGauge("ncl.feedback.pending_feedback")};
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 bool FeedbackController::IsUncertain(
     const std::vector<ScoredCandidate>& candidates) const {
@@ -23,24 +54,37 @@ bool FeedbackController::IsUncertain(
 
 bool FeedbackController::Offer(const std::vector<std::string>& query,
                                const std::vector<ScoredCandidate>& candidates) {
+  const FeedbackMetrics& metrics = GetFeedbackMetrics();
+  metrics.offered->Increment();
   if (!IsUncertain(candidates)) return false;
   pool_.push_back(PooledQuery{query, candidates});
+  metrics.pooled->Increment();
+  metrics.pool_size->Set(static_cast<double>(pool_.size()));
   return true;
 }
 
 std::vector<PooledQuery> FeedbackController::TakePool() {
   std::vector<PooledQuery> drained;
   drained.swap(pool_);
+  const FeedbackMetrics& metrics = GetFeedbackMetrics();
+  metrics.pool_drains->Increment();
+  metrics.pool_size->Set(0.0);
   return drained;
 }
 
 void FeedbackController::AddFeedback(ExpertFeedback feedback) {
   feedback_.push_back(std::move(feedback));
+  const FeedbackMetrics& metrics = GetFeedbackMetrics();
+  metrics.expert_answers->Increment();
+  metrics.pending_feedback->Set(static_cast<double>(feedback_.size()));
 }
 
 std::vector<ExpertFeedback> FeedbackController::TakeFeedback() {
   std::vector<ExpertFeedback> drained;
   drained.swap(feedback_);
+  const FeedbackMetrics& metrics = GetFeedbackMetrics();
+  metrics.retrain_drains->Increment();
+  metrics.pending_feedback->Set(0.0);
   return drained;
 }
 

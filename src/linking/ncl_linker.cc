@@ -4,9 +4,41 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace ncl::linking {
+
+namespace {
+
+/// Registry handles for `ncl.link.*`: one histogram per Fig. 11 phase,
+/// recorded from the same stopwatch readings that fill PhaseTimings.
+struct LinkMetrics {
+  obs::Counter* queries;
+  obs::Counter* candidates_scored;
+  obs::Histogram* rewrite_us;
+  obs::Histogram* retrieve_us;
+  obs::Histogram* score_us;
+  obs::Histogram* rank_us;
+  obs::Histogram* total_us;
+};
+
+const LinkMetrics& GetLinkMetrics() {
+  static const LinkMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return LinkMetrics{registry.GetCounter("ncl.link.queries"),
+                       registry.GetCounter("ncl.link.candidates_scored"),
+                       registry.GetHistogram("ncl.link.rewrite_us"),
+                       registry.GetHistogram("ncl.link.retrieve_us"),
+                       registry.GetHistogram("ncl.link.score_us"),
+                       registry.GetHistogram("ncl.link.rank_us"),
+                       registry.GetHistogram("ncl.link.total_us")};
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 NclLinker::NclLinker(const comaid::ComAidModel* model,
                      const CandidateGenerator* candidates,
@@ -14,6 +46,7 @@ NclLinker::NclLinker(const comaid::ComAidModel* model,
     : model_(model), candidates_(candidates), rewriter_(rewriter), config_(config) {
   NCL_CHECK(model_ != nullptr);
   NCL_CHECK(candidates_ != nullptr);
+  NCL_CHECK(config_.k > 0) << "NclConfig::k must be positive";
   if (config_.scoring_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.scoring_threads);
   }
@@ -21,21 +54,32 @@ NclLinker::NclLinker(const comaid::ComAidModel* model,
 
 std::vector<ScoredCandidate> NclLinker::LinkDetailed(
     const std::vector<std::string>& query, PhaseTimings* timings) const {
+  // k is validated at construction and the config is immutable afterwards;
+  // re-check here so a future mutation path cannot silently produce empty
+  // rankings again.
+  NCL_CHECK(config_.k > 0) << "NclConfig::k must be positive";
+  NCL_TRACE_SPAN("ncl.link");
   PhaseTimings local;
   Stopwatch watch;
 
   // --- OR: out-of-vocabulary word replacement. ---
   std::vector<std::string> rewritten = query;
-  if (config_.rewrite_queries && rewriter_ != nullptr) {
-    rewritten = rewriter_->Rewrite(query);
+  {
+    NCL_TRACE_SPAN("ncl.link.rewrite");
+    if (config_.rewrite_queries && rewriter_ != nullptr) {
+      rewritten = rewriter_->Rewrite(query);
+    }
+    local.rewrite_us = watch.ElapsedMicros();
   }
-  local.rewrite_us = watch.ElapsedMicros();
 
   // --- CR: candidate concept retrieval (Phase I). ---
   watch.Reset();
-  std::vector<ontology::ConceptId> candidates =
-      candidates_->TopK(rewritten, config_.k);
-  local.retrieve_us = watch.ElapsedMicros();
+  std::vector<ontology::ConceptId> candidates;
+  {
+    NCL_TRACE_SPAN("ncl.link.retrieve");
+    candidates = candidates_->TopK(rewritten, config_.k);
+    local.retrieve_us = watch.ElapsedMicros();
+  }
 
   // --- ED: encode-decode probability per candidate (Phase II). ---
   watch.Reset();
@@ -78,21 +122,38 @@ std::vector<ScoredCandidate> NclLinker::LinkDetailed(
     }
     scored[i] = ScoredCandidate{id, log_prob, -log_prob};
   };
-  if (pool_ != nullptr && candidates.size() > 1) {
-    pool_->ParallelFor(candidates.size(), score_one);
-  } else {
-    for (size_t i = 0; i < candidates.size(); ++i) score_one(i);
+  {
+    NCL_TRACE_SPAN("ncl.link.score");
+    if (pool_ != nullptr && candidates.size() > 1) {
+      pool_->ParallelFor(candidates.size(), score_one);
+    } else {
+      for (size_t i = 0; i < candidates.size(); ++i) score_one(i);
+    }
+    local.score_us = watch.ElapsedMicros();
   }
-  local.score_us = watch.ElapsedMicros();
 
   // --- RT: ranking by descending probability. ---
   watch.Reset();
-  std::sort(scored.begin(), scored.end(),
-            [](const ScoredCandidate& a, const ScoredCandidate& b) {
-              if (a.log_prob != b.log_prob) return a.log_prob > b.log_prob;
-              return a.concept_id < b.concept_id;
-            });
-  local.rank_us = watch.ElapsedMicros();
+  {
+    NCL_TRACE_SPAN("ncl.link.rank");
+    std::sort(scored.begin(), scored.end(),
+              [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                if (a.log_prob != b.log_prob) return a.log_prob > b.log_prob;
+                return a.concept_id < b.concept_id;
+              });
+    local.rank_us = watch.ElapsedMicros();
+  }
+
+  // Publish the same readings PhaseTimings carries to the metrics registry
+  // (one histogram per Fig. 11 phase).
+  const LinkMetrics& metrics = GetLinkMetrics();
+  metrics.queries->Increment();
+  metrics.candidates_scored->Increment(candidates.size());
+  metrics.rewrite_us->RecordMicros(local.rewrite_us);
+  metrics.retrieve_us->RecordMicros(local.retrieve_us);
+  metrics.score_us->RecordMicros(local.score_us);
+  metrics.rank_us->RecordMicros(local.rank_us);
+  metrics.total_us->RecordMicros(local.total_us());
 
   if (timings != nullptr) *timings = local;
   return scored;

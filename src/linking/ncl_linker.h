@@ -9,6 +9,12 @@
 // description and the query are temporarily removed before scoring.
 // LinkDetailed exposes per-phase wall-clock timings (the OR / CR / ED / RT
 // split of Fig. 11) and per-candidate losses for the feedback controller.
+//
+// Observability: every LinkDetailed call publishes the same per-phase
+// durations that fill PhaseTimings to the `ncl.link.*` histograms of the
+// global metrics registry, and runs under `ncl.link` / `ncl.link.<phase>`
+// trace spans (see src/obs/). The config is immutable after construction —
+// a linker is shared across scoring threads.
 
 #pragma once
 
@@ -72,7 +78,7 @@ struct PhaseTimings {
 class NclLinker : public ConceptLinker {
  public:
   /// All pointers must outlive the linker; `rewriter` may be nullptr (then
-  /// rewriting is skipped regardless of config).
+  /// rewriting is skipped regardless of config). `config.k` must be > 0.
   NclLinker(const comaid::ComAidModel* model, const CandidateGenerator* candidates,
             const QueryRewriter* rewriter, NclConfig config = {});
 
@@ -84,8 +90,11 @@ class NclLinker : public ConceptLinker {
   std::vector<ScoredCandidate> LinkDetailed(const std::vector<std::string>& query,
                                             PhaseTimings* timings = nullptr) const;
 
+  // There is deliberately no config mutator (a set_k once lived here): the
+  // linker is logically const and shared across threads, so a post-hoc
+  // config write would race with in-flight LinkDetailed calls. Build a new
+  // linker (they are cheap — all heavy state is borrowed) to change k.
   const NclConfig& config() const { return config_; }
-  void set_k(size_t k) { config_.k = k; }
 
  private:
   const comaid::ComAidModel* model_;

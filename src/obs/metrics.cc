@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/json_writer.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+namespace ncl::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Quantile estimate from log2 buckets: walk the cumulative distribution to
+/// the target rank and interpolate linearly inside the landing bucket.
+double BucketQuantile(const std::array<uint64_t, Histogram::kNumBuckets>& counts,
+                      uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) >= target) {
+      double lo = static_cast<double>(Histogram::LowerBound(b));
+      double hi = static_cast<double>(
+          b >= Histogram::kNumBuckets - 1 ? Histogram::LowerBound(b) * 2
+                                          : Histogram::UpperBound(b));
+      double fraction = (target - before) / static_cast<double>(counts[b]);
+      return lo + fraction * (hi - lo);
+    }
+  }
+  return static_cast<double>(Histogram::LowerBound(Histogram::kNumBuckets - 1));
+}
+
+}  // namespace
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts() const {
+  std::array<uint64_t, kNumBuckets> counts;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+HistogramStats Histogram::Stats() const {
+  std::array<uint64_t, kNumBuckets> counts = BucketCounts();
+  HistogramStats stats;
+  for (uint64_t c : counts) stats.count += c;
+  if (stats.count == 0) return stats;
+  stats.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  stats.mean = stats.sum / static_cast<double>(stats.count);
+  stats.min = min_.load(std::memory_order_relaxed);
+  stats.max = max_.load(std::memory_order_relaxed);
+  stats.p50 = BucketQuantile(counts, stats.count, 0.50);
+  stats.p90 = BucketQuantile(counts, stats.count, 0.90);
+  stats.p99 = BucketQuantile(counts, stats.count, 0.99);
+  return stats;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::RenderTables() const {
+  std::string out;
+  if (!counters.empty()) {
+    TableWriter table("Counters", {"name", "value"});
+    for (const auto& [name, value] : counters) {
+      table.AddRow({name, std::to_string(value)});
+    }
+    out += table.Render();
+  }
+  if (!gauges.empty()) {
+    TableWriter table("Gauges", {"name", "value"});
+    for (const auto& [name, value] : gauges) {
+      table.AddRow({name, FormatDouble(value, 3)});
+    }
+    if (!out.empty()) out += "\n";
+    out += table.Render();
+  }
+  if (!histograms.empty()) {
+    TableWriter table("Histograms",
+                      {"name", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : histograms) {
+      table.AddRow({name, std::to_string(h.count), FormatDouble(h.mean, 1),
+                    FormatDouble(h.p50, 1), FormatDouble(h.p90, 1),
+                    FormatDouble(h.p99, 1), std::to_string(h.max)});
+    }
+    if (!out.empty()) out += "\n";
+    out += table.Render();
+  }
+  return out;
+}
+
+void MetricsSnapshot::AppendJson(JsonWriter* writer) const {
+  JsonWriter& json = *writer;
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) json.Key(name).Value(value);
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) json.Key(name).Value(value);
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms) {
+    json.Key(name).BeginObject();
+    json.Key("count").Value(h.count);
+    json.Key("sum").Value(h.sum);
+    json.Key("mean").Value(h.mean);
+    json.Key("min").Value(h.min);
+    json.Key("max").Value(h.max);
+    json.Key("p50").Value(h.p50);
+    json.Key("p90").Value(h.p90);
+    json.Key("p99").Value(h.p99);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter json;
+  AppendJson(&json);
+  return json.str();
+}
+
+Status MetricsSnapshot::WriteJsonFile(const std::string& path) const {
+  JsonWriter json;
+  AppendJson(&json);
+  return json.WriteFile(path);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked deliberately: instrumentation handles (and thread-local trace
+  // buffers flushing at thread exit) may outlive ordinary static teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Stats());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace ncl::obs

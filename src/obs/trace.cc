@@ -1,0 +1,185 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace ncl::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+};
+
+/// One thread's span ring. The owning thread appends; exporters copy. Both
+/// take the (thread-uncontended) mutex, so export may run concurrently with
+/// tracing without torn events.
+struct TraceBuffer {
+  explicit TraceBuffer(size_t cap, uint32_t thread_id)
+      : capacity(std::max<size_t>(1, cap)), tid(thread_id) {}
+
+  void Record(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (events.size() < capacity) {
+      events.push_back(event);
+    } else {
+      events[next] = event;
+      ++dropped;
+    }
+    next = (next + 1) % capacity;
+  }
+
+  std::mutex mutex;
+  const size_t capacity;
+  const uint32_t tid;
+  std::vector<TraceEvent> events;
+  size_t next = 0;       // ring cursor once full
+  uint64_t dropped = 0;  // events overwritten
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  size_t ring_capacity = 65536;
+};
+
+TraceRegistry& Registry() {
+  // Leaked for the same reason as MetricsRegistry::Global(): thread-local
+  // buffer owners may unwind after static destruction begins.
+  static TraceRegistry* registry = new TraceRegistry();
+  return *registry;
+}
+
+TraceBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<TraceBuffer> buffer = [] {
+    // Same dense id as the log prefix, so log lines and spans correlate.
+    const uint32_t tid = ThisThreadId();
+    TraceRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto created = std::make_shared<TraceBuffer>(registry.ring_capacity, tid);
+    registry.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+namespace internal {
+
+uint64_t TraceNowNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point process_start = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           process_start)
+          .count());
+}
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  LocalBuffer().Record(TraceEvent{name, start_ns, dur_ns});
+}
+
+}  // namespace internal
+
+void SetTracingEnabled(bool enabled) {
+  if (enabled) internal::TraceNowNanos();  // pin the epoch before first span
+  internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetTraceRingCapacity(size_t capacity) {
+  TraceRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.ring_capacity = std::max<size_t>(1, capacity);
+}
+
+uint64_t TraceDroppedEvents() {
+  TraceRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  uint64_t dropped = 0;
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+void ClearTrace() {
+  TraceRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
+  }
+}
+
+std::string ChromeTraceJson() {
+  struct ExportEvent {
+    TraceEvent event;
+    uint32_t tid;
+  };
+  std::vector<ExportEvent> events;
+  uint64_t dropped = 0;
+  {
+    TraceRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const auto& buffer : registry.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      for (const TraceEvent& event : buffer->events) {
+        events.push_back(ExportEvent{event, buffer->tid});
+      }
+      dropped += buffer->dropped;
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ExportEvent& a, const ExportEvent& b) {
+              return a.event.start_ns < b.event.start_ns;
+            });
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  for (const ExportEvent& e : events) {
+    json.BeginObject();
+    json.Key("name").Value(e.event.name);
+    json.Key("cat").Value("ncl");
+    json.Key("ph").Value("X");
+    json.Key("ts").Value(static_cast<double>(e.event.start_ns) / 1e3);
+    json.Key("dur").Value(static_cast<double>(e.event.dur_ns) / 1e3);
+    json.Key("pid").Value(1);
+    json.Key("tid").Value(static_cast<int64_t>(e.tid));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").Value("ms");
+  json.Key("otherData").BeginObject();
+  json.Key("dropped_events").Value(dropped);
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  file << ChromeTraceJson() << "\n";
+  if (!file) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace ncl::obs

@@ -1,0 +1,98 @@
+// ncl::obs tracing — RAII scoped spans recorded into thread-local ring
+// buffers, exportable as Chrome trace-event JSON (loadable in Perfetto:
+// open https://ui.perfetto.dev and drag the file in, or chrome://tracing).
+//
+//   void NclLinker::LinkDetailed(...) {
+//     NCL_TRACE_SPAN("ncl.link");
+//     ...
+//   }
+//
+// Tracing is off by default; the disabled span path is a single relaxed
+// load + branch (no clock read, no buffer touch), so spans can stay in
+// serving hot loops permanently — the Fig. 11 overhead bench pins the cost.
+// When enabled, a span costs two steady_clock reads plus one ring-buffer
+// write under an uncontended per-thread mutex.
+//
+// Span names must be string literals (or otherwise outlive the recorder):
+// the ring buffer stores the pointer, not a copy.
+//
+// Each thread owns a fixed-capacity ring; once full, the oldest events are
+// overwritten (the export reports how many were dropped). Buffers survive
+// thread exit so short-lived pool workers still appear in the export.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace ncl::obs {
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+
+/// Nanoseconds since process start (steady clock), so exported timestamps
+/// start near zero.
+uint64_t TraceNowNanos();
+
+/// Append one complete ("ph":"X") event to the calling thread's ring.
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t dur_ns);
+}  // namespace internal
+
+/// True when span recording is active. Off by default.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled);
+
+/// Ring capacity (events per thread) for buffers created *after* the call;
+/// existing thread buffers keep their size. Default 65536.
+void SetTraceRingCapacity(size_t capacity);
+
+/// Total events overwritten because rings were full (all threads).
+uint64_t TraceDroppedEvents();
+
+/// Drop all recorded events (capacities and thread registrations survive).
+void ClearTrace();
+
+/// The recorded spans as a Chrome trace-event JSON document
+/// ({"traceEvents":[...]}), events sorted by start time.
+std::string ChromeTraceJson();
+
+/// Write ChromeTraceJson() to `path`, newline-terminated.
+Status WriteChromeTrace(const std::string& path);
+
+/// \brief RAII span: measures construction → destruction when tracing is
+/// enabled at construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(TracingEnabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? internal::TraceNowNanos() : 0) {}
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, start_ns_,
+                           internal::TraceNowNanos() - start_ns_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+};
+
+}  // namespace ncl::obs
+
+#define NCL_TRACE_CONCAT_IMPL(a, b) a##b
+#define NCL_TRACE_CONCAT(a, b) NCL_TRACE_CONCAT_IMPL(a, b)
+
+/// Open a scoped span covering the rest of the enclosing block.
+#define NCL_TRACE_SPAN(name) \
+  ::ncl::obs::ScopedSpan NCL_TRACE_CONCAT(ncl_trace_span_, __COUNTER__)(name)

@@ -17,6 +17,13 @@ inline int64_t GetEnvInt(const char* name, int64_t fallback) {
   return static_cast<int64_t>(value);
 }
 
+/// \brief String environment variable, or `fallback` when unset.
+inline std::string GetEnvString(const char* name, std::string fallback = "") {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  return std::string(raw);
+}
+
 /// \brief True when the NCL_BENCH_FULL environment variable is set to a
 /// non-zero value; benches then run the paper-scale sweeps instead of the
 /// quick defaults.

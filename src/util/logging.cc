@@ -1,12 +1,26 @@
 #include "util/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+#include "util/env.h"
 
 namespace ncl {
+
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local uint32_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 namespace internal {
 
 namespace {
-std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,21 +37,94 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-LogLevel GetLogThreshold() { return g_threshold.load(std::memory_order_relaxed); }
-
-void SetLogThreshold(LogLevel level) {
-  g_threshold.store(level, std::memory_order_relaxed);
+std::atomic<LogLevel>& Threshold() {
+  static std::atomic<LogLevel> threshold{
+      ParseLogLevel(GetEnvString("NCL_LOG_LEVEL"), LogLevel::kInfo)};
+  return threshold;
 }
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+/// "2026-08-06 12:34:56.789" local time.
+std::string FormatTimestamp() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm_buf;
+  localtime_r(&seconds, &tm_buf);
+  char out[48];
+  std::snprintf(out, sizeof(out), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(millis));
+  return out;
+}
+
+}  // namespace
+
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2")
+    return LogLevel::kWarning;
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "fatal" || lower == "4") return LogLevel::kFatal;
+  return fallback;
+}
+
+LogLevel GetLogThreshold() {
+  return Threshold().load(std::memory_order_relaxed);
+}
+
+void SetLogThreshold(LogLevel level) {
+  Threshold().store(level, std::memory_order_relaxed);
+}
+
+std::string FormatLogPrefix(LogLevel level, const char* file, int line) {
+  std::string prefix;
+  prefix.reserve(64);
+  prefix += "[";
+  prefix += LevelName(level);
+  prefix += " ";
+  prefix += FormatTimestamp();
+  prefix += " T";
+  prefix += std::to_string(ThisThreadId());
+  prefix += " ";
+  prefix += file;
+  prefix += ":";
+  prefix += std::to_string(line);
+  prefix += "] ";
+  return prefix;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << FormatLogPrefix(level, file, line);
 }
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogThreshold() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    std::string line = stream_.str();
+    line.push_back('\n');
+    // One write(2) per line: stderr is unbuffered and POSIX writes to the
+    // same file description are not interleaved with each other, so
+    // concurrent scoring threads emit whole lines. (A short write can only
+    // occur on e.g. a full pipe; the loop finishes the line then.)
+    const char* data = line.data();
+    size_t remaining = line.size();
+    while (remaining > 0) {
+      ssize_t written = ::write(STDERR_FILENO, data, remaining);
+      if (written <= 0) break;
+      data += written;
+      remaining -= static_cast<size_t>(written);
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

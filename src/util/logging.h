@@ -3,22 +3,45 @@
 // NCL_CHECK(cond)   — always-on invariant; aborts with a message on failure.
 // NCL_DCHECK(cond)  — debug-only invariant (compiled out when NDEBUG).
 // NCL_LOG(INFO)     — streaming log line to stderr.
+//
+// Lines are prefixed with level, wall-clock timestamp, a small per-process
+// thread id and file:line, and each line is emitted as ONE write(2) so
+// concurrent scoring threads cannot interleave partial lines. The minimum
+// emitted level starts from the NCL_LOG_LEVEL environment variable
+// (debug|info|warning|error|fatal, or 0-4; default info) and is settable at
+// runtime.
 
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ncl {
+
+/// \brief Small dense id of the calling thread (1, 2, … in first-use order).
+/// Shared by the log prefix and the trace exporter so lines and spans from
+/// one thread carry the same id.
+uint32_t ThisThreadId();
+
 namespace internal {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-/// Minimum level actually emitted; settable at runtime for quiet benches.
+/// Parse "debug" / "info" / "warning" ("warn") / "error" / "fatal" or a
+/// digit 0-4 (case-insensitive); `fallback` on anything else.
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback);
+
+/// Minimum level actually emitted; initialised from NCL_LOG_LEVEL at first
+/// use and settable at runtime for quiet benches.
 LogLevel GetLogThreshold();
 void SetLogThreshold(LogLevel level);
+
+/// The "[LEVEL timestamp Tn file:line] " prefix (exposed for tests).
+std::string FormatLogPrefix(LogLevel level, const char* file, int line);
 
 /// \brief One log statement: accumulates a message, emits it on destruction.
 /// Fatal messages abort the process after emitting.

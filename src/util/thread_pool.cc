@@ -3,7 +3,40 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ncl {
+
+namespace {
+
+/// Registry handles resolved once per process (all pools share the metrics:
+/// serving runs one pool, and per-pool naming would leak pool lifetimes).
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Histogram* queue_wait_us;
+  obs::Histogram* task_run_us;
+  obs::Counter* tasks;
+};
+
+const PoolMetrics& GetPoolMetrics() {
+  static const PoolMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return PoolMetrics{registry.GetGauge("ncl.pool.queue_depth"),
+                       registry.GetHistogram("ncl.pool.queue_wait_us"),
+                       registry.GetHistogram("ncl.pool.task_run_us"),
+                       registry.GetCounter("ncl.pool.tasks")};
+  }();
+  return metrics;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -27,8 +60,9 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(packaged));
+    tasks_.push(QueuedTask{std::move(packaged), std::chrono::steady_clock::now()});
   }
+  GetPoolMetrics().queue_depth->Increment();
   cv_.notify_one();
   return future;
 }
@@ -82,15 +116,24 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::packaged_task<void()> task;
+    QueuedTask queued;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
+      queued = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    const PoolMetrics& metrics = GetPoolMetrics();
+    metrics.queue_depth->Decrement();
+    metrics.queue_wait_us->RecordMicros(MicrosSince(queued.enqueued));
+    const auto run_start = std::chrono::steady_clock::now();
+    {
+      NCL_TRACE_SPAN("ncl.pool.task");
+      queued.task();
+    }
+    metrics.task_run_us->RecordMicros(MicrosSince(run_start));
+    metrics.tasks->Increment();
   }
 }
 

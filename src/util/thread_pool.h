@@ -3,9 +3,15 @@
 // The paper's online linker evaluates the encode-decode probability of the
 // k candidate concepts on ten threads (Appendix B.1); ThreadPool provides
 // that parallelism for Phase II scoring and for batched training.
+//
+// Observability: every pool publishes to the global metrics registry —
+// `ncl.pool.queue_depth` (gauge), `ncl.pool.queue_wait_us` and
+// `ncl.pool.task_run_us` (histograms), `ncl.pool.tasks` (counter) — and
+// each executed task runs under an `ncl.pool.task` trace span.
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -42,8 +48,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// A queued task plus its enqueue time (for the queue-wait histogram).
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

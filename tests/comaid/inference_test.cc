@@ -10,6 +10,7 @@
 #include <cmath>
 #include <vector>
 
+#include "comaid/inference.h"
 #include "comaid/model.h"
 #include "comaid/trainer.h"
 #include "nn/optimizer.h"
@@ -188,6 +189,37 @@ TEST(InferenceTest, ConcurrentScoringMatchesSerial) {
       EXPECT_NEAR(concurrent[i], serial[i], 1e-5) << "work item " << i;
     }
   }
+}
+
+TEST(InferenceTest, CacheMetricsShowAllHitsOnRepeatQuery) {
+  // The serving win behind the cache: the second identical query touches no
+  // encoder. Assert it through the `ncl.concept_cache.*` counters.
+  ontology::Ontology onto = MakeOntology();
+  ComAidModel model(SmallConfig(), &onto, {});
+  const auto& metrics = internal::GetConceptCacheMetrics();
+  auto target = model.MapTokens({"anemia", "blood", "loss"});
+
+  uint64_t misses_before = metrics.misses->value();
+  uint64_t fills_before = metrics.fills->value();
+  for (ontology::ConceptId id : onto.AllConcepts()) {
+    model.ScoreLogProbFast(id, target);
+  }
+  // Cold pass: one miss + fill per concept.
+  EXPECT_EQ(metrics.misses->value() - misses_before, onto.num_concepts());
+  EXPECT_EQ(metrics.fills->value() - fills_before, onto.num_concepts());
+
+  uint64_t hits_before = metrics.hits->value();
+  misses_before = metrics.misses->value();
+  for (ontology::ConceptId id : onto.AllConcepts()) {
+    model.ScoreLogProbFast(id, target);
+  }
+  // Warm pass over the identical query: every lookup hits, none miss.
+  EXPECT_EQ(metrics.hits->value() - hits_before, onto.num_concepts());
+  EXPECT_EQ(metrics.misses->value() - misses_before, 0u);
+
+  uint64_t invalidations_before = metrics.invalidations->value();
+  model.InvalidateConceptEncodings();
+  EXPECT_GT(metrics.invalidations->value(), invalidations_before);
 }
 
 TEST(InferenceTest, ExplicitContextReuse) {

@@ -60,6 +60,17 @@ TEST(NclLinkerTest, LinksTrainedAlias) {
   EXPECT_EQ(f.onto.Get(ranking[0].concept_id).code, "N18.5");
 }
 
+TEST(NclLinkerTest, RejectsNonPositiveK) {
+  // k is fixed at construction (the old set_k mutator raced with concurrent
+  // Link calls and was removed); a zero k is a configuration bug, caught
+  // loudly rather than returning silent empty rankings.
+  Fixture f;
+  NclConfig config;
+  config.k = 0;
+  EXPECT_DEATH(NclLinker(f.model.get(), f.candidates.get(), nullptr, config),
+               "k must be positive");
+}
+
 TEST(NclLinkerTest, RankingScoresDescending) {
   Fixture f;
   NclLinker linker(f.model.get(), f.candidates.get(), nullptr);

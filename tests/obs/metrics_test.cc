@@ -1,0 +1,215 @@
+// ncl::obs metrics registry: handle identity, counter/gauge/histogram
+// semantics, log-bucket quantiles, snapshot export (tables + JSON), the
+// global enable switch, and a concurrent hammer that must be exact under
+// the relaxed-atomic contract. Run this suite under the `tsan` preset when
+// touching the metrics hot path.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ncl::obs {
+namespace {
+
+/// Restores global metric recording around a test that toggles it.
+struct ScopedMetricsEnabled {
+  explicit ScopedMetricsEnabled(bool enabled) { SetMetricsEnabled(enabled); }
+  ~ScopedMetricsEnabled() { SetMetricsEnabled(true); }
+};
+
+TEST(MetricsTest, CounterIncrements) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge gauge;
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.5);
+  gauge.Add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  gauge.Increment();
+  gauge.Decrement();
+  gauge.Decrement();
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+}
+
+TEST(MetricsTest, HistogramStats) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Stats().count, 0u);
+  for (uint64_t v : {0u, 1u, 2u, 3u, 100u, 1000u}) histogram.Record(v);
+  HistogramStats stats = histogram.Stats();
+  EXPECT_EQ(stats.count, 6u);
+  EXPECT_DOUBLE_EQ(stats.sum, 1106.0);
+  EXPECT_EQ(stats.min, 0u);
+  EXPECT_EQ(stats.max, 1000u);
+  EXPECT_NEAR(stats.mean, 1106.0 / 6.0, 1e-9);
+  // Log buckets guarantee quantiles within 2x of the true value.
+  EXPECT_GE(stats.p50, 1.0);
+  EXPECT_LE(stats.p50, 8.0);
+  EXPECT_GE(stats.p99, 512.0);
+  EXPECT_LE(stats.p99, 2048.0);
+  // Quantiles are monotone.
+  EXPECT_LE(stats.p50, stats.p90);
+  EXPECT_LE(stats.p90, stats.p99);
+}
+
+TEST(MetricsTest, HistogramBucketBounds) {
+  EXPECT_EQ(Histogram::LowerBound(0), 0u);
+  EXPECT_EQ(Histogram::UpperBound(0), 1u);
+  EXPECT_EQ(Histogram::LowerBound(1), 1u);
+  EXPECT_EQ(Histogram::UpperBound(1), 2u);
+  EXPECT_EQ(Histogram::LowerBound(10), 512u);
+  EXPECT_EQ(Histogram::UpperBound(10), 1024u);
+
+  Histogram histogram;
+  histogram.Record(513);  // [512, 1024) -> bucket 10
+  auto counts = histogram.BucketCounts();
+  EXPECT_EQ(counts[10], 1u);
+}
+
+TEST(MetricsTest, RecordMicrosRoundsAndClamps) {
+  Histogram histogram;
+  histogram.RecordMicros(-3.0);
+  histogram.RecordMicros(1.6);
+  HistogramStats stats = histogram.Stats();
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_EQ(stats.min, 0u);
+  EXPECT_EQ(stats.max, 2u);
+}
+
+TEST(MetricsTest, RegistryReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("test.other"), a);
+  // Kinds live in separate namespaces: the same name is three metrics.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("test.counter")),
+            static_cast<void*>(a));
+  EXPECT_NE(static_cast<void*>(registry.GetHistogram("test.counter")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsTest, SnapshotAndReset) {
+  MetricsRegistry registry;
+  registry.GetCounter("snap.count")->Increment(7);
+  registry.GetGauge("snap.level")->Set(2.5);
+  registry.GetHistogram("snap.lat_us")->Record(64);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].first, "snap.count");
+  EXPECT_EQ(snapshot.counters[0].second, 7u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 2.5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.count, 1u);
+
+  registry.ResetAll();
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters[0].second, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 0.0);
+  EXPECT_EQ(snapshot.histograms[0].second.count, 0u);
+}
+
+TEST(MetricsTest, SnapshotRendersTablesAndJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("render.hits")->Increment(3);
+  registry.GetHistogram("render.lat_us")->Record(10);
+  MetricsSnapshot snapshot = registry.Snapshot();
+
+  std::string tables = snapshot.RenderTables();
+  EXPECT_NE(tables.find("render.hits"), std::string::npos);
+  EXPECT_NE(tables.find("render.lat_us"), std::string::npos);
+
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"render.hits\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsTest, DisabledMetricsRecordNothing) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  {
+    ScopedMetricsEnabled disabled(false);
+    counter.Increment();
+    gauge.Set(9.0);
+    histogram.Record(5);
+  }
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.Stats().count, 0u);
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(MetricsTest, ConcurrentHammerIsExact) {
+  // 8 threads x 20k ops against shared handles: totals must be exact (the
+  // relaxed ordering relaxes visibility order, not atomicity). This is the
+  // suite to run under -fsanitize=thread (the `tsan` preset).
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kOpsPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Handle resolution races with other threads' lookups by design.
+      Counter* counter = registry.GetCounter("hammer.count");
+      Gauge* gauge = registry.GetGauge("hammer.depth");
+      Histogram* histogram = registry.GetHistogram("hammer.lat_us");
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        counter->Increment();
+        gauge->Add(1.0);
+        gauge->Add(-1.0);
+        histogram->Record(i % 1024);
+      }
+      (void)t;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.GetCounter("hammer.count")->value(),
+            kThreads * kOpsPerThread);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("hammer.depth")->value(), 0.0);
+  HistogramStats stats = registry.GetHistogram("hammer.lat_us")->Stats();
+  EXPECT_EQ(stats.count, kThreads * kOpsPerThread);
+  EXPECT_EQ(stats.max, 1023u);
+}
+
+TEST(MetricsTest, SnapshotWhileHammering) {
+  // Snapshots race with writers by contract; they must see internally
+  // consistent metric objects (no torn pointers, count <= final).
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("race.count");
+  std::thread writer([counter] {
+    for (int i = 0; i < 50000; ++i) counter->Increment();
+  });
+  uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    MetricsSnapshot snapshot = registry.Snapshot();
+    ASSERT_EQ(snapshot.counters.size(), 1u);
+    EXPECT_GE(snapshot.counters[0].second, last);
+    last = snapshot.counters[0].second;
+  }
+  writer.join();
+  EXPECT_EQ(counter->value(), 50000u);
+}
+
+}  // namespace
+}  // namespace ncl::obs

@@ -1,0 +1,153 @@
+// ncl::obs tracing: disabled spans record nothing, enabled spans export as
+// Chrome trace-event JSON (golden-substring checked), per-thread tids, ring
+// overflow accounting, and ClearTrace.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+
+namespace ncl::obs {
+namespace {
+
+/// Each test starts from a clean, disabled trace state and leaves tracing
+/// disabled (the process default) behind.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTracingEnabled(false);
+    ClearTrace();
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    ClearTrace();
+  }
+};
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  { NCL_TRACE_SPAN("trace_test.ignored"); }
+  std::string json = ChromeTraceJson();
+  EXPECT_FALSE(Contains(json, "trace_test.ignored"));
+}
+
+TEST_F(TraceTest, SpanEnabledAtExitButNotEntryIsSkipped) {
+  // ScopedSpan latches the enabled flag at construction; flipping it on
+  // mid-span must not record a half-timed event.
+  {
+    NCL_TRACE_SPAN("trace_test.latched");
+    SetTracingEnabled(true);
+  }
+  EXPECT_FALSE(Contains(ChromeTraceJson(), "trace_test.latched"));
+}
+
+TEST_F(TraceTest, ExportsChromeTraceEvents) {
+  SetTracingEnabled(true);
+  { NCL_TRACE_SPAN("golden.span"); }
+  SetTracingEnabled(false);
+
+  // Golden structural pieces of the Chrome trace-event format — these are
+  // what Perfetto / chrome://tracing require to load the file.
+  std::string json = ChromeTraceJson();
+  EXPECT_TRUE(Contains(json, "{\"traceEvents\":[")) << json;
+  EXPECT_TRUE(Contains(json, "\"name\":\"golden.span\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"cat\":\"ncl\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"ph\":\"X\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"pid\":1")) << json;
+  EXPECT_TRUE(Contains(json, "\"tid\":")) << json;
+  EXPECT_TRUE(Contains(json, "\"ts\":")) << json;
+  EXPECT_TRUE(Contains(json, "\"dur\":")) << json;
+  EXPECT_TRUE(Contains(json, "\"displayTimeUnit\":\"ms\"")) << json;
+}
+
+TEST_F(TraceTest, NestedSpansBothAppear) {
+  SetTracingEnabled(true);
+  {
+    NCL_TRACE_SPAN("trace_test.outer");
+    NCL_TRACE_SPAN("trace_test.inner");
+  }
+  SetTracingEnabled(false);
+  std::string json = ChromeTraceJson();
+  EXPECT_TRUE(Contains(json, "trace_test.outer"));
+  EXPECT_TRUE(Contains(json, "trace_test.inner"));
+  // The outer span starts first: sorted export lists it first.
+  EXPECT_LT(json.find("trace_test.outer"), json.find("trace_test.inner"));
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  SetTracingEnabled(true);
+  { NCL_TRACE_SPAN("trace_test.main_thread"); }
+  std::thread worker([] { NCL_TRACE_SPAN("trace_test.worker_thread"); });
+  worker.join();
+  SetTracingEnabled(false);
+
+  std::string json = ChromeTraceJson();
+  auto tid_of = [&json](const std::string& name) {
+    size_t at = json.find("\"name\":\"" + name + "\"");
+    EXPECT_NE(at, std::string::npos) << json;
+    size_t tid = json.find("\"tid\":", at);
+    return json.substr(tid, json.find_first_of(",}", tid) - tid);
+  };
+  EXPECT_NE(tid_of("trace_test.main_thread"),
+            tid_of("trace_test.worker_thread"));
+}
+
+TEST_F(TraceTest, ClearTraceDropsEvents) {
+  SetTracingEnabled(true);
+  { NCL_TRACE_SPAN("trace_test.cleared"); }
+  SetTracingEnabled(false);
+  ASSERT_TRUE(Contains(ChromeTraceJson(), "trace_test.cleared"));
+  ClearTrace();
+  EXPECT_FALSE(Contains(ChromeTraceJson(), "trace_test.cleared"));
+}
+
+TEST_F(TraceTest, RingOverflowCountsDroppedEvents) {
+  // Shrink the ring for buffers created after this call, then record from a
+  // fresh thread (this thread's full-size ring already exists).
+  SetTraceRingCapacity(8);
+  SetTracingEnabled(true);
+  uint64_t dropped_before = TraceDroppedEvents();
+  std::thread worker([] {
+    for (int i = 0; i < 20; ++i) {
+      NCL_TRACE_SPAN("trace_test.overflow");
+    }
+  });
+  worker.join();
+  SetTracingEnabled(false);
+  SetTraceRingCapacity(65536);
+
+  EXPECT_EQ(TraceDroppedEvents() - dropped_before, 12u);
+  std::string json = ChromeTraceJson();
+  EXPECT_TRUE(Contains(json, "\"dropped_events\":"));
+  // The surviving 8 events are still exported.
+  size_t at = 0, count = 0;
+  while ((at = json.find("trace_test.overflow", at)) != std::string::npos) {
+    ++count;
+    ++at;
+  }
+  EXPECT_EQ(count, 8u);
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTrips) {
+  SetTracingEnabled(true);
+  { NCL_TRACE_SPAN("trace_test.file"); }
+  SetTracingEnabled(false);
+
+  std::string path = ::testing::TempDir() + "/ncl_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  std::ifstream file(path);
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_TRUE(Contains(contents, "trace_test.file"));
+  EXPECT_EQ(contents.back(), '\n');
+}
+
+}  // namespace
+}  // namespace ncl::obs

@@ -1,0 +1,83 @@
+// Logging: NCL_LOG_LEVEL parsing, threshold behaviour, and the structured
+// "[LEVEL timestamp Tn file:line] " prefix shared with the trace exporter.
+
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+
+namespace ncl::internal {
+namespace {
+
+TEST(LoggingTest, ParseLogLevelNames) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warning", LogLevel::kInfo), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn", LogLevel::kInfo), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("fatal", LogLevel::kInfo), LogLevel::kFatal);
+}
+
+TEST(LoggingTest, ParseLogLevelIsCaseInsensitive) {
+  EXPECT_EQ(ParseLogLevel("DEBUG", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Warning", LogLevel::kInfo), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("ERROR", LogLevel::kInfo), LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelDigits) {
+  EXPECT_EQ(ParseLogLevel("0", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("1", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("2", LogLevel::kInfo), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("3", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("4", LogLevel::kInfo), LogLevel::kFatal);
+}
+
+TEST(LoggingTest, ParseLogLevelFallsBackOnGarbage) {
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("verbose", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("5", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("-1", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(LoggingTest, ThresholdIsSettableAtRuntime) {
+  LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(original);
+  EXPECT_EQ(GetLogThreshold(), original);
+}
+
+TEST(LoggingTest, PrefixCarriesLevelFileLineAndThreadId) {
+  std::string prefix = FormatLogPrefix(LogLevel::kWarning, "foo/bar.cc", 42);
+  EXPECT_EQ(prefix.front(), '[');
+  EXPECT_EQ(prefix.substr(prefix.size() - 2), "] ");
+  EXPECT_NE(prefix.find("WARN"), std::string::npos) << prefix;
+  EXPECT_NE(prefix.find("foo/bar.cc:42"), std::string::npos) << prefix;
+  // Thread id token: " T<digits> " with this thread's dense id.
+  std::string tid_token = " T" + std::to_string(ThisThreadId()) + " ";
+  EXPECT_NE(prefix.find(tid_token), std::string::npos) << prefix;
+  // Timestamp: "YYYY-MM-DD HH:MM:SS.mmm" — check the date's shape.
+  size_t dash = prefix.find('-');
+  ASSERT_NE(dash, std::string::npos);
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(prefix[dash - 1])));
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(prefix[dash + 1])));
+  EXPECT_NE(prefix.find('.'), std::string::npos) << prefix;  // millis
+}
+
+TEST(LoggingTest, ThreadIdsAreDenseAndStable) {
+  uint32_t mine = ThisThreadId();
+  EXPECT_GE(mine, 1u);
+  EXPECT_EQ(ThisThreadId(), mine);  // stable within a thread
+
+  uint32_t other = 0;
+  std::thread worker([&other] { other = ThisThreadId(); });
+  worker.join();
+  EXPECT_NE(other, mine);
+  EXPECT_GE(other, 1u);
+}
+
+}  // namespace
+}  // namespace ncl::internal

@@ -20,6 +20,14 @@
 //       Evaluate the trained artifacts on <dir>/queries.tsv (top-1
 //       accuracy and MRR).
 //
+// Observability flags (every subcommand):
+//   --metrics-json <path>   write a snapshot of the ncl::obs metrics
+//                           registry (counters/gauges/histograms) as JSON
+//                           after the command finishes
+//   --trace-out <path>      enable span tracing for the run and write a
+//                           Chrome trace-event JSON (open in Perfetto)
+// Flags accept both "--name value" and "--name=value".
+//
 // Exit status is non-zero on any error; diagnostics go to stderr.
 
 #include <cstring>
@@ -31,6 +39,8 @@
 
 #include "comaid/model_io.h"
 #include "comaid/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "datagen/dataset.h"
 #include "datagen/snippet_io.h"
 #include "linking/candidate_generator.h"
@@ -58,18 +68,25 @@ int Usage() {
       "  ncl synth <out-dir> [--mimic] [--scale S] [--seed N]\n"
       "  ncl train <dir> [--dim D] [--beta B] [--epochs E] [--cbow-epochs E]\n"
       "  ncl link <dir> [--k K] \"query text\"...\n"
-      "  ncl eval <dir> [--k K]\n";
+      "  ncl eval <dir> [--k K]\n"
+      "observability (any subcommand):\n"
+      "  --metrics-json <path>   dump metrics registry snapshot as JSON\n"
+      "  --trace-out <path>      record spans; write Chrome trace JSON\n";
   return 2;
 }
 
-/// Pulls "--name value" pairs out of argv; returns positional arguments.
+/// Pulls "--name value" / "--name=value" pairs out of argv; returns
+/// positional arguments.
 std::vector<std::string> ParseFlags(int argc, char** argv,
                                     std::unordered_map<std::string, std::string>* flags) {
   std::vector<std::string> positional;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
-      if (arg == "--mimic") {
+      size_t equals = arg.find('=');
+      if (equals != std::string::npos) {
+        (*flags)[arg.substr(2, equals - 2)] = arg.substr(equals + 1);
+      } else if (arg == "--mimic") {
         (*flags)["mimic"] = "1";
       } else if (i + 1 < argc) {
         (*flags)[arg.substr(2)] = argv[++i];
@@ -287,9 +304,36 @@ int main(int argc, char** argv) {
   std::unordered_map<std::string, std::string> flags;
   std::vector<std::string> positional = ParseFlags(argc - 2, argv + 2, &flags);
 
-  if (command == "synth") return CmdSynth(positional, flags);
-  if (command == "train") return CmdTrain(positional, flags);
-  if (command == "link") return CmdLink(positional, flags);
-  if (command == "eval") return CmdEval(positional, flags);
-  return Usage();
+  const std::string metrics_path =
+      flags.contains("metrics-json") ? flags.at("metrics-json") : "";
+  const std::string trace_path =
+      flags.contains("trace-out") ? flags.at("trace-out") : "";
+  if (!trace_path.empty()) obs::SetTracingEnabled(true);
+
+  int exit_code;
+  if (command == "synth") {
+    exit_code = CmdSynth(positional, flags);
+  } else if (command == "train") {
+    exit_code = CmdTrain(positional, flags);
+  } else if (command == "link") {
+    exit_code = CmdLink(positional, flags);
+  } else if (command == "eval") {
+    exit_code = CmdEval(positional, flags);
+  } else {
+    return Usage();
+  }
+
+  if (!metrics_path.empty()) {
+    Status status =
+        obs::MetricsRegistry::Global().Snapshot().WriteJsonFile(metrics_path);
+    if (!status.ok()) return Fail(status);
+    std::cerr << "wrote metrics snapshot to " << metrics_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    Status status = obs::WriteChromeTrace(trace_path);
+    if (!status.ok()) return Fail(status);
+    std::cerr << "wrote Chrome trace to " << trace_path
+              << " (open in https://ui.perfetto.dev)\n";
+  }
+  return exit_code;
 }
