@@ -57,15 +57,23 @@ bool FeedbackController::Offer(const std::vector<std::string>& query,
   const FeedbackMetrics& metrics = GetFeedbackMetrics();
   metrics.offered->Increment();
   if (!IsUncertain(candidates)) return false;
-  pool_.push_back(PooledQuery{query, candidates});
+  size_t pooled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pool_.push_back(PooledQuery{query, candidates});
+    pooled = pool_.size();
+  }
   metrics.pooled->Increment();
-  metrics.pool_size->Set(static_cast<double>(pool_.size()));
+  metrics.pool_size->Set(static_cast<double>(pooled));
   return true;
 }
 
 std::vector<PooledQuery> FeedbackController::TakePool() {
   std::vector<PooledQuery> drained;
-  drained.swap(pool_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drained.swap(pool_);
+  }
   const FeedbackMetrics& metrics = GetFeedbackMetrics();
   metrics.pool_drains->Increment();
   metrics.pool_size->Set(0.0);
@@ -73,15 +81,23 @@ std::vector<PooledQuery> FeedbackController::TakePool() {
 }
 
 void FeedbackController::AddFeedback(ExpertFeedback feedback) {
-  feedback_.push_back(std::move(feedback));
+  size_t pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    feedback_.push_back(std::move(feedback));
+    pending = feedback_.size();
+  }
   const FeedbackMetrics& metrics = GetFeedbackMetrics();
   metrics.expert_answers->Increment();
-  metrics.pending_feedback->Set(static_cast<double>(feedback_.size()));
+  metrics.pending_feedback->Set(static_cast<double>(pending));
 }
 
 std::vector<ExpertFeedback> FeedbackController::TakeFeedback() {
   std::vector<ExpertFeedback> drained;
-  drained.swap(feedback_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drained.swap(feedback_);
+  }
   const FeedbackMetrics& metrics = GetFeedbackMetrics();
   metrics.retrain_drains->Increment();
   metrics.pending_feedback->Set(0.0);

@@ -7,9 +7,16 @@
 // it is surfaced to domain experts, whose answers become new labeled
 // training snippets. When enough feedback accumulates, a retraining pass
 // is signalled so NCL's linking ability improves incrementally.
+//
+// Thread-safety: the controller is fed from concurrent request handlers
+// (the serving path calls Offer from every worker shard), so the pool and
+// feedback stores are guarded by an internal mutex. All public members are
+// safe to call from any thread; Take* hand back a drained copy, so the
+// retrain loop never observes a store mid-mutation.
 
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,7 +62,10 @@ class FeedbackController {
              const std::vector<ScoredCandidate>& candidates);
 
   /// True once the pool has reached capacity and should be shown to experts.
-  bool PoolReady() const { return pool_.size() >= config_.pool_capacity; }
+  bool PoolReady() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pool_.size() >= config_.pool_capacity;
+  }
 
   /// Drain the pool (e.g. to render the expert review page).
   std::vector<PooledQuery> TakePool();
@@ -65,18 +75,26 @@ class FeedbackController {
 
   /// True once enough feedback accumulated to warrant retraining.
   bool ShouldRetrain() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return feedback_.size() >= config_.retrain_threshold;
   }
 
   /// Drain the collected feedback (append to the labeled training data).
   std::vector<ExpertFeedback> TakeFeedback();
 
-  size_t pool_size() const { return pool_.size(); }
-  size_t feedback_size() const { return feedback_.size(); }
+  size_t pool_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pool_.size();
+  }
+  size_t feedback_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return feedback_.size();
+  }
   const FeedbackConfig& config() const { return config_; }
 
  private:
-  FeedbackConfig config_;
+  const FeedbackConfig config_;
+  mutable std::mutex mutex_;
   std::vector<PooledQuery> pool_;
   std::vector<ExpertFeedback> feedback_;
 };

@@ -1,0 +1,278 @@
+#include "serve/linking_service.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace ncl::serve {
+
+namespace {
+
+/// Registry handles for `ncl.serve.*`, resolved once.
+struct ServeMetrics {
+  obs::Gauge* queue_depth;
+  obs::Counter* admitted;
+  obs::Counter* rejected;
+  obs::Counter* shed;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* completed;
+  obs::Histogram* batch_size;
+  obs::Histogram* queue_wait_us;
+  obs::Histogram* service_us;
+  obs::Histogram* e2e_us;
+};
+
+const ServeMetrics& GetServeMetrics() {
+  static const ServeMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return ServeMetrics{registry.GetGauge("ncl.serve.queue_depth"),
+                        registry.GetCounter("ncl.serve.admit"),
+                        registry.GetCounter("ncl.serve.reject"),
+                        registry.GetCounter("ncl.serve.shed"),
+                        registry.GetCounter("ncl.serve.deadline_exceeded"),
+                        registry.GetCounter("ncl.serve.completed"),
+                        registry.GetHistogram("ncl.serve.batch_size"),
+                        registry.GetHistogram("ncl.serve.queue_wait_us"),
+                        registry.GetHistogram("ncl.serve.service_us"),
+                        registry.GetHistogram("ncl.serve.e2e_us")};
+  }();
+  return metrics;
+}
+
+double MicrosBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+std::future<LinkResult> MakeErrorFuture(Status status) {
+  std::promise<LinkResult> promise;
+  LinkResult result;
+  result.status = std::move(status);
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+}  // namespace
+
+LinkingService::LinkingService(SnapshotRegistry* registry, ServeConfig config)
+    : registry_(registry), config_(config) {
+  NCL_CHECK(registry_ != nullptr);
+  NCL_CHECK(config_.queue_capacity > 0) << "queue_capacity must be positive";
+  NCL_CHECK(config_.max_batch > 0) << "max_batch must be positive";
+  NCL_CHECK(config_.num_shards > 0) << "num_shards must be positive";
+  pool_ = std::make_unique<ThreadPool>(config_.num_shards);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+LinkingService::~LinkingService() { Shutdown(); }
+
+void LinkingService::PublishQueueDepthLocked() {
+  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  GetServeMetrics().queue_depth->Set(static_cast<double>(queue_.size()));
+}
+
+std::future<LinkResult> LinkingService::SubmitLink(
+    std::vector<std::string> query, RequestOptions options) {
+  PendingRequest request;
+  request.query = std::move(query);
+  request.enqueued = std::chrono::steady_clock::now();
+  std::chrono::microseconds deadline =
+      options.deadline.count() > 0 ? options.deadline : config_.default_deadline;
+  if (deadline.count() > 0) {
+    request.deadline = request.enqueued + deadline;
+    request.has_deadline = true;
+  }
+  std::future<LinkResult> future = request.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!accepting_) {
+    return MakeErrorFuture(Status::Unavailable("service is not accepting requests"));
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    switch (config_.policy) {
+      case OverloadPolicy::kBlock:
+        cv_space_.wait(lock, [this] {
+          return !accepting_ || queue_.size() < config_.queue_capacity;
+        });
+        if (!accepting_) {
+          return MakeErrorFuture(
+              Status::Unavailable("service stopped while waiting for queue space"));
+        }
+        break;
+      case OverloadPolicy::kReject: {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        GetServeMetrics().rejected->Increment();
+        return MakeErrorFuture(
+            Status::ResourceExhausted("admission queue full (capacity " +
+                                      std::to_string(config_.queue_capacity) + ")"));
+      }
+      case OverloadPolicy::kShedOldest: {
+        PendingRequest victim = std::move(queue_.front());
+        queue_.pop_front();
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        GetServeMetrics().shed->Increment();
+        LinkResult shed_result;
+        shed_result.status =
+            Status::Unavailable("shed from admission queue under overload");
+        shed_result.queue_us =
+            MicrosBetween(victim.enqueued, std::chrono::steady_clock::now());
+        victim.promise.set_value(std::move(shed_result));
+        break;
+      }
+    }
+  }
+  queue_.push_back(std::move(request));
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  GetServeMetrics().admitted->Increment();
+  PublishQueueDepthLocked();
+  lock.unlock();
+  cv_work_.notify_one();
+  return future;
+}
+
+LinkResult LinkingService::Link(std::vector<std::string> query,
+                                RequestOptions options) {
+  return SubmitLink(std::move(query), options).get();
+}
+
+void LinkingService::Process(
+    PendingRequest& request,
+    const std::shared_ptr<const ModelSnapshot>& snapshot) {
+  const ServeMetrics& metrics = GetServeMetrics();
+  const auto dispatched = std::chrono::steady_clock::now();
+
+  LinkResult result;
+  result.queue_us = MicrosBetween(request.enqueued, dispatched);
+  metrics.queue_wait_us->RecordMicros(result.queue_us);
+
+  if (request.has_deadline && dispatched > request.deadline) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    metrics.deadline_exceeded->Increment();
+    result.status = Status::DeadlineExceeded(
+        "request spent its deadline waiting in the admission queue");
+  } else if (snapshot == nullptr) {
+    result.status =
+        Status::FailedPrecondition("no model snapshot has been published");
+  } else {
+    NCL_TRACE_SPAN("ncl.serve.request");
+    Stopwatch watch;
+    try {
+      result.candidates = snapshot->Link(request.query);
+      result.snapshot_version = snapshot->version();
+    } catch (const std::exception& e) {
+      result.status = Status::Internal(std::string("scoring failed: ") + e.what());
+    } catch (...) {
+      result.status = Status::Internal("scoring failed: unknown exception");
+    }
+    result.service_us = watch.ElapsedMicros();
+    if (result.status.ok()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      metrics.completed->Increment();
+      metrics.service_us->RecordMicros(result.service_us);
+      metrics.e2e_us->RecordMicros(result.queue_us + result.service_us);
+    }
+  }
+  request.promise.set_value(std::move(result));
+}
+
+void LinkingService::DispatchLoop() {
+  const ServeMetrics& metrics = GetServeMetrics();
+  for (;;) {
+    std::vector<PendingRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      const size_t take = std::min(config_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      dispatch_busy_ = true;
+      PublishQueueDepthLocked();
+    }
+    cv_space_.notify_all();
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    metrics.batch_size->Record(batch.size());
+    // Pin the snapshot once per batch: every request in the tick scores
+    // against the same immutable model, and a concurrent Publish only
+    // affects the next tick.
+    std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+    {
+      NCL_TRACE_SPAN("ncl.serve.batch");
+      if (batch.size() == 1) {
+        Process(batch[0], snapshot);
+      } else {
+        pool_->ParallelFor(batch.size(),
+                           [&](size_t i) { Process(batch[i], snapshot); });
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      dispatch_busy_ = false;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+void LinkingService::StopInternal(bool fail_queued) {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (stopped_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    if (fail_queued) {
+      while (!queue_.empty()) {
+        PendingRequest victim = std::move(queue_.front());
+        queue_.pop_front();
+        LinkResult result;
+        result.status =
+            Status::Unavailable("service shut down before the request was served");
+        victim.promise.set_value(std::move(result));
+      }
+      PublishQueueDepthLocked();
+    }
+  }
+  cv_space_.notify_all();  // release submitters blocked on a full queue
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && !dispatch_busy_; });
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.reset();
+  stopped_ = true;
+}
+
+void LinkingService::Drain() { StopInternal(/*fail_queued=*/false); }
+
+void LinkingService::Shutdown() { StopInternal(/*fail_queued=*/true); }
+
+ServeStats LinkingService::stats() const {
+  ServeStats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.queue_depth = queue_.size();
+  stats.max_queue_depth = max_queue_depth_;
+  return stats;
+}
+
+}  // namespace ncl::serve

@@ -1,0 +1,187 @@
+// ncl::serve — the concurrent linking service.
+//
+// NclLinker answers one query per call; the paper's deployment (and the
+// ROADMAP north-star) is an online service absorbing a continuous query
+// stream from EMR front-ends while the Appendix-A loop retrains COM-AID in
+// the background. LinkingService fronts the linker with the three pieces
+// that turns into:
+//
+//   * A bounded admission queue with a configurable overload policy —
+//     kBlock (callers wait for space), kReject (fail fast with
+//     ResourceExhausted), kShedOldest (evict the stalest queued request,
+//     which then fails with Unavailable) — plus optional per-request
+//     deadlines, enforced at dispatch: a request that waited past its
+//     deadline fails with DeadlineExceeded instead of burning a shard on an
+//     answer nobody is waiting for.
+//
+//   * A micro-batching scheduler: a dispatcher thread drains up to
+//     `max_batch` queued requests per tick and fans them out across
+//     `num_shards` workers, one *query* per worker. Phase-II parallelism
+//     therefore comes from batching across queries (each shard scores its
+//     query single-threaded, see NclSnapshot::MakeServingConfig) instead of
+//     from fanning one query's k candidates out — which saturates the pool
+//     with far less synchronisation per unit of work.
+//
+//   * Snapshot pinning: each batch pins SnapshotRegistry::Current() once
+//     and every request in the batch scores against that immutable
+//     snapshot, so a concurrent Publish (hot model swap) is torn-read-free
+//     by construction — in-flight batches finish on the old model, the next
+//     batch picks up the new one.
+//
+// Lifecycle: construct → (traffic) → Drain() *or* Shutdown(). Drain stops
+// admission and completes everything queued; Shutdown stops admission and
+// fails queued requests with Unavailable. Both are terminal and idempotent;
+// the destructor implies Shutdown.
+//
+// Observability (`ncl.serve.*`): queue_depth gauge; admitted / rejected /
+// shed / deadline_exceeded / completed counters; batch_size, queue_wait_us,
+// service_us and e2e_us histograms (e2e = queue wait + service); per-batch
+// `ncl.serve.batch` and per-request `ncl.serve.request` trace spans.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linking/ncl_linker.h"
+#include "serve/model_snapshot.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ncl::serve {
+
+/// What to do with a new request when the admission queue is full.
+enum class OverloadPolicy {
+  kBlock,      ///< block the submitter until space frees up
+  kReject,     ///< fail the new request with ResourceExhausted
+  kShedOldest  ///< evict the oldest queued request (it fails Unavailable)
+};
+
+/// Service knobs.
+struct ServeConfig {
+  /// Admission queue bound (must be > 0).
+  size_t queue_capacity = 256;
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+  /// Requests drained per scheduler tick (must be > 0).
+  size_t max_batch = 16;
+  /// Worker shards scoring queries in parallel (must be > 0).
+  size_t num_shards = 4;
+  /// Deadline applied to requests that don't carry their own (zero = none).
+  std::chrono::microseconds default_deadline{0};
+};
+
+/// Per-request overrides.
+struct RequestOptions {
+  /// Overrides ServeConfig::default_deadline when non-zero.
+  std::chrono::microseconds deadline{0};
+};
+
+/// Outcome of one request.
+struct LinkResult {
+  Status status;  ///< OK, or why the request was not served
+  std::vector<linking::ScoredCandidate> candidates;
+  /// Version of the snapshot that scored this request (0 when unserved).
+  uint64_t snapshot_version = 0;
+  double queue_us = 0.0;    ///< admission -> dispatch
+  double service_us = 0.0;  ///< Phase I+II scoring time
+};
+
+/// Point-in-time counters for tests and the load generator (the same events
+/// also feed the global `ncl.serve.*` metrics; these are per-instance).
+struct ServeStats {
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t completed = 0;  ///< requests that scored successfully
+  uint64_t batches = 0;
+  size_t queue_depth = 0;      ///< current
+  size_t max_queue_depth = 0;  ///< high-water mark observed
+};
+
+/// \brief The service: admission queue -> micro-batcher -> worker shards.
+class LinkingService {
+ public:
+  /// \param registry source of scoring snapshots; must outlive the service.
+  ///        Publishing before the first request is recommended — requests
+  ///        dispatched with no snapshot fail FailedPrecondition.
+  LinkingService(SnapshotRegistry* registry, ServeConfig config = {});
+  ~LinkingService();
+
+  LinkingService(const LinkingService&) = delete;
+  LinkingService& operator=(const LinkingService&) = delete;
+
+  /// Async entry point: admit `query` and resolve the future when a shard
+  /// has scored it (or admission/dispatch failed — the future always
+  /// resolves; inspect LinkResult::status). With a full queue under kBlock
+  /// this call blocks until space frees.
+  std::future<LinkResult> SubmitLink(std::vector<std::string> query,
+                                     RequestOptions options = {});
+
+  /// Sync convenience: SubmitLink + wait. Do not call from a shard thread.
+  LinkResult Link(std::vector<std::string> query, RequestOptions options = {});
+
+  /// Stop admission, serve everything already queued, then stop the
+  /// scheduler. Terminal and idempotent.
+  void Drain();
+
+  /// Stop admission, fail queued requests with Unavailable, then stop the
+  /// scheduler (the in-flight batch still completes). Terminal, idempotent.
+  void Shutdown();
+
+  ServeStats stats() const;
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  /// One queued request.
+  struct PendingRequest {
+    std::vector<std::string> query;
+    std::promise<LinkResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+  };
+
+  void DispatchLoop();
+  void Process(PendingRequest& request,
+               const std::shared_ptr<const ModelSnapshot>& snapshot);
+  void StopInternal(bool fail_queued);
+  void PublishQueueDepthLocked();
+
+  SnapshotRegistry* registry_;
+  const ServeConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;   ///< dispatcher: queue non-empty / stop
+  std::condition_variable cv_space_;  ///< blocked submitters: space freed
+  std::condition_variable cv_idle_;   ///< stop: queue empty + batch done
+  std::deque<PendingRequest> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool dispatch_busy_ = false;
+  size_t max_queue_depth_ = 0;
+
+  /// Per-instance event counts (mutex-free; read by stats()).
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> batches_{0};
+
+  std::mutex stop_mutex_;  ///< serialises Drain/Shutdown/destructor
+  bool stopped_ = false;   ///< guarded by stop_mutex_
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace ncl::serve

@@ -1,0 +1,74 @@
+#include "serve/model_snapshot.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace ncl::serve {
+
+namespace {
+
+struct SnapshotMetrics {
+  obs::Counter* publishes;
+  obs::Gauge* version;
+};
+
+const SnapshotMetrics& GetSnapshotMetrics() {
+  static const SnapshotMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return SnapshotMetrics{
+        registry.GetCounter("ncl.serve.snapshot_publishes"),
+        registry.GetGauge("ncl.serve.snapshot_version")};
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+NclSnapshot::NclSnapshot(
+    std::shared_ptr<const comaid::ComAidModel> model,
+    std::shared_ptr<const linking::CandidateGenerator> candidates,
+    std::shared_ptr<const linking::QueryRewriter> rewriter,
+    linking::NclConfig config, bool warm_cache)
+    : model_(std::move(model)),
+      candidates_(std::move(candidates)),
+      rewriter_(std::move(rewriter)) {
+  NCL_CHECK(model_ != nullptr);
+  NCL_CHECK(candidates_ != nullptr);
+  linker_ = std::make_unique<linking::NclLinker>(
+      model_.get(), candidates_.get(), rewriter_.get(), config);
+  if (warm_cache) model_->PrecomputeConceptEncodings();
+}
+
+std::vector<linking::ScoredCandidate> NclSnapshot::Link(
+    const std::vector<std::string>& query) const {
+  return linker_->LinkDetailed(query);
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+uint64_t SnapshotRegistry::Publish(std::shared_ptr<ModelSnapshot> snapshot) {
+  NCL_CHECK(snapshot != nullptr);
+  uint64_t version;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    version = next_version_++;
+    snapshot->version_.store(version, std::memory_order_release);
+    current_ = std::move(snapshot);
+  }
+  const SnapshotMetrics& metrics = GetSnapshotMetrics();
+  metrics.publishes->Increment();
+  metrics.version->Set(static_cast<double>(version));
+  return version;
+}
+
+uint64_t SnapshotRegistry::current_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ == nullptr ? 0 : current_->version();
+}
+
+}  // namespace ncl::serve

@@ -1,0 +1,133 @@
+// RCU-style model snapshots for the serving path.
+//
+// The trainer's contract (see comaid/model.h) is that weight mutation must
+// never overlap a scoring call — NotifyWeightsChanged clears the concept
+// encoding cache, which is not safe against concurrent readers. That
+// contract is trivial in a train-then-serve batch job but impossible to
+// uphold when the Appendix-A feedback loop retrains *while* a linking
+// service is under traffic. Snapshots restore it:
+//
+//   * A ModelSnapshot is an immutable, versioned scoring unit. Once
+//     published it is never mutated; its model's encoding cache is warmed
+//     (or filled lazily by race-safe Put calls) but never Cleared.
+//   * SnapshotRegistry holds the current snapshot behind a mutex-guarded
+//     shared_ptr. Readers pin it with Current() — a shared_ptr copy — and
+//     score against it for as long as they like; Publish swaps the pointer,
+//     so new requests pick up the new weights while in-flight requests
+//     finish on the old snapshot, which dies with its last reference.
+//   * The retrain loop therefore never touches a live model: it trains a
+//     *fresh* ComAidModel (mutation and cache invalidation happen before
+//     the model is visible to any scorer) and publishes it atomically.
+//
+// Observability: Publish counts `ncl.serve.snapshot_publishes` and sets the
+// `ncl.serve.snapshot_version` gauge.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comaid/model.h"
+#include "linking/ncl_linker.h"
+
+namespace ncl::serve {
+
+/// \brief One immutable, versioned scoring unit.
+///
+/// Subclasses implement Link; the base class carries the version assigned
+/// at Publish time. Instances must be immutable (thread-safe for concurrent
+/// Link calls) from the moment they are handed to SnapshotRegistry::Publish.
+class ModelSnapshot {
+ public:
+  virtual ~ModelSnapshot() = default;
+
+  /// Score `query`, best candidate first. Must be const-thread-safe.
+  virtual std::vector<linking::ScoredCandidate> Link(
+      const std::vector<std::string>& query) const = 0;
+
+  /// Version assigned by SnapshotRegistry::Publish (0 = never published).
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+ private:
+  friend class SnapshotRegistry;
+  std::atomic<uint64_t> version_{0};
+};
+
+/// \brief The production snapshot: a COM-AID model behind an NclLinker.
+///
+/// Owns (shares) the model and the Phase-I components so a snapshot keeps
+/// everything it scores with alive for as long as any request holds it.
+/// Phase-I components are usually shared across snapshots — retraining
+/// changes the weights, not the TF-IDF index — while the model is fresh per
+/// publish. The linker is configured with `scoring_threads = 1` by default
+/// overrideable via `config`: under the serving scheduler, parallelism comes
+/// from batching *across* queries, so per-query fan-out would only add
+/// synchronisation overhead.
+class NclSnapshot : public ModelSnapshot {
+ public:
+  /// \param model must not be mutated after this call (weights frozen).
+  /// \param rewriter may be nullptr (rewriting disabled).
+  /// \param warm_cache eagerly precompute every concept encoding before the
+  ///        snapshot becomes visible; off, encodings fill lazily (race-safe).
+  NclSnapshot(std::shared_ptr<const comaid::ComAidModel> model,
+              std::shared_ptr<const linking::CandidateGenerator> candidates,
+              std::shared_ptr<const linking::QueryRewriter> rewriter,
+              linking::NclConfig config = MakeServingConfig(),
+              bool warm_cache = false);
+
+  std::vector<linking::ScoredCandidate> Link(
+      const std::vector<std::string>& query) const override;
+
+  const comaid::ComAidModel& model() const { return *model_; }
+  const linking::NclLinker& linker() const { return *linker_; }
+
+  /// The NclConfig defaults appropriate for a serving shard: fast scoring,
+  /// single-threaded per query (the service parallelises across queries).
+  static linking::NclConfig MakeServingConfig() {
+    linking::NclConfig config;
+    config.scoring_threads = 1;
+    return config;
+  }
+
+ private:
+  std::shared_ptr<const comaid::ComAidModel> model_;
+  std::shared_ptr<const linking::CandidateGenerator> candidates_;
+  std::shared_ptr<const linking::QueryRewriter> rewriter_;
+  std::unique_ptr<linking::NclLinker> linker_;
+};
+
+/// \brief Mutex-guarded publication point for the current snapshot.
+///
+/// Current() is a shared_ptr copy under the mutex (two atomic RMWs — cheap
+/// relative to a Phase-II scoring pass, and taken once per *batch*, not per
+/// request, by LinkingService). Publish assigns the next version and swaps.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// The live snapshot, pinned: stays valid (and immutable) for as long as
+  /// the caller holds the pointer, even across a Publish. Null before the
+  /// first Publish.
+  std::shared_ptr<const ModelSnapshot> Current() const;
+
+  /// Atomically install `snapshot` as the current one and return its newly
+  /// assigned version (monotone from 1). The previous snapshot is released —
+  /// it is destroyed once the last in-flight request drops it.
+  uint64_t Publish(std::shared_ptr<ModelSnapshot> snapshot);
+
+  /// Version of the live snapshot (0 before the first Publish).
+  uint64_t current_version() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelSnapshot> current_;
+  uint64_t next_version_ = 1;
+};
+
+}  // namespace ncl::serve

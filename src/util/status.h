@@ -26,6 +26,9 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  kUnavailable,
+  kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -65,6 +68,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

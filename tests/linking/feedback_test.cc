@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 namespace ncl::linking {
 namespace {
 
@@ -81,6 +84,46 @@ TEST(FeedbackControllerTest, RetrainSignalAfterEnoughFeedback) {
   auto feedback = controller.TakeFeedback();
   EXPECT_EQ(feedback.size(), 2u);
   EXPECT_FALSE(controller.ShouldRetrain());
+}
+
+TEST(FeedbackControllerTest, ConcurrentOffersAndDrainsLoseNothing) {
+  // Regression: Offer/TakePool/AddFeedback/TakeFeedback once mutated bare
+  // vectors with no mutex, racing as soon as the serving path offered
+  // results from concurrent request handlers. Hammer the controller from
+  // many threads (run under TSan via the tsan preset) and check that every
+  // pooled query is accounted for — drained or still pending, never lost.
+  FeedbackConfig config;
+  config.loss_threshold = 0.0;  // everything pools
+  config.pool_capacity = 1 << 30;
+  config.retrain_threshold = 1 << 30;
+  FeedbackController controller(config);
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 500;
+  std::atomic<size_t> drained_pool{0};
+  std::atomic<size_t> drained_feedback{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(controller.Offer({"q"}, Candidates({30.0})));
+        controller.AddFeedback(
+            {static_cast<ontology::ConceptId>(t + 1), {"a"}});
+        if (i % 64 == 0) {
+          drained_pool.fetch_add(controller.TakePool().size());
+          drained_feedback.fetch_add(controller.TakeFeedback().size());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  drained_pool.fetch_add(controller.TakePool().size());
+  drained_feedback.fetch_add(controller.TakeFeedback().size());
+  EXPECT_EQ(drained_pool.load(), kThreads * kPerThread);
+  EXPECT_EQ(drained_feedback.load(), kThreads * kPerThread);
+  EXPECT_EQ(controller.pool_size(), 0u);
+  EXPECT_EQ(controller.feedback_size(), 0u);
 }
 
 TEST(FeedbackControllerTest, PooledQueriesCarryCandidates) {

@@ -1,0 +1,307 @@
+// LinkingService unit tests: admission policies bound the queue, deadlines
+// fail instead of waiting forever, micro-batches fan out across shards, and
+// the Drain/Shutdown lifecycle resolves every future exactly once. A fake
+// snapshot with controllable latency stands in for the real linker so
+// saturation is cheap to produce.
+
+#include "serve/linking_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/model_snapshot.h"
+
+namespace ncl::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Snapshot that sleeps for a configurable time and returns one candidate
+/// whose id doubles as a payload check.
+class FakeSnapshot : public ModelSnapshot {
+ public:
+  explicit FakeSnapshot(std::chrono::microseconds latency = 0us)
+      : latency_(latency) {}
+
+  std::vector<linking::ScoredCandidate> Link(
+      const std::vector<std::string>& query) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
+    return {linking::ScoredCandidate{
+        static_cast<ontology::ConceptId>(query.size()), -1.0, 1.0}};
+  }
+
+  uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+
+ private:
+  std::chrono::microseconds latency_;
+  mutable std::atomic<uint64_t> calls_{0};
+};
+
+std::vector<std::string> Query(size_t words = 2) {
+  return std::vector<std::string>(words, "anemia");
+}
+
+TEST(LinkingServiceTest, NoSnapshotFailsPrecondition) {
+  SnapshotRegistry registry;
+  LinkingService service(&registry);
+  LinkResult result = service.Link(Query());
+  EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(result.snapshot_version, 0u);
+}
+
+TEST(LinkingServiceTest, ServesRequestsWithTimingsAndVersion) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>());
+  LinkingService service(&registry);
+
+  LinkResult result = service.Link(Query(3));
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_EQ(result.candidates[0].concept_id, 3);
+  EXPECT_EQ(result.snapshot_version, 1u);
+  EXPECT_GE(result.queue_us, 0.0);
+  EXPECT_GE(result.service_us, 0.0);
+
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(LinkingServiceTest, MicroBatchFansOutAcrossShards) {
+  SnapshotRegistry registry;
+  auto snapshot = std::make_shared<FakeSnapshot>(2ms);
+  registry.Publish(snapshot);
+  ServeConfig config;
+  config.num_shards = 4;
+  config.max_batch = 8;
+  LinkingService service(&registry, config);
+
+  constexpr size_t kRequests = 16;
+  std::vector<std::future<LinkResult>> futures;
+  futures.reserve(kRequests);
+  for (size_t i = 0; i < kRequests; ++i) futures.push_back(service.SubmitLink(Query()));
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  EXPECT_EQ(snapshot->calls(), kRequests);
+  // The burst cannot have been served one-at-a-time: with 4 shards and
+  // batches of up to 8, far fewer ticks than requests are needed.
+  EXPECT_LT(service.stats().batches, kRequests);
+}
+
+TEST(LinkingServiceTest, RejectPolicyBoundsQueueDepth) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(5ms));
+  ServeConfig config;
+  config.queue_capacity = 4;
+  config.policy = OverloadPolicy::kReject;
+  config.max_batch = 1;
+  config.num_shards = 1;
+  LinkingService service(&registry, config);
+
+  constexpr size_t kBurst = 32;
+  std::vector<std::future<LinkResult>> futures;
+  for (size_t i = 0; i < kBurst; ++i) futures.push_back(service.SubmitLink(Query()));
+
+  size_t ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    LinkResult r = f.get();
+    if (r.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, kBurst);
+  EXPECT_GT(rejected, 0u) << "burst should overflow a capacity-4 queue";
+
+  ServeStats stats = service.stats();
+  EXPECT_LE(stats.max_queue_depth, config.queue_capacity);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, ok);
+}
+
+TEST(LinkingServiceTest, ShedOldestEvictsStalestRequest) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(5ms));
+  ServeConfig config;
+  config.queue_capacity = 2;
+  config.policy = OverloadPolicy::kShedOldest;
+  config.max_batch = 1;
+  config.num_shards = 1;
+  LinkingService service(&registry, config);
+
+  constexpr size_t kBurst = 24;
+  std::vector<std::future<LinkResult>> futures;
+  for (size_t i = 0; i < kBurst; ++i) futures.push_back(service.SubmitLink(Query()));
+
+  size_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    LinkResult r = f.get();
+    if (r.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GT(shed, 0u);
+  ServeStats stats = service.stats();
+  EXPECT_LE(stats.max_queue_depth, config.queue_capacity);
+  EXPECT_EQ(stats.shed, shed);
+}
+
+TEST(LinkingServiceTest, QueueWaitPastDeadlineFailsDeadlineExceeded) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(20ms));
+  ServeConfig config;
+  config.max_batch = 1;
+  config.num_shards = 1;
+  LinkingService service(&registry, config);
+
+  // First request occupies the only shard for ~20ms; the ones behind it
+  // carry a 1ms deadline and must fail instead of waiting unboundedly.
+  std::future<LinkResult> head = service.SubmitLink(Query());
+  RequestOptions tight;
+  tight.deadline = 1ms;
+  std::vector<std::future<LinkResult>> tail;
+  for (int i = 0; i < 4; ++i) tail.push_back(service.SubmitLink(Query(), tight));
+
+  EXPECT_TRUE(head.get().status.ok());
+  size_t exceeded = 0;
+  for (auto& f : tail) {
+    LinkResult r = f.get();
+    if (!r.status.ok()) {
+      EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+      ++exceeded;
+    }
+  }
+  EXPECT_GT(exceeded, 0u);
+  EXPECT_EQ(service.stats().deadline_exceeded, exceeded);
+}
+
+TEST(LinkingServiceTest, DefaultDeadlineAppliesToEveryRequest) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(20ms));
+  ServeConfig config;
+  config.max_batch = 1;
+  config.num_shards = 1;
+  config.default_deadline = 1ms;
+  LinkingService service(&registry, config);
+
+  std::future<LinkResult> head = service.SubmitLink(Query());
+  std::future<LinkResult> second = service.SubmitLink(Query());
+  // head is dispatched immediately (within its deadline); second waits
+  // ~20ms behind it and blows the 1ms default.
+  EXPECT_TRUE(head.get().status.ok());
+  EXPECT_EQ(second.get().status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(LinkingServiceTest, BlockPolicyCompletesEverythingWithoutLoss) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(1ms));
+  ServeConfig config;
+  config.queue_capacity = 2;
+  config.policy = OverloadPolicy::kBlock;
+  config.max_batch = 2;
+  config.num_shards = 2;
+  LinkingService service(&registry, config);
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 8;
+  std::atomic<size_t> ok{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        if (service.Link(Query()).status.ok()) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+  ServeStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_LE(stats.max_queue_depth, config.queue_capacity);
+}
+
+TEST(LinkingServiceTest, DrainServesQueuedThenRefusesNewWork) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(1ms));
+  ServeConfig config;
+  config.max_batch = 2;
+  config.num_shards = 2;
+  LinkingService service(&registry, config);
+
+  std::vector<std::future<LinkResult>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(service.SubmitLink(Query()));
+  service.Drain();
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  EXPECT_EQ(service.Link(Query()).status.code(), StatusCode::kUnavailable);
+}
+
+TEST(LinkingServiceTest, ShutdownFailsQueuedRequests) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(10ms));
+  ServeConfig config;
+  config.max_batch = 1;
+  config.num_shards = 1;
+  LinkingService service(&registry, config);
+
+  std::vector<std::future<LinkResult>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(service.SubmitLink(Query()));
+  service.Shutdown();
+
+  size_t ok = 0, unavailable = 0;
+  for (auto& f : futures) {
+    LinkResult r = f.get();  // every future must still resolve
+    if (r.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+      ++unavailable;
+    }
+  }
+  EXPECT_EQ(ok + unavailable, 8u);
+  EXPECT_GT(unavailable, 0u);
+}
+
+TEST(LinkingServiceTest, HotSwapVersionsAreMonotonePerSubmissionOrder) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(500us));
+  ServeConfig config;
+  config.max_batch = 2;
+  config.num_shards = 2;
+  LinkingService service(&registry, config);
+
+  std::vector<std::future<LinkResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(service.SubmitLink(Query()));
+    if (i == 5) registry.Publish(std::make_shared<FakeSnapshot>(500us));
+  }
+  uint64_t last = 0;
+  for (auto& f : futures) {
+    LinkResult r = f.get();
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.snapshot_version == 1 || r.snapshot_version == 2);
+    // Batches are FIFO and pin the snapshot at dispatch, so versions never
+    // go backwards in submission order.
+    EXPECT_GE(r.snapshot_version, last);
+    last = r.snapshot_version;
+  }
+  // A request submitted after the swap must see the new model.
+  LinkResult after = service.Link(Query());
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.snapshot_version, 2u);
+}
+
+}  // namespace
+}  // namespace ncl::serve

@@ -1,0 +1,176 @@
+// SnapshotRegistry / NclSnapshot tests, including the concurrency stress
+// the snapshot design exists for: COM-AID weights being retrained (and the
+// concept-encoding cache being invalidated) *while* other threads score
+// through ScoreLogProbFast. Pre-snapshot, that was a documented data race
+// (NotifyWeightsChanged clears the cache under live readers); with
+// snapshots, mutation only ever touches a model no scorer can see yet, and
+// publication is an atomic pointer swap. Run under -fsanitize=thread (the
+// `tsan` preset / CI job) to pin the absence of the race.
+
+#include "serve/model_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "comaid/trainer.h"
+#include "linking/candidate_generator.h"
+
+namespace ncl::serve {
+namespace {
+
+ontology::Ontology MakeOntology() {
+  ontology::Ontology onto;
+  auto add = [&](const char* code, std::vector<std::string> desc,
+                 const char* parent) {
+    auto result = onto.AddConcept(code, std::move(desc), onto.FindByCode(parent));
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  add("D50", {"iron", "deficiency", "anemia"}, "ROOT");
+  add("D50.0", {"iron", "deficiency", "anemia", "blood", "loss", "chronic"}, "D50");
+  add("D53", {"other", "nutritional", "anemias"}, "ROOT");
+  add("D53.1", {"megaloblastic", "anemia"}, "D53");
+  add("D62", {"acute", "blood", "loss", "anemia"}, "ROOT");
+  return onto;
+}
+
+const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
+Aliases(const ontology::Ontology& onto) {
+  static const auto* aliases = new std::vector<
+      std::pair<ontology::ConceptId, std::vector<std::string>>>{
+      {onto.FindByCode("D50.0"), {"anemia", "blood", "loss"}},
+      {onto.FindByCode("D53.1"), {"megaloblastic", "anemia", "nos"}},
+      {onto.FindByCode("D62"), {"acute", "hemorrhagic", "anemia"}},
+  };
+  return *aliases;
+}
+
+/// A freshly trained model over `onto`. All weight mutation (training,
+/// cache invalidation) happens here, before the model is ever published.
+std::shared_ptr<const comaid::ComAidModel> TrainModel(
+    const ontology::Ontology& onto, size_t epochs, uint64_t seed) {
+  comaid::ComAidConfig config;
+  config.dim = 12;
+  config.beta = 1;
+  config.seed = seed;
+  std::vector<std::vector<std::string>> extra;
+  for (const auto& [id, tokens] : Aliases(onto)) extra.push_back(tokens);
+  auto model = std::make_shared<comaid::ComAidModel>(config, &onto, extra);
+  comaid::TrainConfig tc;
+  tc.epochs = epochs;
+  comaid::ComAidTrainer trainer(tc);
+  trainer.Train(model.get(), comaid::MakeTrainingPairs(*model, Aliases(onto)));
+  return model;
+}
+
+TEST(SnapshotRegistryTest, CurrentIsNullBeforeFirstPublish) {
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.Current(), nullptr);
+  EXPECT_EQ(registry.current_version(), 0u);
+}
+
+TEST(SnapshotRegistryTest, PublishAssignsMonotoneVersions) {
+  ontology::Ontology onto = MakeOntology();
+  auto candidates = std::make_shared<const linking::CandidateGenerator>(
+      onto, Aliases(onto));
+  auto model = TrainModel(onto, 1, 1);
+
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.Publish(std::make_shared<NclSnapshot>(model, candidates,
+                                                           nullptr)),
+            1u);
+  EXPECT_EQ(registry.current_version(), 1u);
+  EXPECT_EQ(registry.Publish(std::make_shared<NclSnapshot>(model, candidates,
+                                                           nullptr)),
+            2u);
+  EXPECT_EQ(registry.current_version(), 2u);
+  EXPECT_EQ(registry.Current()->version(), 2u);
+}
+
+TEST(SnapshotRegistryTest, PinnedSnapshotSurvivesPublish) {
+  ontology::Ontology onto = MakeOntology();
+  auto candidates = std::make_shared<const linking::CandidateGenerator>(
+      onto, Aliases(onto));
+  SnapshotRegistry registry;
+  registry.Publish(
+      std::make_shared<NclSnapshot>(TrainModel(onto, 1, 1), candidates, nullptr));
+
+  std::shared_ptr<const ModelSnapshot> pinned = registry.Current();
+  registry.Publish(
+      std::make_shared<NclSnapshot>(TrainModel(onto, 1, 2), candidates, nullptr));
+
+  // The old snapshot is gone from the registry but still fully usable.
+  EXPECT_EQ(pinned->version(), 1u);
+  auto ranked = pinned->Link({"anemia", "blood", "loss"});
+  EXPECT_FALSE(ranked.empty());
+  EXPECT_EQ(registry.Current()->version(), 2u);
+}
+
+TEST(SnapshotRegistryTest, WarmCacheFillsEveryConceptBeforePublish) {
+  ontology::Ontology onto = MakeOntology();
+  auto candidates = std::make_shared<const linking::CandidateGenerator>(
+      onto, Aliases(onto));
+  auto model = TrainModel(onto, 1, 3);
+  auto snapshot = std::make_shared<NclSnapshot>(
+      model, candidates, nullptr, NclSnapshot::MakeServingConfig(),
+      /*warm_cache=*/true);
+  EXPECT_GT(model->num_cached_encodings(), 0u);
+}
+
+// The satellite stress: scorers hammer ScoreLogProbFast through pinned
+// snapshots while a publisher trains fresh models (weight mutation + cache
+// invalidation) and swaps them in. Without snapshots this is the
+// Clear-under-readers race; with them TSan must stay silent and every
+// score must be finite.
+TEST(SnapshotRegistryTest, RetrainAndPublishUnderConcurrentScoring) {
+  ontology::Ontology onto = MakeOntology();
+  auto candidates = std::make_shared<const linking::CandidateGenerator>(
+      onto, Aliases(onto));
+  SnapshotRegistry registry;
+  registry.Publish(
+      std::make_shared<NclSnapshot>(TrainModel(onto, 1, 10), candidates, nullptr));
+
+  constexpr int kScorers = 4;
+  constexpr int kPublishes = 3;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> scored{0};
+  std::atomic<bool> saw_bad_score{false};
+
+  std::vector<std::thread> scorers;
+  for (int t = 0; t < kScorers; ++t) {
+    scorers.emplace_back([&] {
+      const std::vector<std::string> query{"acute", "blood", "loss"};
+      while (!done.load(std::memory_order_acquire)) {
+        std::shared_ptr<const ModelSnapshot> snapshot = registry.Current();
+        auto ranked = snapshot->Link(query);
+        if (ranked.empty() || !std::isfinite(ranked.front().log_prob)) {
+          saw_bad_score.store(true, std::memory_order_relaxed);
+        }
+        scored.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Publisher: every iteration retrains a *fresh* model (all mutation and
+  // NotifyWeightsChanged cache clears happen pre-publish) and swaps it in
+  // while the scorers are mid-flight.
+  for (int p = 0; p < kPublishes; ++p) {
+    registry.Publish(std::make_shared<NclSnapshot>(
+        TrainModel(onto, 2, 100 + static_cast<uint64_t>(p)), candidates,
+        nullptr));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : scorers) t.join();
+
+  EXPECT_FALSE(saw_bad_score.load());
+  EXPECT_GT(scored.load(), 0u);
+  EXPECT_EQ(registry.current_version(), 1u + kPublishes);
+}
+
+}  // namespace
+}  // namespace ncl::serve

@@ -28,6 +28,11 @@ TEST(StatusTest, AllFactoryCodesRoundTrip) {
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -39,6 +44,11 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 TEST(StatusCodeTest, NamesAreHumanReadable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
 }
 
 Status FailIfNegative(int x) {

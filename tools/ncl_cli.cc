@@ -20,6 +20,12 @@
 //       Evaluate the trained artifacts on <dir>/queries.tsv (top-1
 //       accuracy and MRR).
 //
+//   ncl serve-eval <dir> [--k K] [--shards N] [--clients C] [--max-batch B]
+//       Same eval set, but through the ncl::serve LinkingService: the model
+//       is published as a snapshot and C closed-loop client threads stream
+//       the queries through the micro-batching scheduler. Reports accuracy,
+//       MRR, throughput and the ncl.serve admission counters.
+//
 // Observability flags (every subcommand):
 //   --metrics-json <path>   write a snapshot of the ncl::obs metrics
 //                           registry (counters/gauges/histograms) as JSON
@@ -30,10 +36,12 @@
 //
 // Exit status is non-zero on any error; diagnostics go to stderr.
 
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -50,7 +58,10 @@
 #include "ontology/ontology_io.h"
 #include "pretrain/cbow.h"
 #include "pretrain/concept_injection.h"
+#include "serve/linking_service.h"
+#include "serve/model_snapshot.h"
 #include "text/tokenizer.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace {
@@ -69,6 +80,7 @@ int Usage() {
       "  ncl train <dir> [--dim D] [--beta B] [--epochs E] [--cbow-epochs E]\n"
       "  ncl link <dir> [--k K] \"query text\"...\n"
       "  ncl eval <dir> [--k K]\n"
+      "  ncl serve-eval <dir> [--k K] [--shards N] [--clients C] [--max-batch B]\n"
       "observability (any subcommand):\n"
       "  --metrics-json <path>   dump metrics registry snapshot as JSON\n"
       "  --trace-out <path>      record spans; write Chrome trace JSON\n";
@@ -296,6 +308,85 @@ int CmdEval(const std::vector<std::string>& args,
   return 0;
 }
 
+int CmdServeEval(const std::vector<std::string>& args,
+                 const std::unordered_map<std::string, std::string>& flags) {
+  if (args.empty()) return Usage();
+  const std::string& dir = args[0];
+  auto serving = LoadServing(dir);
+  if (!serving.ok()) return Fail(serving.status());
+
+  auto queries =
+      datagen::LoadSnippetsFromFile(dir + "/queries.tsv", (*serving)->ws.onto);
+  if (!queries.ok()) return Fail(queries.status());
+  if (queries->empty()) return Fail(Status::NotFound("no queries in " + dir));
+
+  // Hand the serving bundle to a snapshot; the bundle owns the components
+  // and outlives the service, so the snapshot aliases without deleting.
+  linking::NclConfig link_config = serve::NclSnapshot::MakeServingConfig();
+  link_config.k = static_cast<size_t>(FlagInt(flags, "k", 20));
+  serve::SnapshotRegistry registry;
+  registry.Publish(std::make_shared<serve::NclSnapshot>(
+      std::shared_ptr<const comaid::ComAidModel>(
+          (*serving)->model.get(), [](const comaid::ComAidModel*) {}),
+      std::shared_ptr<const linking::CandidateGenerator>(
+          (*serving)->candidates.get(), [](const linking::CandidateGenerator*) {}),
+      std::shared_ptr<const linking::QueryRewriter>(
+          (*serving)->rewriter.get(), [](const linking::QueryRewriter*) {}),
+      link_config, /*warm_cache=*/true));
+
+  serve::ServeConfig serve_config;
+  serve_config.num_shards = static_cast<size_t>(FlagInt(flags, "shards", 4));
+  serve_config.max_batch = static_cast<size_t>(
+      FlagInt(flags, "max-batch", 2 * static_cast<int64_t>(serve_config.num_shards)));
+  serve::LinkingService service(&registry, serve_config);
+
+  const size_t num_clients =
+      std::max<size_t>(1, static_cast<size_t>(FlagInt(flags, "clients", 4)));
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<double> mrr_sum{0.0};
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < queries->size(); i += num_clients) {
+        const auto& q = (*queries)[i];
+        serve::LinkResult result = service.Link(q.tokens);
+        if (!result.status.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (size_t rank = 0; rank < result.candidates.size(); ++rank) {
+          if (result.candidates[rank].concept_id == q.concept_id) {
+            if (rank == 0) hits.fetch_add(1, std::memory_order_relaxed);
+            double expected = mrr_sum.load(std::memory_order_relaxed);
+            const double reciprocal = 1.0 / static_cast<double>(rank + 1);
+            while (!mrr_sum.compare_exchange_weak(
+                expected, expected + reciprocal, std::memory_order_relaxed)) {
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+  service.Drain();
+
+  serve::ServeStats stats = service.stats();
+  const double n = static_cast<double>(queries->size());
+  std::cout << "queries=" << queries->size() << "  clients=" << num_clients
+            << "  shards=" << serve_config.num_shards
+            << "  accuracy=" << FormatDouble(static_cast<double>(hits.load()) / n, 3)
+            << "  MRR=" << FormatDouble(mrr_sum.load() / n, 3) << "\n";
+  std::cout << "qps=" << FormatDouble(n / elapsed, 1)
+            << "  batches=" << stats.batches << "  admitted=" << stats.admitted
+            << "  completed=" << stats.completed << "  errors=" << errors.load()
+            << "\n";
+  return errors.load() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -319,6 +410,8 @@ int main(int argc, char** argv) {
     exit_code = CmdLink(positional, flags);
   } else if (command == "eval") {
     exit_code = CmdEval(positional, flags);
+  } else if (command == "serve-eval") {
+    exit_code = CmdServeEval(positional, flags);
   } else {
     return Usage();
   }
