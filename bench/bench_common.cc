@@ -104,6 +104,7 @@ std::unique_ptr<Pipeline> BuildPipeline(const PipelineConfig& config) {
   // --- Online components.
   linking::CandidateGeneratorConfig cg_config;
   cg_config.index_aliases = config.index_aliases;
+  cg_config.use_ngram_index = config.use_ngram_candidates;
   pipeline->candidates = std::make_unique<linking::CandidateGenerator>(
       pipeline->data.onto, pipeline->aliases, cg_config);
   // The query rewriter is itself a product of the pre-training phase (§5

@@ -50,6 +50,10 @@ struct PipelineConfig {
   /// the query against the concepts' canonical descriptions, which is what
   /// produces the paper's coverage-vs-k curve.
   bool index_aliases = false;
+  /// Phase-I retrieval through the pruned char-ngram index instead of the
+  /// exhaustive token scan (CandidateGeneratorConfig::use_ngram_index) —
+  /// the sub-linear path bench_candgen characterises.
+  bool use_ngram_candidates = false;
   uint64_t seed = 2018;
 };
 

@@ -1,5 +1,9 @@
 #include "datagen/medical_vocabulary.h"
 
+#include <unordered_set>
+
+#include "util/random.h"
+
 namespace ncl::datagen {
 
 const SynonymSet* MedicalVocabulary::FindSynonyms(const std::string& word) const {
@@ -253,6 +257,92 @@ const MedicalVocabulary& DefaultMedicalVocabulary() {
     return v;
   }();
   return *kVocab;
+}
+
+namespace {
+
+/// Greco-Latin fusion pool: prefix + stem + suffix, the dominant way clinical
+/// English mints disease terms. 12 x 40 x 14 = 6720 candidate fusions.
+std::vector<std::string> FusedDiseaseRoots() {
+  static const char* const kPrefixes[] = {
+      "",     "peri",  "endo",  "epi",   "hyper", "hypo",
+      "para", "poly",  "pan",   "micro", "macro", "dys",
+  };
+  static const char* const kStems[] = {
+      "aden",   "angi",     "arthr",  "bronch", "carcin", "card",  "cephal",
+      "cerebr", "chondr",   "col",    "cyst",   "cyt",    "derm",  "encephal",
+      "enter",  "fibr",     "gastr",  "gloss",  "hepat",  "hem",   "hyster",
+      "kerat",  "lymph",    "mening", "my",     "myel",   "nephr", "neur",
+      "oste",   "ot",       "phleb",  "pneum",  "proct",  "pulmon", "ren",
+      "rhin",   "splen",    "stomat", "thromb", "trache",
+  };
+  static const char* const kSuffixes[] = {
+      "itis",       "osis",       "oma",      "opathy",   "algia",
+      "ectasia",    "emia",       "iasis",    "oplasia",  "orrhagia",
+      "osclerosis", "ostenosis",  "omalacia", "odynia",
+  };
+  std::vector<std::string> fused;
+  for (const char* prefix : kPrefixes) {
+    for (const char* stem : kStems) {
+      for (const char* suffix : kSuffixes) {
+        fused.push_back(std::string(prefix) + stem + suffix);
+      }
+    }
+  }
+  return fused;
+}
+
+/// Numbered anatomical qualifier pool: vertebral levels, roman-numeral
+/// grades, segments and zones — 64 phrases, each contributing a word type
+/// ("c4", "iii") the base bank lacks.
+std::vector<std::string> NumberedQualifiers() {
+  std::vector<std::string> qualifiers;
+  auto levels = [&](char region, int count) {
+    for (int i = 1; i <= count; ++i) {
+      qualifiers.push_back(std::string("level ") + region + std::to_string(i));
+    }
+  };
+  levels('c', 7);
+  levels('t', 12);
+  levels('l', 5);
+  levels('s', 5);
+  static const char* const kRoman[] = {"i",  "ii",  "iii", "iv",   "v",
+                                       "vi", "vii", "viii", "ix",  "x"};
+  for (const char* numeral : kRoman) {
+    qualifiers.push_back(std::string("grade ") + numeral);
+  }
+  for (int i = 1; i <= 16; ++i) qualifiers.push_back("segment " + std::to_string(i));
+  for (int i = 1; i <= 9; ++i) qualifiers.push_back("zone " + std::to_string(i));
+  return qualifiers;
+}
+
+/// Appends a seed-shuffled sample of `pool` to `out`, skipping words the bank
+/// already contains.
+void AppendSample(std::vector<std::string> pool, size_t count, Rng& rng,
+                  std::vector<std::string>* out) {
+  rng.Shuffle(pool);
+  std::unordered_set<std::string> existing(out->begin(), out->end());
+  for (const auto& term : pool) {
+    if (count == 0) break;
+    if (!existing.insert(term).second) continue;
+    out->push_back(term);
+    --count;
+  }
+}
+
+}  // namespace
+
+MedicalVocabulary ScaledMedicalVocabulary(size_t derived_roots,
+                                          size_t derived_qualifiers,
+                                          uint64_t seed) {
+  MedicalVocabulary vocab = DefaultMedicalVocabulary();
+  // Decouple the sampling stream from the synthesizer's draws so the same
+  // seed yields independent choices in each.
+  Rng rng(seed ^ 0x5ca1ab1edeadbeefULL);
+  AppendSample(FusedDiseaseRoots(), derived_roots, rng, &vocab.disease_roots);
+  AppendSample(NumberedQualifiers(), derived_qualifiers, rng,
+               &vocab.fine_qualifiers);
+  return vocab;
 }
 
 }  // namespace ncl::datagen

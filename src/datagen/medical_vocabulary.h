@@ -60,4 +60,20 @@ struct MedicalVocabulary {
 /// \brief The built-in resource bank (constructed once, thread-safe).
 const MedicalVocabulary& DefaultMedicalVocabulary();
 
+/// \brief Derives a larger resource bank for paper-scale synthesis.
+///
+/// The built-in bank holds ~190 word types; composing ~93k descriptions from
+/// it makes every type appear in thousands of documents, so the corpus loses
+/// the Zipfian document-frequency spread real clinical vocabularies have
+/// (ICD-10-CM spans roughly 15k types, most of them rare). This derives
+/// additional pseudo-clinical types the way clinical English actually forms
+/// them — prefix+stem+suffix fusion ("perinephritis", "polyarthropathy") for
+/// disease roots, and numbered anatomical qualifiers ("level c4",
+/// "grade iii") for leaf phrases — and appends a deterministic, seed-shuffled
+/// sample of each to a copy of the default bank. Counts are capped at the
+/// generator capacity (several thousand fused roots, ~64 qualifiers).
+MedicalVocabulary ScaledMedicalVocabulary(size_t derived_roots,
+                                          size_t derived_qualifiers,
+                                          uint64_t seed);
+
 }  // namespace ncl::datagen

@@ -125,8 +125,25 @@ Result<ontology::Ontology> SynthesizeOntology(const OntologySynthesizerConfig& c
     return Status::InvalidArgument(
         "ontology synthesizer needs >=1 chapter/category and >=3 leaves per category");
   }
+  // The fixed-width category codes wrap (and would collide) past these
+  // bounds: letter+2 digits for ICD-10, 3 digits spanning chapter+category
+  // for ICD-9. Scale through subdivision depth instead (PaperScale*Config).
+  if (config.categories_per_chapter > 100 ||
+      (config.code_style == CodeStyle::kIcd10 && config.num_chapters > 26) ||
+      (config.code_style == CodeStyle::kIcd9 && config.num_chapters > 10)) {
+    return Status::InvalidArgument(
+        "category code space exhausted: <=100 categories/chapter and <=26 "
+        "(ICD-10) / <=10 (ICD-9) chapters");
+  }
 
-  const MedicalVocabulary& vocab = DefaultMedicalVocabulary();
+  const bool scale_vocab =
+      config.derived_disease_roots > 0 || config.derived_fine_qualifiers > 0;
+  MedicalVocabulary scaled;
+  if (scale_vocab) {
+    scaled = ScaledMedicalVocabulary(config.derived_disease_roots,
+                                     config.derived_fine_qualifiers, config.seed);
+  }
+  const MedicalVocabulary& vocab = scale_vocab ? scaled : DefaultMedicalVocabulary();
   Rng rng(config.seed);
   ontology::Ontology onto;
   std::set<std::string> used_descriptions;
@@ -188,6 +205,39 @@ Result<ontology::Ontology> SynthesizeOntology(const OntologySynthesizerConfig& c
 
   NCL_RETURN_NOT_OK(onto.Validate());
   return onto;
+}
+
+OntologySynthesizerConfig PaperScaleIcd10Config() {
+  OntologySynthesizerConfig config;
+  config.code_style = CodeStyle::kIcd10;
+  // 26 x 95 = 2470 categories; leaves per category average
+  // (1 + 0.85) * (3 + 38) / 2 ~= 38, for ~93.7k fine-grained codes.
+  config.num_chapters = 26;
+  config.categories_per_chapter = 95;
+  config.max_fine_per_category = 38;
+  config.extra_level_fraction = 0.85;
+  // ~2400 derived roots over 2470 categories puts each category stem at a
+  // document frequency of roughly its own descendant count (tens of docs),
+  // restoring the rare-head/long-tail term profile of real ICD-10-CM.
+  config.derived_disease_roots = 2400;
+  config.derived_fine_qualifiers = 64;
+  return config;
+}
+
+OntologySynthesizerConfig PaperScaleIcd9Config() {
+  OntologySynthesizerConfig config;
+  config.code_style = CodeStyle::kIcd9;
+  // 10 x 95 = 950 categories; (1 + 0.4) * (3 + 23) / 2 ~= 18 leaves per
+  // category, for ~17k fine-grained codes. Chapter count stays <= 10 so the
+  // 3-digit numeric category codes cannot wrap into a sibling chapter.
+  config.num_chapters = 10;
+  config.categories_per_chapter = 95;
+  config.max_fine_per_category = 23;
+  config.extra_level_fraction = 0.4;
+  config.derived_disease_roots = 900;
+  config.derived_fine_qualifiers = 48;
+  config.seed = 9;
+  return config;
 }
 
 }  // namespace ncl::datagen

@@ -42,10 +42,28 @@ struct OntologySynthesizerConfig {
   /// in real ICD. Rephrased leaves are what make the structural context
   /// (ancestor descriptions) carry information the leaf text lacks.
   double rephrase_fraction = 0.35;
+  /// Morphologically derived word types appended to the built-in vocabulary
+  /// (ScaledMedicalVocabulary) before synthesis. Zero keeps the legacy
+  /// ~190-type bank. The paper-scale presets enable this: without it, a 93k
+  /// corpus drawn from ~190 types has a flat idf profile — every term lands
+  /// in thousands of descriptions — and candidate retrieval over it stops
+  /// resembling retrieval over real ICD-10-CM's Zipfian vocabulary.
+  size_t derived_disease_roots = 0;
+  size_t derived_fine_qualifiers = 0;
   uint64_t seed = 7;
 };
 
 /// \brief Generate an ontology. Descriptions are unique across the tree.
 Result<ontology::Ontology> SynthesizeOntology(const OntologySynthesizerConfig& config);
+
+/// Paper-scale preset: ICD-10-CM-shaped, ~93k fine-grained codes (the paper
+/// links against 93,830). 26 chapters x 95 categories with deep subdivision
+/// (extra_level_fraction 0.85), mirroring how real ICD-10-CM reaches ~95k
+/// codes through subcategory depth rather than category breadth — category
+/// codes stay within the letter+2-digit format.
+OntologySynthesizerConfig PaperScaleIcd10Config();
+
+/// Paper-scale preset: ICD-9-CM-shaped, ~17k fine-grained codes.
+OntologySynthesizerConfig PaperScaleIcd9Config();
 
 }  // namespace ncl::datagen

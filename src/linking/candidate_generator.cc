@@ -10,11 +10,16 @@ namespace ncl::linking {
 
 namespace {
 
-/// Registry handles for `ncl.candidates.*`, resolved once.
+/// Registry handles for `ncl.candidates.*`, resolved once. The ngram
+/// counters/histograms separate the pruned stage's traffic so dashboards
+/// can compare the two retrieval paths side by side.
 struct CandidateMetrics {
   obs::Counter* queries;
   obs::Counter* returned;
   obs::Histogram* topk_us;
+  obs::Counter* ngram_queries;
+  obs::Histogram* ngram_topk_us;
+  obs::Counter* refetches;
 };
 
 const CandidateMetrics& GetCandidateMetrics() {
@@ -22,7 +27,10 @@ const CandidateMetrics& GetCandidateMetrics() {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
     return CandidateMetrics{registry.GetCounter("ncl.candidates.queries"),
                             registry.GetCounter("ncl.candidates.returned"),
-                            registry.GetHistogram("ncl.candidates.topk_us")};
+                            registry.GetHistogram("ncl.candidates.topk_us"),
+                            registry.GetCounter("ncl.candidates.ngram.queries"),
+                            registry.GetHistogram("ncl.candidates.ngram.topk_us"),
+                            registry.GetCounter("ncl.candidates.refetches")};
   }();
   return metrics;
 }
@@ -33,38 +41,73 @@ CandidateGenerator::CandidateGenerator(
     const ontology::Ontology& onto,
     const std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>>&
         aliases,
-    CandidateGeneratorConfig config) {
-  for (ontology::ConceptId id : onto.FineGrainedConcepts()) {
-    index_.AddDocument(onto.Get(id).description);
-    doc_concepts_.push_back(id);
+    CandidateGeneratorConfig config)
+    : config_(config) {
+  if (config_.use_ngram_index) {
+    ngram_index_ = std::make_unique<text::NgramIndex>(config_.ngram);
   }
-  if (config.index_aliases) {
+  auto add_document = [&](ontology::ConceptId id,
+                          const std::vector<std::string>& tokens) {
+    index_.AddDocument(tokens);
+    if (ngram_index_ != nullptr) ngram_index_->AddDocument(tokens);
+    doc_concepts_.push_back(id);
+  };
+  for (ontology::ConceptId id : onto.FineGrainedConcepts()) {
+    add_document(id, onto.Get(id).description);
+  }
+  if (config_.index_aliases) {
     for (const auto& [concept_id, tokens] : aliases) {
       if (onto.IsFineGrained(concept_id) && !tokens.empty()) {
-        index_.AddDocument(tokens);
-        doc_concepts_.push_back(concept_id);
+        add_document(concept_id, tokens);
       }
     }
   }
   index_.Finalize();
+  if (ngram_index_ != nullptr) ngram_index_->Finalize();
+}
+
+template <typename TopKFn>
+std::vector<ontology::ConceptId> CandidateGenerator::DedupedTopK(
+    TopKFn&& fetch, size_t k) const {
+  // Several documents (canonical description + aliases) can map to one
+  // concept, so a fixed over-fetch can silently under-return: grow the
+  // document budget until k distinct concepts are found or the index runs
+  // out of matches (a fetch shorter than its budget).
+  size_t budget = k * 4;
+  for (;;) {
+    std::vector<text::ScoredDoc> docs = fetch(budget);
+    std::vector<ontology::ConceptId> concepts;
+    std::unordered_set<ontology::ConceptId> seen;
+    for (const text::ScoredDoc& doc : docs) {
+      ontology::ConceptId id = doc_concepts_[static_cast<size_t>(doc.doc_id)];
+      if (seen.insert(id).second) {
+        concepts.push_back(id);
+        if (concepts.size() == k) break;
+      }
+    }
+    if (concepts.size() == k || docs.size() < budget) return concepts;
+    GetCandidateMetrics().refetches->Increment();
+    budget *= 2;
+  }
 }
 
 std::vector<ontology::ConceptId> CandidateGenerator::TopK(
     const std::vector<std::string>& query, size_t k) const {
   NCL_TRACE_SPAN("ncl.candidates.topk");
   Stopwatch watch;
-  // Over-fetch documents: several documents may map to one concept.
-  std::vector<text::ScoredDoc> docs = index_.TopK(query, k * 4);
-  std::vector<ontology::ConceptId> concepts;
-  std::unordered_set<ontology::ConceptId> seen;
-  for (const text::ScoredDoc& doc : docs) {
-    ontology::ConceptId id = doc_concepts_[static_cast<size_t>(doc.doc_id)];
-    if (seen.insert(id).second) {
-      concepts.push_back(id);
-      if (concepts.size() == k) break;
-    }
-  }
   const CandidateMetrics& metrics = GetCandidateMetrics();
+  std::vector<ontology::ConceptId> concepts;
+  if (ngram_index_ != nullptr) {
+    NCL_TRACE_SPAN("ncl.candidates.ngram_topk");
+    Stopwatch ngram_watch;
+    concepts = DedupedTopK(
+        [&](size_t budget) { return ngram_index_->TopK(query, budget); }, k);
+    metrics.ngram_queries->Increment();
+    metrics.ngram_topk_us->RecordMicros(ngram_watch.ElapsedMicros());
+  } else {
+    concepts = DedupedTopK(
+        [&](size_t budget) { return index_.TopK(query, budget); }, k);
+  }
   metrics.queries->Increment();
   metrics.returned->Increment(concepts.size());
   metrics.topk_us->RecordMicros(watch.ElapsedMicros());

@@ -5,12 +5,24 @@
 // top-k concepts by cosine similarity with the query. The coverage metric
 // of Fig. 5(a) — the fraction of queries whose gold concept survives
 // Phase I — is measured against this component.
+//
+// Two retrieval paths share this interface (DESIGN.md "Candidate
+// generation at scale"):
+//   * the exhaustive token TF-IDF index (text::TfIdfIndex) — the paper's
+//     Phase I verbatim and the parity reference, which degrades toward a
+//     corpus scan on common terms at paper-scale ontologies;
+//   * the pruned char-ngram index (text::NgramIndex) — impact-ordered
+//     postings with top-m pruning and maxscore early termination, enabled
+//     by CandidateGeneratorConfig::use_ngram_index for sub-linear
+//     retrieval at the 93k-concept ICD-10 scale.
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "ontology/ontology.h"
+#include "text/ngram_index.h"
 #include "text/tfidf_index.h"
 
 namespace ncl::linking {
@@ -19,6 +31,12 @@ namespace ncl::linking {
 struct CandidateGeneratorConfig {
   /// Index alias snippets in addition to canonical descriptions.
   bool index_aliases = true;
+  /// Retrieve through the pruned char-ngram inverted index instead of the
+  /// exhaustive token TF-IDF scan. Off by default: the exhaustive path is
+  /// the parity reference and the paper's literal Phase I.
+  bool use_ngram_index = false;
+  /// Analyzer and pruning knobs for the ngram path (ignored otherwise).
+  text::NgramIndexConfig ngram;
 };
 
 /// \brief TF-IDF candidate retriever over fine-grained concepts.
@@ -30,15 +48,33 @@ class CandidateGenerator {
           aliases,
       CandidateGeneratorConfig config = {});
 
-  /// Top-k distinct fine-grained concepts for the query, best first.
+  /// Top-k distinct fine-grained concepts for the query, best first. When
+  /// aliases are indexed, several documents can map to one concept; the
+  /// document fetch grows (doubling from k * 4) until k distinct concepts
+  /// are found or the matching postings are exhausted, so alias-heavy
+  /// concepts can never shrink the returned set below k available ones.
   std::vector<ontology::ConceptId> TopK(const std::vector<std::string>& query,
                                         size_t k) const;
 
   /// The concept-description vocabulary Ω (§5): words of indexed snippets.
+  /// Backed by the exhaustive token index on either path, so the query
+  /// rewriter sees the same Ω regardless of retrieval configuration.
   const text::Vocabulary& vocabulary() const { return index_.vocabulary(); }
 
+  const CandidateGeneratorConfig& config() const { return config_; }
+
+  /// The pruned index, when `use_ngram_index` (else nullptr) — exposed for
+  /// the parity tests and bench_candgen.
+  const text::NgramIndex* ngram_index() const { return ngram_index_.get(); }
+
  private:
-  text::TfIdfIndex index_;
+  /// Fetch-and-dedup loop over one index's TopK (see TopK docs).
+  template <typename TopKFn>
+  std::vector<ontology::ConceptId> DedupedTopK(TopKFn&& fetch, size_t k) const;
+
+  CandidateGeneratorConfig config_;
+  text::TfIdfIndex index_;  // always built: parity reference + Ω source
+  std::unique_ptr<text::NgramIndex> ngram_index_;  // pruned path, optional
   std::vector<ontology::ConceptId> doc_concepts_;  // document id -> concept
 };
 

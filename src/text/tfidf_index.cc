@@ -78,18 +78,31 @@ std::vector<ScoredDoc> TfIdfIndex::TopK(const std::vector<std::string>& query,
     }
   }
 
-  std::vector<ScoredDoc> ranked;
-  ranked.reserve(scores.size());
-  for (const auto& [doc_id, dot] : scores) {
-    double denom = doc_norms_[static_cast<size_t>(doc_id)] * query_norm;
-    if (denom > 0.0) ranked.push_back(ScoredDoc{doc_id, dot / denom});
-  }
-  std::sort(ranked.begin(), ranked.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+  // Bounded min-heap of the k best under (score desc, doc_id asc) — the top
+  // of the heap is the worst kept entry, evicted when a better one arrives.
+  // Selecting k under a strict total order makes the result independent of
+  // the unordered_map iteration order.
+  const auto better = [](const ScoredDoc& a, const ScoredDoc& b) {
     if (a.score != b.score) return a.score > b.score;
     return a.doc_id < b.doc_id;
-  });
-  if (ranked.size() > k) ranked.resize(k);
-  return ranked;
+  };
+  std::vector<ScoredDoc> heap;
+  heap.reserve(k + 1);
+  for (const auto& [doc_id, dot] : scores) {
+    double denom = doc_norms_[static_cast<size_t>(doc_id)] * query_norm;
+    if (denom <= 0.0) continue;
+    ScoredDoc scored{doc_id, dot / denom};
+    if (heap.size() < k) {
+      heap.push_back(scored);
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (better(scored, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = scored;
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), better);
+  return heap;
 }
 
 }  // namespace ncl::text

@@ -31,4 +31,17 @@ std::string Detokenize(const std::vector<std::string>& tokens);
 /// than n.
 std::vector<std::string> CharNgrams(std::string_view token, size_t n);
 
+/// \brief Character n-grams of a token padded with `kBoundaryChar` on both
+/// sides ("dm" -> "#dm", "dm#" for n = 3), the scispacy-style analyzer used
+/// by the candidate-generation inverted index. Boundary padding makes word
+/// starts/ends discriminative and guarantees at least one gram for tokens
+/// shorter than n (a bare boundary-wrapped token for the shortest inputs).
+/// `kBoundaryChar` cannot occur inside Tokenize() output, so padded grams
+/// never collide with whole tokens in a shared term space. Returns {} only
+/// for an empty token or n == 0.
+std::vector<std::string> CharNgramsPadded(std::string_view token, size_t n);
+
+/// Boundary marker used by CharNgramsPadded.
+inline constexpr char kBoundaryChar = '#';
+
 }  // namespace ncl::text

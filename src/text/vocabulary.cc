@@ -5,7 +5,7 @@
 namespace ncl::text {
 
 WordId Vocabulary::Add(std::string_view word, uint64_t count) {
-  auto it = index_.find(std::string(word));
+  auto it = index_.find(word);
   if (it != index_.end()) {
     counts_[it->second] += count;
     total_count_ += count;
@@ -20,7 +20,7 @@ WordId Vocabulary::Add(std::string_view word, uint64_t count) {
 }
 
 WordId Vocabulary::Lookup(std::string_view word) const {
-  auto it = index_.find(std::string(word));
+  auto it = index_.find(word);
   return it == index_.end() ? kUnknown : it->second;
 }
 

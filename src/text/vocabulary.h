@@ -19,6 +19,22 @@ namespace ncl::text {
 /// Id type for vocabulary entries.
 using WordId = int32_t;
 
+/// Transparent string hash so string-keyed maps can be probed with a
+/// string_view (or char*) without materialising a std::string per lookup —
+/// the tokenize -> Lookup path is hot enough for that allocation to show.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// \brief Growable word <-> id map with occurrence counts.
 ///
 /// Ids are dense and assigned in insertion order. Reserved entries (such as
@@ -59,7 +75,7 @@ class Vocabulary {
   std::vector<WordId> PruneRareWords(uint64_t min_count);
 
  private:
-  std::unordered_map<std::string, WordId> index_;
+  std::unordered_map<std::string, WordId, StringHash, std::equal_to<>> index_;
   std::vector<std::string> words_;
   std::vector<uint64_t> counts_;
   uint64_t total_count_ = 0;

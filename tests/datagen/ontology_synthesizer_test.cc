@@ -148,6 +148,56 @@ TEST(OntologySynthesizerTest, RejectsDegenerateConfig) {
   EXPECT_FALSE(SynthesizeOntology(bad).ok());
 }
 
+TEST(OntologySynthesizerTest, RejectsCodeSpaceOverflow) {
+  OntologySynthesizerConfig bad = SmallConfig(CodeStyle::kIcd10);
+  bad.categories_per_chapter = 101;  // "C101" wraps to "C01"
+  EXPECT_FALSE(SynthesizeOntology(bad).ok());
+  bad = SmallConfig(CodeStyle::kIcd10);
+  bad.num_chapters = 27;  // 27th chapter letter wraps to 'A'
+  EXPECT_FALSE(SynthesizeOntology(bad).ok());
+  bad = SmallConfig(CodeStyle::kIcd9);
+  bad.num_chapters = 11;  // chapter*100+category wraps past 3 digits
+  EXPECT_FALSE(SynthesizeOntology(bad).ok());
+}
+
+TEST(OntologySynthesizerTest, DerivedVocabularyEnlargesWordTypeSpace) {
+  OntologySynthesizerConfig base = SmallConfig();
+  base.num_chapters = 6;
+  base.categories_per_chapter = 20;
+  OntologySynthesizerConfig scaled = base;
+  scaled.derived_disease_roots = 400;
+  auto plain = SynthesizeOntology(base);
+  auto derived = SynthesizeOntology(scaled);
+  ASSERT_TRUE(plain.ok() && derived.ok());
+  auto count_types = [](const ontology::Ontology& onto) {
+    std::set<std::string> types;
+    for (auto id : onto.AllConcepts()) {
+      for (const auto& w : onto.Get(id).description) types.insert(w);
+    }
+    return types.size();
+  };
+  // With 120 categories drawing from ~440 roots instead of 40, most
+  // categories carry a root word unique to their subtree.
+  EXPECT_GT(count_types(*derived), count_types(*plain) + 50);
+}
+
+TEST(OntologySynthesizerTest, PaperScalePresetsHitTargetSizes) {
+  // The paper links against 93,830 ICD-10 and ~17k ICD-9 codes; the presets
+  // must land in those neighbourhoods for bench_candgen's scaling story.
+  auto icd9 = SynthesizeOntology(PaperScaleIcd9Config());
+  ASSERT_TRUE(icd9.ok()) << icd9.status().ToString();
+  size_t icd9_leaves = icd9->FineGrainedConcepts().size();
+  EXPECT_GE(icd9_leaves, 15000u);
+  EXPECT_LE(icd9_leaves, 20000u);
+
+  auto icd10 = SynthesizeOntology(PaperScaleIcd10Config());
+  ASSERT_TRUE(icd10.ok()) << icd10.status().ToString();
+  size_t icd10_leaves = icd10->FineGrainedConcepts().size();
+  EXPECT_GE(icd10_leaves, 88000u);
+  EXPECT_LE(icd10_leaves, 99000u);
+  EXPECT_TRUE(icd10->Validate().ok());
+}
+
 TEST(OntologySynthesizerTest, EveryLeafHasAncestorForStructuralContext) {
   auto result = SynthesizeOntology(SmallConfig());
   ASSERT_TRUE(result.ok());

@@ -90,5 +90,84 @@ TEST(CandidateGeneratorTest, VocabularyExposesIndexedWords) {
   EXPECT_FALSE(generator.vocabulary().Contains("ckd"));
 }
 
+// Regression for the fixed k*4 over-fetch: with many alias documents per
+// concept, a fixed fetch budget collapses to fewer than k distinct concepts
+// even though k are retrievable. The growing-refetch dedup must keep going.
+TEST(CandidateGeneratorTest, AliasHeavyConceptsStillYieldKDistinct) {
+  ontology::Ontology onto = MakeOntology();
+  // Six aliases per anemia concept, all sharing the query's words: the
+  // first 12 documents by score cover only 2 concepts, yet 3 concepts
+  // (including R10.9 via "unspecified") match the query.
+  std::vector<std::pair<ontology::ConceptId, std::vector<std::string>>> aliases;
+  for (int i = 0; i < 6; ++i) {
+    aliases.emplace_back(onto.FindByCode("D50.0"),
+                         std::vector<std::string>{"iron", "deficiency", "anemia",
+                                                  "blood", "loss"});
+    aliases.emplace_back(onto.FindByCode("D50.9"),
+                         std::vector<std::string>{"iron", "deficiency", "anemia",
+                                                  "unspecified"});
+  }
+  CandidateGenerator generator(onto, aliases);
+  auto candidates = generator.TopK({"iron", "deficiency", "anemia", "unspecified"}, 3);
+  std::set<ontology::ConceptId> unique(candidates.begin(), candidates.end());
+  EXPECT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(CandidateGeneratorTest, NgramPathMatchesExhaustiveSetsOnSmallOntology) {
+  ontology::Ontology onto = MakeOntology();
+  CandidateGeneratorConfig ngram_config;
+  ngram_config.use_ngram_index = true;
+  CandidateGenerator pruned(onto, {}, ngram_config);
+  CandidateGenerator exhaustive(onto, {});
+  ASSERT_NE(pruned.ngram_index(), nullptr);
+  EXPECT_EQ(exhaustive.ngram_index(), nullptr);
+  // At corpora far below the pruning knobs, the ngram path admits every
+  // matching document. Any document sharing a token with the query also
+  // shares that token's grams, so with k above the match count the token
+  // path's candidates are a subset of the ngram path's (grams additionally
+  // cross-match near-spellings, which is the point of the analyzer) — and
+  // an exact-description query scores cosine 1.0 under both, so the top
+  // candidates agree. Same-analyzer pruned-vs-exhaustive set parity is
+  // pinned separately in NgramIndexTest.
+  const std::vector<std::vector<std::string>> queries = {
+      {"iron", "deficiency", "anemia", "unspecified"},
+      {"chronic", "kidney", "disease", "stage", "5"},
+      {"unspecified", "abdominal", "pain"},
+  };
+  for (const auto& query : queries) {
+    auto a = pruned.TopK(query, 10);
+    auto b = exhaustive.TopK(query, 10);
+    ASSERT_FALSE(a.empty());
+    ASSERT_FALSE(b.empty());
+    EXPECT_EQ(a[0], b[0]);
+    std::set<ontology::ConceptId> ngram_set(a.begin(), a.end());
+    for (ontology::ConceptId id : b) EXPECT_EQ(ngram_set.count(id), 1u);
+  }
+}
+
+TEST(CandidateGeneratorTest, NgramPathRetrievesThroughTypos) {
+  ontology::Ontology onto = MakeOntology();
+  CandidateGeneratorConfig config;
+  config.use_ngram_index = true;
+  CandidateGenerator generator(onto, {}, config);
+  // "anemai" shares no token with any description — only char grams. The
+  // token path returns nothing for the misspelled word alone; the ngram
+  // path still lands on the anemia concepts.
+  auto candidates = generator.TopK({"iron", "deficiency", "anemai"}, 2);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0], onto.FindByCode("D50.9"));
+}
+
+TEST(CandidateGeneratorTest, NgramPathSharesOmegaWithTokenPath) {
+  ontology::Ontology onto = MakeOntology();
+  CandidateGeneratorConfig config;
+  config.use_ngram_index = true;
+  CandidateGenerator generator(onto, {}, config);
+  // The query rewriter's Ω must not depend on the retrieval path.
+  EXPECT_TRUE(generator.vocabulary().Contains("anemia"));
+  EXPECT_FALSE(generator.vocabulary().Contains("#an"));
+}
+
 }  // namespace
 }  // namespace ncl::linking

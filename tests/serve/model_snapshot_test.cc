@@ -122,6 +122,33 @@ TEST(SnapshotRegistryTest, WarmCacheFillsEveryConceptBeforePublish) {
   EXPECT_GT(model->num_cached_encodings(), 0u);
 }
 
+// The pruned ngram candidate path must be a drop-in behind the snapshot:
+// same NclSnapshot wiring, same Link surface, but candidate generation
+// goes through the char-ngram inverted index — including for queries whose
+// misspelled words the token path cannot match at all.
+TEST(SnapshotRegistryTest, NgramCandidatePathServesThroughSnapshot) {
+  ontology::Ontology onto = MakeOntology();
+  linking::CandidateGeneratorConfig cg_config;
+  cg_config.use_ngram_index = true;
+  auto candidates = std::make_shared<const linking::CandidateGenerator>(
+      onto, Aliases(onto), cg_config);
+  ASSERT_NE(candidates->ngram_index(), nullptr);
+
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<NclSnapshot>(TrainModel(onto, 1, 7),
+                                                 candidates, nullptr));
+  std::shared_ptr<const ModelSnapshot> snapshot = registry.Current();
+
+  auto ranked = snapshot->Link({"megaloblastic", "anemia"});
+  ASSERT_FALSE(ranked.empty());
+  for (const auto& c : ranked) EXPECT_TRUE(std::isfinite(c.log_prob));
+
+  // "anemai" only matches through char grams; the serve path must still
+  // produce candidates for it.
+  auto typo = snapshot->Link({"megaloblastic", "anemai"});
+  EXPECT_FALSE(typo.empty());
+}
+
 // The satellite stress: scorers hammer ScoreLogProbFast through pinned
 // snapshots while a publisher trains fresh models (weight mutation + cache
 // invalidation) and swaps them in. Without snapshots this is the

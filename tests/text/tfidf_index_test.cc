@@ -99,6 +99,52 @@ TEST(TfIdfIndexTest, RepeatedTermRaisesTf) {
   EXPECT_GT(results[0].score, results[1].score);
 }
 
+TEST(TfIdfIndexTest, KLargerThanCorpusReturnsEveryMatch) {
+  TfIdfIndex index = MakeSmallIndex();
+  // k far above both the match count and the corpus size: the bounded heap
+  // must degrade to a plain full ranking, not read past the matches.
+  auto results = index.TopK({"anemia", "deficiency"}, 100);
+  EXPECT_EQ(results.size(), 2u);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].score, results[i].score);
+  }
+}
+
+TEST(TfIdfIndexTest, DuplicateQueryTokensFoldIntoTf) {
+  TfIdfIndex index = MakeSmallIndex();
+  // Repeating a query word scales its tf, which rescales the whole query
+  // vector; cosine is scale-invariant per term but the *mix* shifts toward
+  // the repeated word. The ranking must stay deterministic and doc 0/1
+  // (the "anemia" docs) must stay ahead of non-matches.
+  auto once = index.TopK({"anemia", "kidney"}, 5);
+  auto thrice = index.TopK({"anemia", "anemia", "anemia", "kidney"}, 5);
+  ASSERT_FALSE(once.empty());
+  ASSERT_FALSE(thrice.empty());
+  // More "anemia" weight: an anemia doc leads, and repetition never
+  // changes *which* documents match.
+  EXPECT_TRUE(thrice[0].doc_id == 0 || thrice[0].doc_id == 1);
+  EXPECT_EQ(once.size(), thrice.size());
+}
+
+TEST(TfIdfIndexTest, EqualScoresBreakTiesByAscendingDocId) {
+  TfIdfIndex index;
+  // Three identical documents: identical cosine for any matching query.
+  index.AddDocument({"anemia", "pain"});
+  index.AddDocument({"anemia", "pain"});
+  index.AddDocument({"anemia", "pain"});
+  index.AddDocument({"kidney", "disease"});
+  index.Finalize();
+  // The bounded-heap selection must pin the same order as a full stable
+  // sort: score descending, doc id ascending — for every k.
+  for (size_t k = 1; k <= 4; ++k) {
+    auto results = index.TopK({"anemia"}, k);
+    ASSERT_EQ(results.size(), std::min<size_t>(k, 3));
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].doc_id, static_cast<int32_t>(i)) << "k=" << k;
+    }
+  }
+}
+
 // Property: the top-1 for a full document query is that document.
 class TfIdfSelfRetrieval : public ::testing::TestWithParam<int> {};
 

@@ -66,6 +66,32 @@ TEST(CharNgramsTest, TrigramCount) {
   EXPECT_EQ(CharNgrams("anemia", 3).size(), 4u);
 }
 
+TEST(CharNgramsPaddedTest, BoundaryPaddingMarksAffixes) {
+  // "#ab#" windows: "#ab", "ab#" — prefix and suffix grams are distinct
+  // from interior grams of longer words containing "ab".
+  EXPECT_EQ(CharNgramsPadded("ab", 3), (std::vector<std::string>{"#ab", "ab#"}));
+  EXPECT_EQ(CharNgramsPadded("anemia", 3).front(), "#an");
+  EXPECT_EQ(CharNgramsPadded("anemia", 3).back(), "ia#");
+}
+
+TEST(CharNgramsPaddedTest, TokenShorterThanNSurvivesAsSingleGram) {
+  // A 1-char token still produces a retrievable term ("#5#"), unlike the
+  // unpadded variant where it would be indistinguishable from a substring.
+  EXPECT_EQ(CharNgramsPadded("5", 3), (std::vector<std::string>{"#5#"}));
+  EXPECT_EQ(CharNgramsPadded("5", 4), (std::vector<std::string>{"#5#"}));
+}
+
+TEST(CharNgramsPaddedTest, GramCountIsLengthMinusNPlusThree) {
+  // len(padded) = len + 2, so count = len + 2 - n + 1 for len + 2 > n.
+  EXPECT_EQ(CharNgramsPadded("anemia", 3).size(), 6u);
+  EXPECT_EQ(CharNgramsPadded("abc", 3).size(), 3u);
+}
+
+TEST(CharNgramsPaddedTest, DegenerateInputs) {
+  EXPECT_TRUE(CharNgramsPadded("", 3).empty());
+  EXPECT_TRUE(CharNgramsPadded("abc", 0).empty());
+}
+
 // Property: Tokenize is idempotent through Detokenize.
 class TokenizeRoundTrip : public ::testing::TestWithParam<const char*> {};
 

@@ -74,6 +74,21 @@ TEST(VocabularyTest, PruneAllLeavesEmpty) {
   EXPECT_EQ(vocab.total_count(), 0u);
 }
 
+TEST(VocabularyTest, HeterogeneousLookupAcceptsStringViews) {
+  // Add/Lookup take string_view and must probe the index without
+  // materialising a std::string per call (transparent hashing); exercise
+  // the non-null-terminated-substring case that breaks c_str() shortcuts.
+  Vocabulary vocab;
+  const std::string phrase = "anemia_and_more";
+  std::string_view prefix = std::string_view(phrase).substr(0, 6);  // "anemia"
+  WordId id = vocab.Add(prefix);
+  EXPECT_EQ(vocab.Lookup(std::string_view("anemia")), id);
+  EXPECT_EQ(vocab.Lookup(prefix), id);
+  EXPECT_TRUE(vocab.Contains("anemia"));
+  EXPECT_EQ(vocab.Lookup(std::string_view(phrase)), Vocabulary::kUnknown);
+  EXPECT_EQ(vocab.WordOf(id), "anemia");
+}
+
 TEST(VocabularyTest, WordsAndCountsParallelArrays) {
   Vocabulary vocab;
   vocab.Add("p", 2);

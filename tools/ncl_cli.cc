@@ -12,9 +12,12 @@
 //       <dir>/aliases.tsv and <dir>/notes.txt; writes model.bin(+.params)
 //       and embeddings.bin into <dir>.
 //
-//   ncl link <dir> [--k K] "free text query"...
+//   ncl link <dir> [--k K] [--ngram-index] "free text query"...
 //       Load the trained artifacts and link each query argument, printing
-//       the top-3 concepts with scores.
+//       the top-3 concepts with scores. --ngram-index swaps candidate
+//       generation to the pruned char-ngram inverted index (link, eval and
+//       serve-eval all accept it) — sub-linear at large ontologies, see
+//       bench_candgen.
 //
 //   ncl eval <dir> [--k K]
 //       Evaluate the trained artifacts on <dir>/queries.tsv (top-1
@@ -78,9 +81,10 @@ int Usage() {
       "usage:\n"
       "  ncl synth <out-dir> [--mimic] [--scale S] [--seed N]\n"
       "  ncl train <dir> [--dim D] [--beta B] [--epochs E] [--cbow-epochs E]\n"
-      "  ncl link <dir> [--k K] \"query text\"...\n"
-      "  ncl eval <dir> [--k K]\n"
+      "  ncl link <dir> [--k K] [--ngram-index] \"query text\"...\n"
+      "  ncl eval <dir> [--k K] [--ngram-index]\n"
       "  ncl serve-eval <dir> [--k K] [--shards N] [--clients C] [--max-batch B]\n"
+      "                 [--ngram-index]\n"
       "observability (any subcommand):\n"
       "  --metrics-json <path>   dump metrics registry snapshot as JSON\n"
       "  --trace-out <path>      record spans; write Chrome trace JSON\n";
@@ -100,6 +104,8 @@ std::vector<std::string> ParseFlags(int argc, char** argv,
         (*flags)[arg.substr(2, equals - 2)] = arg.substr(equals + 1);
       } else if (arg == "--mimic") {
         (*flags)["mimic"] = "1";
+      } else if (arg == "--ngram-index") {
+        (*flags)["ngram-index"] = "1";
       } else if (i + 1 < argc) {
         (*flags)[arg.substr(2)] = argv[++i];
       } else {
@@ -239,7 +245,8 @@ struct Serving {
   std::unique_ptr<linking::QueryRewriter> rewriter;
 };
 
-Result<std::unique_ptr<Serving>> LoadServing(const std::string& dir) {
+Result<std::unique_ptr<Serving>> LoadServing(const std::string& dir,
+                                             bool use_ngram_index = false) {
   auto serving = std::make_unique<Serving>();
   NCL_ASSIGN_OR_RETURN(serving->ws, LoadWorkspace(dir));
   NCL_ASSIGN_OR_RETURN(serving->embeddings,
@@ -250,18 +257,24 @@ Result<std::unique_ptr<Serving>> LoadServing(const std::string& dir) {
   for (const auto& snippet : serving->ws.aliases) {
     aliases.emplace_back(snippet.concept_id, snippet.tokens);
   }
+  linking::CandidateGeneratorConfig cg_config;
+  cg_config.use_ngram_index = use_ngram_index;
   serving->candidates = std::make_unique<linking::CandidateGenerator>(
-      serving->ws.onto, aliases);
+      serving->ws.onto, aliases, cg_config);
   serving->rewriter = std::make_unique<linking::QueryRewriter>(
       serving->candidates->vocabulary(), serving->embeddings);
   return serving;
+}
+
+bool FlagNgramIndex(const std::unordered_map<std::string, std::string>& flags) {
+  return FlagInt(flags, "ngram-index", 0) != 0;
 }
 
 int CmdLink(const std::vector<std::string>& args,
             const std::unordered_map<std::string, std::string>& flags) {
   if (args.size() < 2) return Usage();
   size_t k = static_cast<size_t>(FlagInt(flags, "k", 20));
-  auto serving = LoadServing(args[0]);
+  auto serving = LoadServing(args[0], FlagNgramIndex(flags));
   if (!serving.ok()) return Fail(serving.status());
 
   linking::NclConfig link_config;
@@ -286,7 +299,7 @@ int CmdEval(const std::vector<std::string>& args,
   if (args.empty()) return Usage();
   const std::string& dir = args[0];
   size_t k = static_cast<size_t>(FlagInt(flags, "k", 20));
-  auto serving = LoadServing(dir);
+  auto serving = LoadServing(dir, FlagNgramIndex(flags));
   if (!serving.ok()) return Fail(serving.status());
 
   auto queries =
@@ -312,7 +325,7 @@ int CmdServeEval(const std::vector<std::string>& args,
                  const std::unordered_map<std::string, std::string>& flags) {
   if (args.empty()) return Usage();
   const std::string& dir = args[0];
-  auto serving = LoadServing(dir);
+  auto serving = LoadServing(dir, FlagNgramIndex(flags));
   if (!serving.ok()) return Fail(serving.status());
 
   auto queries =
