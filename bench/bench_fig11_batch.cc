@@ -1,0 +1,148 @@
+// Batched ED scoring — the Fig. 11 ED phase with lock-step candidate
+// batching (ComAidModel::ScoreLogProbFastBatch) against the per-candidate
+// fast path, both in the serving configuration: scoring_threads = 1 (the
+// service parallelises across queries, not within one) and concept
+// encodings precomputed, so the comparison isolates the decoder loop.
+//
+// Reported per (d, k): mean ED time per query unbatched vs batched and the
+// ed_batch_speedup ratio. The batched path computes bit-identical scores
+// (same canonical reduction order, pinned by tests), so the speedup is pure
+// kernel/memory efficiency: the decoder weights — dominated by the V x d
+// softmax projection — stream once per decode step for a whole tile of
+// candidates instead of once per candidate.
+//
+// Acceptance (tracked in BENCH_fig11_batch.json): speedup >= 1.5x at
+// d = 128, k = 10. Rounds are interleaved and the per-configuration min is
+// kept so machine noise hits both paths equally.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/env.h"
+#include "util/json_writer.h"
+#include "util/table_writer.h"
+
+using namespace ncl;
+using namespace ncl::bench;
+
+namespace {
+
+/// Mean ED time per query [us] over the query set.
+double MeanScoreUs(const linking::NclLinker& linker,
+                   const std::vector<linking::EvalQuery>& queries) {
+  double total = 0.0;
+  for (const auto& query : queries) {
+    linking::PhaseTimings t;
+    linker.LinkDetailed(query.tokens, &t);
+    total += t.score_us;
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+}  // namespace
+
+int main() {
+  const bool full = BenchFullMode();
+  const double scale = full ? 0.6 : 0.35;
+  std::vector<size_t> dims = {32, 128};
+  if (full) dims.push_back(256);
+  constexpr double kAcceptanceMinSpeedup = 1.5;
+  constexpr size_t kAcceptanceDim = 128;
+  constexpr size_t kAcceptanceK = 10;
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("fig11_batch");
+  json.Key("full_mode").Value(full);
+  json.Key("scale").Value(scale);
+#if defined(__AVX2__) && defined(__FMA__)
+  json.Key("simd").Value("avx2+fma");
+#else
+  json.Key("simd").Value("scalar");
+#endif
+  json.Key("batch_lanes").Value(comaid::ComAidModel::kDefaultScoreLanes);
+  json.Key("acceptance_min_speedup").Value(kAcceptanceMinSpeedup);
+  json.Key("sweeps").BeginArray();
+
+  double acceptance_speedup = 0.0;
+  for (size_t d : dims) {
+    PipelineConfig config;
+    config.corpus = Corpus::kHospitalX;
+    config.scale = scale;
+    config.dim = d;
+    config.train_epochs = 2;  // timings need a model, not a good one
+    auto pipeline = BuildPipeline(config);
+    const auto& queries = pipeline->eval_groups[0];
+    pipeline->model->PrecomputeConceptEncodings();
+
+    TableWriter table("Batched ED vs per-candidate ED [us/query], d=" +
+                          std::to_string(d),
+                      {"k", "ED single", "ED batched", "speedup"});
+    for (size_t k : {10u, 50u}) {
+      linking::NclConfig link_config;
+      link_config.k = k;
+      link_config.scoring_threads = 1;  // serving config: batch, don't fan out
+      link_config.use_fast_scoring = true;
+
+      link_config.batch_ed = false;
+      linking::NclLinker single = pipeline->MakeLinker(link_config);
+      link_config.batch_ed = true;
+      linking::NclLinker batched = pipeline->MakeLinker(link_config);
+
+      // Warm-up (thread-local contexts, encoding cache), then interleaved
+      // rounds keeping the per-path min.
+      MeanScoreUs(single, queries);
+      MeanScoreUs(batched, queries);
+      const int rounds = full ? 5 : 3;
+      double single_us = 0.0, batched_us = 0.0;
+      auto keep_min = [](double& slot, double value) {
+        slot = slot == 0.0 ? value : std::min(slot, value);
+      };
+      for (int round = 0; round < rounds; ++round) {
+        keep_min(single_us, MeanScoreUs(single, queries));
+        keep_min(batched_us, MeanScoreUs(batched, queries));
+      }
+      const double speedup = batched_us > 0.0 ? single_us / batched_us : 0.0;
+      if (d == kAcceptanceDim && k == kAcceptanceK) {
+        acceptance_speedup = speedup;
+      }
+      table.AddRow(std::to_string(k), {single_us, batched_us, speedup}, 2);
+
+      json.BeginObject();
+      json.Key("dim").Value(d);
+      json.Key("k").Value(k);
+      json.Key("num_queries").Value(queries.size());
+      json.Key("rounds").Value(rounds);
+      json.Key("ed_single_us").Value(single_us);
+      json.Key("ed_batched_us").Value(batched_us);
+      json.Key("ed_batch_speedup").Value(speedup);
+      json.EndObject();
+    }
+    table.Print();
+  }
+  json.EndArray();
+
+  const bool acceptance_ok = acceptance_speedup >= kAcceptanceMinSpeedup;
+  json.Key("acceptance").BeginObject();
+  json.Key("dim").Value(kAcceptanceDim);
+  json.Key("k").Value(kAcceptanceK);
+  json.Key("ed_batch_speedup").Value(acceptance_speedup);
+  json.Key("acceptance_ok").Value(acceptance_ok);
+  json.EndObject();
+  json.EndObject();
+
+  Status status = json.WriteFile("BENCH_fig11_batch.json");
+  if (!status.ok()) {
+    std::cerr << "failed to write BENCH_fig11_batch.json: " << status.ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "wrote BENCH_fig11_batch.json (acceptance "
+            << (acceptance_ok ? "ok" : "FAILED") << ": d=128 k=10 speedup "
+            << acceptance_speedup << "x, min " << kAcceptanceMinSpeedup
+            << "x)\n";
+  return 0;
+}

@@ -10,10 +10,12 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "baselines/pkduck_linker.h"
+#include "nn/gemm.h"
 #include "nn/lstm.h"
 #include "nn/tape.h"
 #include "pretrain/cbow.h"
@@ -67,6 +69,24 @@ void BM_MatVecVocab(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(vocab * d));
 }
 BENCHMARK(BM_MatVecVocab)->Arg(1000)->Arg(10000);
+
+void BM_GemmNT(benchmark::State& state) {
+  // The batched-ED workhorse shape: lanes x vocab logits from d-wide rows.
+  const size_t m = 32;  // candidate lanes per tile
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  Rng rng(1);
+  nn::Matrix a = nn::Matrix::RandomUniform(m, k, 1.0f, rng);
+  nn::Matrix b = nn::Matrix::RandomUniform(n, k, 1.0f, rng);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    nn::GemmNT(m, n, k, a.data(), k, b.data(), k, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(m * n * k));
+}
+BENCHMARK(BM_GemmNT)->Args({128, 128})->Args({1000, 128})->Args({1000, 256});
 
 void BM_LstmStepValue(benchmark::State& state) {
   // Tape-free LSTM step (inference fast path) — compare with BM_LstmStep.
@@ -224,6 +244,49 @@ double TimePerCall(Fn&& fn) {
   return watch.ElapsedSeconds() / static_cast<double>(iters);
 }
 
+/// Naive i-k-j triple loop, the pre-blocking baseline GemmNN replaced.
+void NaiveGemmNN(size_t m, size_t n, size_t k, const float* a, const float* b,
+                 float* c) {
+  for (size_t i = 0; i < m; ++i) {
+    float* row = c + i * n;
+    for (size_t j = 0; j < n; ++j) row[j] = 0.0f;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      const float* brow = b + p * n;
+      for (size_t j = 0; j < n; ++j) row[j] += av * brow[j];
+    }
+  }
+}
+
+/// Naive row-times-row loop, the per-candidate mat-vec pattern GemmNT
+/// batches over.
+void NaiveGemmNT(size_t m, size_t n, size_t k, const float* a, const float* b,
+                 float* c) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      const float* arow = a + i * k;
+      const float* brow = b + j * k;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+/// One blocked-vs-naive GEMM comparison row.
+void EmitGemmEntry(JsonWriter& json, const char* kernel, size_t m, size_t n,
+                   size_t k, double blocked_sec, double naive_sec) {
+  const double flops = 2.0 * static_cast<double>(m * n * k);
+  json.BeginObject();
+  json.Key("kernel").Value(kernel);
+  json.Key("shape").Value(std::to_string(m) + "x" + std::to_string(n) + "x" +
+                          std::to_string(k));
+  json.Key("gflops").Value(flops / blocked_sec / 1e9);
+  json.Key("naive_gflops").Value(flops / naive_sec / 1e9);
+  json.Key("speedup_vs_naive").Value(naive_sec / blocked_sec);
+  json.EndObject();
+}
+
 /// Hand-timed GFLOP/s of the inference-critical kernels, appended to `json`
 /// as one array entry per kernel/shape.
 void WriteKernelReport() {
@@ -231,6 +294,11 @@ void WriteKernelReport() {
   JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("micro_kernels");
+#if defined(__AVX2__) && defined(__FMA__)
+  json.Key("simd").Value("avx2+fma");
+#else
+  json.Key("simd").Value("scalar");
+#endif
   json.Key("kernels").BeginArray();
 
   // Square matmul (training shapes).
@@ -279,6 +347,49 @@ void WriteKernelReport() {
     json.Key("shape").Value(std::to_string(vocab) + "x64*64");
     json.Key("gflops").Value(2.0 * vocab * d / sec / 1e9);
     json.EndObject();
+  }
+
+  // Blocked GEMM vs the naive loops it replaced: square training shapes plus
+  // the skinny panels batched ED scoring runs (m = lanes, n = vocab or d,
+  // k = d), i.e. MxNxK with C(m,n) = A(m,k)*B.
+  {
+    struct GemmShape {
+      size_t m, n, k;
+    };
+    const GemmShape squares[] = {{32, 32, 32}, {64, 64, 64}, {128, 128, 128},
+                                 {256, 256, 256}};
+    const GemmShape skinny[] = {
+        {32, 128, 128}, {32, 1000, 128}, {32, 1000, 256}, {32, 128, 384}};
+    auto time_shapes = [&](const char* kernel, const GemmShape* shapes,
+                           size_t count, bool transposed_b) {
+      for (size_t s = 0; s < count; ++s) {
+        const auto [m, n, k] = shapes[s];
+        nn::Matrix a = nn::Matrix::RandomUniform(m, k, 1.0f, rng);
+        nn::Matrix b = transposed_b ? nn::Matrix::RandomUniform(n, k, 1.0f, rng)
+                                    : nn::Matrix::RandomUniform(k, n, 1.0f, rng);
+        std::vector<float> c(m * n);
+        double blocked_sec = TimePerCall([&] {
+          if (transposed_b) {
+            nn::GemmNT(m, n, k, a.data(), k, b.data(), k, c.data(), n);
+          } else {
+            nn::GemmNN(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+          }
+          benchmark::DoNotOptimize(c.data());
+        });
+        double naive_sec = TimePerCall([&] {
+          if (transposed_b) {
+            NaiveGemmNT(m, n, k, a.data(), b.data(), c.data());
+          } else {
+            NaiveGemmNN(m, n, k, a.data(), b.data(), c.data());
+          }
+          benchmark::DoNotOptimize(c.data());
+        });
+        EmitGemmEntry(json, kernel, m, n, k, blocked_sec, naive_sec);
+      }
+    };
+    time_shapes("gemm_nn", squares, std::size(squares), /*transposed_b=*/false);
+    time_shapes("gemm_nt", squares, std::size(squares), /*transposed_b=*/true);
+    time_shapes("gemm_nt", skinny, std::size(skinny), /*transposed_b=*/true);
   }
 
   // Tape-free LSTM step throughput.

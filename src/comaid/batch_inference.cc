@@ -1,0 +1,200 @@
+// Batched tape-free Phase-II scoring (see model.h::ScoreLogProbFastBatch).
+//
+// ScoreLogProbFast runs k candidates as k independent decoder loops, each a
+// chain of mat-vecs over the same weight matrices — the logits projection
+// alone streams the V x d softmax weight k times per decode step. This file
+// runs up to max_lanes candidates in lock-step: per step, the per-lane
+// states stack into (active x d) activation matrices and every weight is
+// applied once via the blocked GemmNT kernels (nn/gemm.h).
+//
+// Ragged candidate lengths: lanes are sorted by target length (descending,
+// stable), so "lane finished" masking is just the active row prefix
+// shrinking — no wasted flops on padded rows, no masking arithmetic in the
+// kernels. Per-lane work that cannot batch (attention over the lane's own
+// encoder states, cross-entropy on its own logits row) reuses the exact
+// single-lane routines, and the GEMM per-element reduction order matches
+// MatVecInto, so a lane's score is bit-stable under any batch composition
+// (pinned by tests/comaid/batch_inference_test.cc).
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "comaid/model.h"
+#include "nn/gemm.h"
+#include "nn/vecmath.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace ncl::comaid {
+
+namespace {
+
+using internal::AttentionInto;
+using internal::CrossEntropyValue;
+
+struct BatchScoreMetrics {
+  obs::Counter* calls;
+  obs::Histogram* lanes;
+};
+
+const BatchScoreMetrics& GetBatchScoreMetrics() {
+  static const BatchScoreMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return BatchScoreMetrics{registry.GetCounter("ncl.ed_batch.calls"),
+                             registry.GetHistogram("ncl.ed_batch.lanes")};
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+void ComAidModel::ScoreBatchTile(BatchScoreLane* lanes, size_t num_lanes,
+                                 BatchInferenceContext* ctx) const {
+  const size_t d = config_.dim;
+  const size_t vocab = vocab_.size();
+  const size_t comp_width = w_d_->value.cols();
+  const bool use_text = config_.text_attention;
+
+  // Resolve encodings and peel off lanes whose composite width would not
+  // match W_d (a concept with no ancestors under structural attention) to
+  // the single-lane path — same arithmetic, no lock-step partner needed.
+  std::vector<const ConceptEncoding*> encs(num_lanes);
+  std::vector<bool> use_structure(num_lanes);
+  std::vector<size_t> batched;
+  batched.reserve(num_lanes);
+  size_t attn_rows = 1;
+  for (size_t i = 0; i < num_lanes; ++i) {
+    NCL_CHECK(lanes[i].target != nullptr) << "batch lane without a target";
+    NCL_CHECK(lanes[i].concept_id > 0 &&
+              static_cast<size_t>(lanes[i].concept_id) < concept_words_.size())
+        << "invalid concept id " << lanes[i].concept_id;
+    encs[i] = &EncodingFor(lanes[i].concept_id);
+    use_structure[i] =
+        config_.structural_attention && encs[i]->ancestors.rows() > 0;
+    const size_t lane_width =
+        (1 + (use_text ? 1 : 0) + (use_structure[i] ? 1 : 0)) * d;
+    if (lane_width != comp_width) {
+      lanes[i].log_prob = ScoreLogProbFast(lanes[i].concept_id, *lanes[i].target);
+      continue;
+    }
+    attn_rows = std::max(
+        attn_rows, std::max(encs[i]->encoder_states.rows(),
+                            encs[i]->ancestors.rows()));
+    batched.push_back(i);
+  }
+  const size_t m = batched.size();
+  if (m == 0) return;
+
+  // Longest-first lane order: ragged lengths become a shrinking active row
+  // prefix. Stable on the original index so the order (and therefore the
+  // whole computation) is deterministic.
+  std::sort(batched.begin(), batched.end(), [&](size_t a, size_t b) {
+    const size_t sa = lanes[a].target->size();
+    const size_t sb = lanes[b].target->size();
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+
+  ctx->Prepare(m, d, vocab, comp_width / d, attn_rows);
+
+  float* h = ctx->h();                // m x d decoder hidden states
+  float* cell = ctx->c();             // m x d decoder cell states
+  float* x = ctx->x();                // m x d previous-word embeddings
+  float* composite = ctx->composite();  // m x comp_width
+  float* s_tilde = ctx->s_tilde();    // m x d
+  float* logits = ctx->logits();      // m x vocab
+
+  std::vector<float> loss(m, 0.0f);
+  std::vector<text::WordId> prev_word(m, bos_id_);
+  // Decoder initial state per lane: s_0 = h_n^c, cell = 0 (§4.1.2).
+  for (size_t r = 0; r < m; ++r) {
+    const float* h0 = encs[batched[r]]->final_state();
+    std::copy(h0, h0 + d, h + r * d);
+    std::fill(cell + r * d, cell + (r + 1) * d, 0.0f);
+  }
+
+  const float* b_d = b_d_->value.data();
+  const float* b_s = b_s_->value.data();
+  const size_t max_steps = lanes[batched[0]].target->size() + 1;
+  size_t active = m;
+  for (size_t t = 0; t < max_steps; ++t) {
+    // Lanes decode target.size() + 1 factors (words then <eos>); sorted
+    // longest-first, finished lanes always form a suffix.
+    while (active > 0 && lanes[batched[active - 1]].target->size() + 1 <= t) {
+      --active;
+    }
+    if (active == 0) break;
+
+    // Gather previous-word embeddings, then one lock-step LSTM move.
+    for (size_t r = 0; r < active; ++r) {
+      const float* row = EmbeddingRow(prev_word[r]);
+      std::copy(row, row + d, x + r * d);
+    }
+    decoder_->StepValueBatch(active, x, h, cell, h, cell, ctx->lstm_scratch());
+
+    // Composite rows: [s_t ; tc_t ; sc_t] (Eq. 8). Attention stays per lane
+    // — each lane attends over its own concept's encoder states.
+    for (size_t r = 0; r < active; ++r) {
+      const ConceptEncoding& enc = *encs[batched[r]];
+      const float* h_row = h + r * d;
+      float* comp_row = composite + r * comp_width;
+      std::copy(h_row, h_row + d, comp_row);
+      size_t offset = d;
+      if (use_text) {
+        AttentionInto(enc.encoder_states, h_row, ctx->attn_scores(),
+                      comp_row + offset);
+        offset += d;
+      }
+      if (use_structure[batched[r]]) {
+        AttentionInto(enc.ancestors, h_row, ctx->attn_scores(),
+                      comp_row + offset);
+      }
+    }
+
+    // s~ = tanh(W_d [s; tc; sc] + b_d): one GemmNT instead of `active`
+    // mat-vecs against W_d.
+    nn::GemmNT(active, d, comp_width, composite, comp_width,
+               w_d_->value.data(), comp_width, s_tilde, d);
+    for (size_t r = 0; r < active; ++r) {
+      float* row = s_tilde + r * d;
+      for (size_t j = 0; j < d; ++j) row[j] += b_d[j];
+    }
+    nn::TanhInplace(s_tilde, active * d);
+
+    // logits = W_s s~ + b_s (Eq. 9) — the dominant GEMM: the V x d softmax
+    // weight streams once per step for the whole batch.
+    nn::GemmNT(active, vocab, d, s_tilde, d, w_s_->value.data(), d, logits,
+               vocab);
+    for (size_t r = 0; r < active; ++r) {
+      float* row = logits + r * vocab;
+      for (size_t j = 0; j < vocab; ++j) row[j] += b_s[j];
+      const auto& target = *lanes[batched[r]].target;
+      const text::WordId gold = t < target.size() ? target[t] : eos_id_;
+      loss[r] += static_cast<float>(
+          CrossEntropyValue(row, vocab, static_cast<int32_t>(gold)));
+      prev_word[r] = gold;
+    }
+  }
+
+  for (size_t r = 0; r < m; ++r) {
+    lanes[batched[r]].log_prob = -static_cast<double>(loss[r]);
+  }
+}
+
+void ComAidModel::ScoreLogProbFastBatch(BatchScoreLane* lanes, size_t num_lanes,
+                                        BatchInferenceContext* ctx,
+                                        size_t max_lanes) const {
+  if (num_lanes == 0) return;
+  NCL_CHECK(max_lanes > 0) << "max_lanes must be positive";
+  thread_local BatchInferenceContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  const BatchScoreMetrics& metrics = GetBatchScoreMetrics();
+  metrics.calls->Increment();
+  metrics.lanes->Record(num_lanes);
+  for (size_t start = 0; start < num_lanes; start += max_lanes) {
+    ScoreBatchTile(lanes + start, std::min(max_lanes, num_lanes - start), ctx);
+  }
+}
+
+}  // namespace ncl::comaid

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "comaid/model.h"
+#include "nn/vecmath.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -33,13 +34,9 @@ const ConceptCacheMetrics& GetConceptCacheMetrics() {
   return metrics;
 }
 
-}  // namespace internal
-
-namespace {
-
-/// Fused dot-product attention on values (Eqs. 5-7): out = sum_r alpha_r v_r
-/// with alpha = softmax(values * key). `scores` must hold values.rows()
-/// floats; `out` holds values.cols() floats and is overwritten.
+/// Fused dot-product attention on values (Eqs. 5-7). Defined here, declared
+/// in inference.h: the batched scorer (batch_inference.cc) runs the same
+/// routine per lane so single and batched attention are identical.
 void AttentionInto(const nn::Matrix& values, const float* key, float* scores,
                    float* out) {
   const size_t n = values.rows();
@@ -48,11 +45,9 @@ void AttentionInto(const nn::Matrix& values, const float* key, float* scores,
 
   float max_score = -std::numeric_limits<float>::infinity();
   for (size_t r = 0; r < n; ++r) max_score = std::max(max_score, scores[r]);
+  nn::ExpShiftedInplace(scores, n, max_score);
   float denom = 0.0f;
-  for (size_t r = 0; r < n; ++r) {
-    scores[r] = std::exp(scores[r] - max_score);
-    denom += scores[r];
-  }
+  for (size_t r = 0; r < n; ++r) denom += scores[r];
   const float inv_denom = 1.0f / denom;
 
   std::fill(out, out + d, 0.0f);
@@ -63,19 +58,19 @@ void AttentionInto(const nn::Matrix& values, const float* key, float* scores,
   }
 }
 
-/// -log softmax(logits)[gold] with the same accumulation scheme as
-/// Tape::SoftmaxCrossEntropy (float max, double denominator).
 double CrossEntropyValue(const float* logits, size_t vocab, int32_t gold) {
   float max_logit = -std::numeric_limits<float>::infinity();
   for (size_t i = 0; i < vocab; ++i) max_logit = std::max(max_logit, logits[i]);
-  double denom = 0.0;
-  for (size_t i = 0; i < vocab; ++i) {
-    denom += std::exp(logits[i] - max_logit);
-  }
+  double denom = nn::SumExpShifted(logits, vocab, max_logit);
   double log_denom = std::log(denom) + static_cast<double>(max_logit);
   return log_denom - static_cast<double>(logits[static_cast<size_t>(gold)]);
 }
 
+}  // namespace internal
+
+namespace {
+using internal::AttentionInto;
+using internal::CrossEntropyValue;
 }  // namespace
 
 size_t ComAidModel::CompositePieces() const {
@@ -204,7 +199,8 @@ double ComAidModel::ScoreLogProbFast(ontology::ConceptId concept_id,
     float* s_tilde = ctx->s_tilde();
     w_d_->value.MatVecInto(composite, s_tilde);
     const float* b_d = b_d_->value.data();
-    for (size_t j = 0; j < d; ++j) s_tilde[j] = std::tanh(s_tilde[j] + b_d[j]);
+    for (size_t j = 0; j < d; ++j) s_tilde[j] += b_d[j];
+    nn::TanhInplace(s_tilde, d);
 
     // logits = W_s s~_t + b_s  (Eq. 9)
     float* logits = ctx->logits();

@@ -31,10 +31,24 @@
 
 #include "nn/matrix.h"
 #include "obs/metrics.h"
+#include "ontology/ontology.h"
+#include "text/vocabulary.h"
 
 namespace ncl::comaid {
 
 namespace internal {
+
+/// Fused dot-product attention on values (Eqs. 5-7): out = sum_r alpha_r v_r
+/// with alpha = softmax(values * key). `scores` must hold values.rows()
+/// floats; `out` holds values.cols() floats and is overwritten. Shared by
+/// the single-lane and batched scorers so both produce identical values.
+void AttentionInto(const nn::Matrix& values, const float* key, float* scores,
+                   float* out);
+
+/// -log softmax(logits)[gold] with the same accumulation scheme as
+/// Tape::SoftmaxCrossEntropy (float max, double denominator).
+double CrossEntropyValue(const float* logits, size_t vocab, int32_t gold);
+
 /// Cache observability, published under `ncl.concept_cache.*`. Handles are
 /// resolved once (defined in inference.cc); every ConceptEncodingCache in
 /// the process shares them.
@@ -172,6 +186,60 @@ class InferenceContext {
 
   std::vector<float> h_;
   std::vector<float> c_;
+  std::vector<float> lstm_scratch_;
+  std::vector<float> composite_;
+  std::vector<float> s_tilde_;
+  std::vector<float> logits_;
+  std::vector<float> attn_scores_;
+};
+
+/// \brief One candidate in a batched Phase-II scoring call.
+///
+/// The target is borrowed (typically the shared-word-filtered query residue
+/// the linker builds per candidate) and must outlive the call; `log_prob`
+/// is the output slot.
+struct BatchScoreLane {
+  ontology::ConceptId concept_id = 0;
+  const std::vector<text::WordId>* target = nullptr;
+  double log_prob = 0.0;  ///< out: log p(target | concept)
+};
+
+/// \brief Reusable scratch for the batched scorer (one per thread).
+///
+/// Buffers are sized for `lanes` lock-step rows; Prepare grows them but
+/// never shrinks, so a context reused across calls allocates only on the
+/// largest shape seen.
+class BatchInferenceContext {
+ public:
+  void Prepare(size_t lanes, size_t dim, size_t vocab, size_t pieces,
+               size_t attn_rows) {
+    Grow(h_, lanes * dim);
+    Grow(c_, lanes * dim);
+    Grow(x_, lanes * dim);
+    Grow(lstm_scratch_, 2 * lanes * dim);
+    Grow(composite_, lanes * pieces * dim);
+    Grow(s_tilde_, lanes * dim);
+    Grow(logits_, lanes * vocab);
+    Grow(attn_scores_, attn_rows);
+  }
+
+  float* h() { return h_.data(); }
+  float* c() { return c_.data(); }
+  float* x() { return x_.data(); }
+  float* lstm_scratch() { return lstm_scratch_.data(); }
+  float* composite() { return composite_.data(); }
+  float* s_tilde() { return s_tilde_.data(); }
+  float* logits() { return logits_.data(); }
+  float* attn_scores() { return attn_scores_.data(); }
+
+ private:
+  static void Grow(std::vector<float>& buf, size_t n) {
+    if (buf.size() < n) buf.resize(n);
+  }
+
+  std::vector<float> h_;
+  std::vector<float> c_;
+  std::vector<float> x_;
   std::vector<float> lstm_scratch_;
   std::vector<float> composite_;
   std::vector<float> s_tilde_;

@@ -122,6 +122,30 @@ class ComAidModel {
   double ScoreLogProbFast(ontology::ConceptId concept_id,
                           const std::vector<std::string>& query_tokens) const;
 
+  /// Default lock-step width of the batched scorer: enough lanes to amortise
+  /// the weight-matrix streaming, small enough that the per-step activation
+  /// working set stays cache-resident.
+  static constexpr size_t kDefaultScoreLanes = 32;
+
+  /// \brief Batched tape-free scoring: fill `lanes[i].log_prob` with
+  /// log p(target_i | concept_i) for every lane.
+  ///
+  /// Stacks up to `max_lanes` candidates per decode step into one
+  /// activation matrix, so the k independent mat-vecs of k ScoreLogProbFast
+  /// calls become GemmNT calls over the shared LSTM/composite/softmax
+  /// weights. Ragged target lengths are masked by sorting lanes longest
+  /// first and shrinking the active row prefix as short lanes emit <eos>.
+  /// Each lane computes exactly the single-lane arithmetic with the same
+  /// canonical reduction order, so results are bit-stable under any lane
+  /// order, batch composition, or `max_lanes` (pinned by tests); parity
+  /// with the tape path stays within the usual 1e-5 bounds.
+  ///
+  /// Thread-safe under the same contract as ScoreLogProbFast; `ctx`
+  /// supplies per-thread scratch (nullptr uses an internal thread_local).
+  void ScoreLogProbFastBatch(BatchScoreLane* lanes, size_t num_lanes,
+                             BatchInferenceContext* ctx = nullptr,
+                             size_t max_lanes = kDefaultScoreLanes) const;
+
   /// \brief Eagerly fill the concept-encoding cache for the whole ontology
   /// (on `pool` when given). Returns the number of encodings computed.
   /// Optional: ScoreLogProbFast fills the cache lazily per concept.
@@ -202,6 +226,10 @@ class ComAidModel {
   /// The cached encoding for `concept_id`, computing and installing it on a
   /// miss.
   const ConceptEncoding& EncodingFor(ontology::ConceptId concept_id) const;
+
+  /// One lock-step tile of ScoreLogProbFastBatch (batch_inference.cc).
+  void ScoreBatchTile(BatchScoreLane* lanes, size_t num_lanes,
+                      BatchInferenceContext* ctx) const;
 
   ComAidConfig config_;
   const ontology::Ontology* onto_;

@@ -38,6 +38,107 @@ const LinkMetrics& GetLinkMetrics() {
   return metrics;
 }
 
+/// Phase-II decode target for one candidate: the query ids, minus words the
+/// candidate's canonical description shares with the query (§5). Returns
+/// `&query_ids` when removal is off, otherwise fills and returns `storage`.
+/// (Description words are always in-vocabulary, so filtering on ids is
+/// equivalent to filtering on strings: an out-of-vocabulary query word maps
+/// to <unk>, which no description contains, and is therefore kept.)
+const std::vector<text::WordId>* BuildTarget(
+    const comaid::ComAidModel& model, const NclConfig& config,
+    ontology::ConceptId id, const std::vector<text::WordId>& query_ids,
+    std::vector<text::WordId>* storage) {
+  if (!config.remove_shared_words) return &query_ids;
+  const auto& description = model.ConceptWords(id);
+  std::unordered_set<text::WordId> shared(description.begin(),
+                                          description.end());
+  storage->clear();
+  storage->reserve(query_ids.size());
+  for (text::WordId word : query_ids) {
+    if (shared.count(word) == 0) storage->push_back(word);
+  }
+  // An empty residue (every query word appears in the description) is the
+  // strongest possible lexical evidence; the model scores it as
+  // p(<eos> | c), one factor, which keeps the removal heuristic monotone:
+  // more shared words can only help a candidate.
+  return storage;
+}
+
+/// ED core shared by LinkDetailed and LinkBatchDetailed: fill
+/// `lanes[i].log_prob` for every lane. Batched mode scores
+/// ed_batch_lanes-sized tiles (each tile one pool task, so threads and
+/// lock-step batching compose); scores are bit-identical to the unbatched
+/// fast path either way.
+void ScoreLanes(const comaid::ComAidModel& model, const NclConfig& config,
+                ThreadPool* pool, std::vector<comaid::BatchScoreLane>& lanes) {
+  const size_t n = lanes.size();
+  if (n == 0) return;
+  if (config.use_fast_scoring && config.batch_ed) {
+    const size_t grain = std::max<size_t>(1, config.ed_batch_lanes);
+    const size_t chunks = (n + grain - 1) / grain;
+    auto score_chunk = [&](size_t c) {
+      const size_t start = c * grain;
+      model.ScoreLogProbFastBatch(lanes.data() + start,
+                                  std::min(grain, n - start),
+                                  /*ctx=*/nullptr, grain);
+    };
+    if (pool != nullptr && chunks > 1) {
+      pool->ParallelFor(chunks, score_chunk);
+    } else {
+      for (size_t c = 0; c < chunks; ++c) score_chunk(c);
+    }
+    return;
+  }
+  auto score_one = [&](size_t i) {
+    lanes[i].log_prob =
+        config.use_fast_scoring
+            ? model.ScoreLogProbFast(lanes[i].concept_id, *lanes[i].target)
+            : model.ScoreLogProbIds(lanes[i].concept_id, *lanes[i].target);
+  };
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(n, score_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) score_one(i);
+  }
+}
+
+/// Post-scoring per-candidate pass: length normalisation and the optional
+/// MAP concept prior (Eq. 11), identical for both scoring paths.
+ScoredCandidate Finalize(const NclConfig& config,
+                         const comaid::BatchScoreLane& lane) {
+  double log_prob = lane.log_prob;
+  if (config.length_normalize) {
+    log_prob /= static_cast<double>(lane.target->size() + 1);  // words + <eos>
+  }
+  if (!config.concept_prior.empty()) {
+    // MAP estimation (Eq. 11): p(c|q) ∝ p(q|c) p(c).
+    auto it = config.concept_prior.find(lane.concept_id);
+    double prior = it != config.concept_prior.end() ? it->second
+                                                    : config.default_prior;
+    log_prob += std::log(std::max(prior, 1e-300));
+  }
+  return ScoredCandidate{lane.concept_id, log_prob, -log_prob};
+}
+
+void SortRanking(std::vector<ScoredCandidate>& scored) {
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              if (a.log_prob != b.log_prob) return a.log_prob > b.log_prob;
+              return a.concept_id < b.concept_id;
+            });
+}
+
+void PublishTimings(const PhaseTimings& timings, size_t candidates) {
+  const LinkMetrics& metrics = GetLinkMetrics();
+  metrics.queries->Increment();
+  metrics.candidates_scored->Increment(candidates);
+  metrics.rewrite_us->RecordMicros(timings.rewrite_us);
+  metrics.retrieve_us->RecordMicros(timings.retrieve_us);
+  metrics.score_us->RecordMicros(timings.score_us);
+  metrics.rank_us->RecordMicros(timings.rank_us);
+  metrics.total_us->RecordMicros(timings.total_us());
+}
+
 }  // namespace
 
 NclLinker::NclLinker(const comaid::ComAidModel* model,
@@ -84,79 +185,120 @@ std::vector<ScoredCandidate> NclLinker::LinkDetailed(
   // --- ED: encode-decode probability per candidate (Phase II). ---
   watch.Reset();
   // Tokenise/map the query once; candidates only ever need the word ids.
-  // (Description words are always in-vocabulary, so filtering on ids is
-  // equivalent to filtering on strings: an out-of-vocabulary query word maps
-  // to <unk>, which no description contains, and is therefore kept.)
   const std::vector<text::WordId> query_ids = model_->MapTokens(rewritten);
-  std::vector<ScoredCandidate> scored(candidates.size());
-  auto score_one = [&](size_t i) {
-    ontology::ConceptId id = candidates[i];
-    const std::vector<text::WordId>* target = &query_ids;
-    std::vector<text::WordId> filtered;
-    if (config_.remove_shared_words) {
-      const auto& description = model_->ConceptWords(id);
-      std::unordered_set<text::WordId> shared(description.begin(),
-                                              description.end());
-      filtered.reserve(query_ids.size());
-      for (text::WordId word : query_ids) {
-        if (shared.count(word) == 0) filtered.push_back(word);
-      }
-      // An empty residue (every query word appears in the description) is
-      // the strongest possible lexical evidence; the model scores it as
-      // p(<eos> | c), one factor, which keeps the removal heuristic
-      // monotone: more shared words can only help a candidate.
-      target = &filtered;
-    }
-    double log_prob = config_.use_fast_scoring
-                          ? model_->ScoreLogProbFast(id, *target)
-                          : model_->ScoreLogProbIds(id, *target);
-    if (config_.length_normalize) {
-      log_prob /= static_cast<double>(target->size() + 1);  // words + <eos>
-    }
-    if (!config_.concept_prior.empty()) {
-      // MAP estimation (Eq. 11): p(c|q) ∝ p(q|c) p(c).
-      auto it = config_.concept_prior.find(id);
-      double prior = it != config_.concept_prior.end() ? it->second
-                                                       : config_.default_prior;
-      log_prob += std::log(std::max(prior, 1e-300));
-    }
-    scored[i] = ScoredCandidate{id, log_prob, -log_prob};
-  };
+  std::vector<std::vector<text::WordId>> filtered(candidates.size());
+  std::vector<comaid::BatchScoreLane> lanes(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    lanes[i].concept_id = candidates[i];
+    lanes[i].target = BuildTarget(*model_, config_, candidates[i], query_ids,
+                                  &filtered[i]);
+  }
   {
     NCL_TRACE_SPAN("ncl.link.score");
-    if (pool_ != nullptr && candidates.size() > 1) {
-      pool_->ParallelFor(candidates.size(), score_one);
-    } else {
-      for (size_t i = 0; i < candidates.size(); ++i) score_one(i);
-    }
+    ScoreLanes(*model_, config_, pool_.get(), lanes);
     local.score_us = watch.ElapsedMicros();
   }
 
   // --- RT: ranking by descending probability. ---
   watch.Reset();
+  std::vector<ScoredCandidate> scored(lanes.size());
   {
     NCL_TRACE_SPAN("ncl.link.rank");
-    std::sort(scored.begin(), scored.end(),
-              [](const ScoredCandidate& a, const ScoredCandidate& b) {
-                if (a.log_prob != b.log_prob) return a.log_prob > b.log_prob;
-                return a.concept_id < b.concept_id;
-              });
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      scored[i] = Finalize(config_, lanes[i]);
+    }
+    SortRanking(scored);
     local.rank_us = watch.ElapsedMicros();
   }
 
   // Publish the same readings PhaseTimings carries to the metrics registry
   // (one histogram per Fig. 11 phase).
-  const LinkMetrics& metrics = GetLinkMetrics();
-  metrics.queries->Increment();
-  metrics.candidates_scored->Increment(candidates.size());
-  metrics.rewrite_us->RecordMicros(local.rewrite_us);
-  metrics.retrieve_us->RecordMicros(local.retrieve_us);
-  metrics.score_us->RecordMicros(local.score_us);
-  metrics.rank_us->RecordMicros(local.rank_us);
-  metrics.total_us->RecordMicros(local.total_us());
+  PublishTimings(local, candidates.size());
 
   if (timings != nullptr) *timings = local;
   return scored;
+}
+
+std::vector<std::vector<ScoredCandidate>> NclLinker::LinkBatchDetailed(
+    const std::vector<std::vector<std::string>>& queries,
+    std::vector<PhaseTimings>* timings) const {
+  NCL_CHECK(config_.k > 0) << "NclConfig::k must be positive";
+  NCL_TRACE_SPAN("ncl.link_batch");
+  const size_t num_queries = queries.size();
+  std::vector<std::vector<ScoredCandidate>> results(num_queries);
+  std::vector<PhaseTimings> local(num_queries);
+  if (num_queries == 0) {
+    if (timings != nullptr) timings->clear();
+    return results;
+  }
+
+  // --- OR + CR per query, pooling every (query, candidate) pair. ---
+  // Lane targets point into query_ids/filtered, so both are sized up front
+  // and never reallocated afterwards.
+  Stopwatch watch;
+  std::vector<std::vector<text::WordId>> query_ids(num_queries);
+  std::vector<std::vector<ontology::ConceptId>> candidates(num_queries);
+  std::vector<size_t> lane_begin(num_queries + 1, 0);
+  for (size_t q = 0; q < num_queries; ++q) {
+    watch.Reset();
+    std::vector<std::string> rewritten = queries[q];
+    if (config_.rewrite_queries && rewriter_ != nullptr) {
+      rewritten = rewriter_->Rewrite(queries[q]);
+    }
+    local[q].rewrite_us = watch.ElapsedMicros();
+
+    watch.Reset();
+    candidates[q] = candidates_->TopK(rewritten, config_.k);
+    local[q].retrieve_us = watch.ElapsedMicros();
+
+    query_ids[q] = model_->MapTokens(rewritten);
+    lane_begin[q + 1] = lane_begin[q] + candidates[q].size();
+  }
+
+  const size_t total_lanes = lane_begin[num_queries];
+  std::vector<std::vector<text::WordId>> filtered(total_lanes);
+  std::vector<comaid::BatchScoreLane> lanes(total_lanes);
+  for (size_t q = 0; q < num_queries; ++q) {
+    for (size_t i = 0; i < candidates[q].size(); ++i) {
+      const size_t lane = lane_begin[q] + i;
+      lanes[lane].concept_id = candidates[q][i];
+      lanes[lane].target = BuildTarget(*model_, config_, candidates[q][i],
+                                       query_ids[q], &filtered[lane]);
+    }
+  }
+
+  // --- ED: one pooled scoring pass; lock-step tiles span queries. The
+  // shared wall time is attributed to each query by its lane share. ---
+  watch.Reset();
+  {
+    NCL_TRACE_SPAN("ncl.link.score");
+    ScoreLanes(*model_, config_, pool_.get(), lanes);
+  }
+  const double score_us = watch.ElapsedMicros();
+  for (size_t q = 0; q < num_queries; ++q) {
+    const size_t q_lanes = lane_begin[q + 1] - lane_begin[q];
+    local[q].score_us =
+        total_lanes == 0
+            ? 0.0
+            : score_us * static_cast<double>(q_lanes) /
+                  static_cast<double>(total_lanes);
+  }
+
+  // --- RT per query. ---
+  for (size_t q = 0; q < num_queries; ++q) {
+    watch.Reset();
+    auto& scored = results[q];
+    scored.resize(lane_begin[q + 1] - lane_begin[q]);
+    for (size_t i = 0; i < scored.size(); ++i) {
+      scored[i] = Finalize(config_, lanes[lane_begin[q] + i]);
+    }
+    SortRanking(scored);
+    local[q].rank_us = watch.ElapsedMicros();
+    PublishTimings(local[q], scored.size());
+  }
+
+  if (timings != nullptr) *timings = std::move(local);
+  return results;
 }
 
 Ranking NclLinker::Link(const std::vector<std::string>& query, size_t k) const {

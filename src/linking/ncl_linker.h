@@ -51,6 +51,15 @@ struct NclConfig {
   /// zero graph allocations). Off => the reference tape-based scorer; both
   /// agree within float round-off (pinned by the parity tests).
   bool use_fast_scoring = true;
+  /// Batch the ED phase: score candidates in lock-step tiles through
+  /// ComAidModel::ScoreLogProbFastBatch so the decoder weights stream once
+  /// per decode step instead of once per candidate. Requires
+  /// use_fast_scoring; per-candidate scores are bit-identical to the
+  /// unbatched fast path (shared canonical reduction order).
+  bool batch_ed = true;
+  /// Lock-step width for batched ED scoring; also the per-task grain when
+  /// the batch is split across scoring threads.
+  size_t ed_batch_lanes = 32;
   /// Optional non-uniform concept prior for MAP estimation (Eq. 11): maps
   /// concept id -> prior probability. Candidates absent from the map get
   /// `default_prior`. When empty, the uniform-prior MLE of Eq. 12 applies.
@@ -89,6 +98,19 @@ class NclLinker : public ConceptLinker {
   /// Full pipeline with timings: returns candidates re-ranked by Phase II.
   std::vector<ScoredCandidate> LinkDetailed(const std::vector<std::string>& query,
                                             PhaseTimings* timings = nullptr) const;
+
+  /// \brief Link several queries as one ED workload.
+  ///
+  /// Runs OR/CR per query, then pools every (query, candidate) pair into a
+  /// single batched Phase-II scoring pass: lock-step tiles can span queries,
+  /// so a micro-batch of small-k queries still fills whole GEMM tiles. The
+  /// per-query rankings are identical to calling LinkDetailed per query
+  /// (same scores — the batched scorer is lane-order invariant).
+  /// `timings`, when non-null, receives one PhaseTimings per query; the
+  /// shared ED pass is attributed proportionally to each query's lane count.
+  std::vector<std::vector<ScoredCandidate>> LinkBatchDetailed(
+      const std::vector<std::vector<std::string>>& queries,
+      std::vector<PhaseTimings>* timings = nullptr) const;
 
   // There is deliberately no config mutator (a set_k once lived here): the
   // linker is logically const and shared across threads, so a post-hoc

@@ -1,0 +1,64 @@
+// Blocked GEMM kernels for the inference and training hot paths.
+//
+// Three row-major product flavours, named BLAS-style by whether each operand
+// is used as-is (N) or transposed (T):
+//
+//   GemmNN:  C(m,n)  = A(m,k) * B(k,n)          — tape forward products
+//   GemmNT:  C(m,n)  = A(m,k) * B(n,k)^T        — the batched-ED workhorse:
+//            both operands walk the reduction dimension contiguously, so one
+//            call replaces n independent mat-vecs (logits = S~ * W_s^T)
+//   GemmTN:  C(m,n)  = A(k,m)^T * B(k,n)        — backward-pass gradients
+//
+// Layout/blocking scheme (documented in DESIGN.md "Batched scoring & GEMM
+// blocking"):
+//   * GemmNT tiles C into 4x4 register blocks; each block walks the full
+//     reduction dimension once with 8-wide SIMD (AVX2+FMA when the build
+//     enables it via NCL_ENABLE_NATIVE, an 8-accumulator scalar pattern the
+//     autovectoriser turns into the same shape otherwise). Every C element
+//     is a complete dot product with a fixed reduction order — the value of
+//     C(i,j) is independent of the tile it lands in, so batched scoring is
+//     bit-stable under any lane count or tiling (pinned by tests).
+//   * GemmNN broadcasts A elements against contiguous B rows with a 4-row
+//     register tile; the per-element reduction stays sequential in k, i.e.
+//     bit-identical to the naive i-k-j loop it replaces.
+//   * GemmTN packs 4-column panels of A into a contiguous buffer (the
+//     strided column walk is what makes the naive version slow), then runs
+//     the NT kernel against them.
+//
+// All kernels take leading dimensions, so callers can run them over a
+// prefix of rows — that is how the batched ED scorer masks ragged candidate
+// lengths: lanes are sorted by target length and the active batch shrinks
+// to a row prefix as short lanes finish.
+//
+// Accumulate variants (C += ...) add each fully-reduced dot product to the
+// existing C element, matching Matrix::MatVecAccumInto semantics.
+
+#pragma once
+
+#include <cstddef>
+
+namespace ncl::nn {
+
+/// Canonical dot product of two contiguous float spans: 8-way split
+/// accumulation over the reduction dimension with a fixed reduction tree,
+/// scalar tail appended sequentially. Shared by MatVecInto and the GEMM
+/// kernels so mat-vec and mat-mat paths agree on per-element values.
+float DotCanonical(const float* a, const float* b, size_t n);
+
+/// C(m,n) = A(m,k) * B(k,n); row-major, leading dimensions lda/ldb/ldc.
+void GemmNN(size_t m, size_t n, size_t k, const float* a, size_t lda,
+            const float* b, size_t ldb, float* c, size_t ldc);
+
+/// C(m,n) = A(m,k) * B(n,k)^T.
+void GemmNT(size_t m, size_t n, size_t k, const float* a, size_t lda,
+            const float* b, size_t ldb, float* c, size_t ldc);
+
+/// C(m,n) += A(m,k) * B(n,k)^T.
+void GemmNTAccum(size_t m, size_t n, size_t k, const float* a, size_t lda,
+                 const float* b, size_t ldb, float* c, size_t ldc);
+
+/// C(m,n) = A(k,m)^T * B(k,n).
+void GemmTN(size_t m, size_t n, size_t k, const float* a, size_t lda,
+            const float* b, size_t ldb, float* c, size_t ldc);
+
+}  // namespace ncl::nn

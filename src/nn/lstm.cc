@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "nn/gemm.h"
+#include "nn/vecmath.h"
+
 namespace ncl::nn {
 
 LstmCell::LstmCell(std::string name, size_t input_dim, size_t hidden_dim,
@@ -70,31 +73,64 @@ void LstmCell::StepValue(const float* x, const float* h_prev, const float* c_pre
     const float* bias = b->value.data();
     for (size_t j = 0; j < d; ++j) out[j] += bias[j];
   };
-  auto sigmoid = [&](float* v) {
-    for (size_t j = 0; j < d; ++j) v[j] = 1.0f / (1.0f + std::exp(-v[j]));
-  };
-  auto tanh_inplace = [&](float* v) {
-    for (size_t j = 0; j < d; ++j) v[j] = std::tanh(v[j]);
-  };
-
   // f_t, then c_out = f_t (.) c_prev (element j only reads c_prev[j], so
   // c_out may alias c_prev).
   gate(w_f_, u_f_, b_f_, buf0);
-  sigmoid(buf0);
+  SigmoidInplace(buf0, d);
   for (size_t j = 0; j < d; ++j) c_out[j] = buf0[j] * c_prev[j];
 
   // i_t and c~_t together: c_out += i_t (.) c~_t.
   gate(w_i_, u_i_, b_i_, buf0);
-  sigmoid(buf0);
+  SigmoidInplace(buf0, d);
   gate(w_c_, u_c_, b_c_, buf1);
-  tanh_inplace(buf1);
+  TanhInplace(buf1, d);
   for (size_t j = 0; j < d; ++j) c_out[j] += buf0[j] * buf1[j];
 
   // o_t last (it still reads h_prev), then h_out = o_t (.) tanh(c_out) —
   // only now may h_out overwrite h_prev.
   gate(w_o_, u_o_, b_o_, buf0);
-  sigmoid(buf0);
-  for (size_t j = 0; j < d; ++j) h_out[j] = buf0[j] * std::tanh(c_out[j]);
+  SigmoidInplace(buf0, d);
+  MulTanhInto(buf0, c_out, h_out, d);
+}
+
+void LstmCell::StepValueBatch(size_t rows, const float* x, const float* h_prev,
+                              const float* c_prev, float* h_out, float* c_out,
+                              float* scratch) const {
+  const size_t d = hidden_dim_;
+  const size_t total = rows * d;
+  float* buf0 = scratch;          // gate activations, rows x d
+  float* buf1 = scratch + total;  // second gate when two are live at once
+  auto gate = [&](const Parameter* w, const Parameter* u, const Parameter* b,
+                  float* out) {
+    // out = X W^T; out += H U^T; out += bias (broadcast per row). Same
+    // per-element order as the single-lane gate: full W x dot, then the
+    // full U h dot added, then the bias.
+    GemmNT(rows, d, input_dim_, x, input_dim_, w->value.data(), input_dim_, out,
+           d);
+    GemmNTAccum(rows, d, d, h_prev, d, u->value.data(), d, out, d);
+    const float* bias = b->value.data();
+    for (size_t r = 0; r < rows; ++r) {
+      float* row = out + r * d;
+      for (size_t j = 0; j < d; ++j) row[j] += bias[j];
+    }
+  };
+  // Same phase order as StepValue: f first (c_out may alias c_prev), o last
+  // (it reads h_prev, which h_out may alias). The activations are
+  // position-independent (vecmath.h), so applying them over the packed
+  // rows x d buffer matches the single-lane path element for element.
+  gate(w_f_, u_f_, b_f_, buf0);
+  SigmoidInplace(buf0, total);
+  for (size_t j = 0; j < total; ++j) c_out[j] = buf0[j] * c_prev[j];
+
+  gate(w_i_, u_i_, b_i_, buf0);
+  SigmoidInplace(buf0, total);
+  gate(w_c_, u_c_, b_c_, buf1);
+  TanhInplace(buf1, total);
+  for (size_t j = 0; j < total; ++j) c_out[j] += buf0[j] * buf1[j];
+
+  gate(w_o_, u_o_, b_o_, buf0);
+  SigmoidInplace(buf0, total);
+  MulTanhInto(buf0, c_out, h_out, total);
 }
 
 }  // namespace ncl::nn

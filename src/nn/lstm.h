@@ -56,6 +56,20 @@ class LstmCell {
   void StepValue(const float* x, const float* h_prev, const float* c_prev,
                  float* h_out, float* c_out, float* scratch) const;
 
+  /// \brief Lock-step batched value step over `rows` independent lanes.
+  ///
+  /// Row-major buffers: x is rows x input_dim, the states are rows x
+  /// hidden_dim, `scratch` holds at least 2 * rows * hidden_dim floats.
+  /// Each lane computes exactly the arithmetic of StepValue — the gate
+  /// mat-vecs become two GemmNT calls per gate (X W^T + H U^T), which share
+  /// the canonical per-element reduction with MatVecInto — so a lane's
+  /// result does not depend on how many other lanes ride in the batch.
+  /// Aliasing rules match StepValue (h_out/c_out may alias h_prev/c_prev;
+  /// x must not alias outputs).
+  void StepValueBatch(size_t rows, const float* x, const float* h_prev,
+                      const float* c_prev, float* h_out, float* c_out,
+                      float* scratch) const;
+
   size_t input_dim() const { return input_dim_; }
   size_t hidden_dim() const { return hidden_dim_; }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/gemm.h"
+
 namespace ncl::nn {
 
 Matrix Matrix::FromValues(size_t rows, size_t cols, std::vector<float> values) {
@@ -56,33 +58,12 @@ double Matrix::Sum() const {
   return total;
 }
 
-namespace {
-
-/// Branch-free dot product with four independent accumulators so the
-/// compiler can keep vector lanes busy (a single accumulator serialises on
-/// the add latency).
-inline float RowDot(const float* a, const float* x, size_t n) {
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  size_t k = 0;
-  for (; k + 4 <= n; k += 4) {
-    acc0 += a[k] * x[k];
-    acc1 += a[k + 1] * x[k + 1];
-    acc2 += a[k + 2] * x[k + 2];
-    acc3 += a[k + 3] * x[k + 3];
-  }
-  float acc = (acc0 + acc1) + (acc2 + acc3);
-  for (; k < n; ++k) acc += a[k] * x[k];
-  return acc;
-}
-
-}  // namespace
-
 void Matrix::MatVecInto(const float* x, float* y) const {
-  for (size_t i = 0; i < rows_; ++i) y[i] = RowDot(row_data(i), x, cols_);
+  for (size_t i = 0; i < rows_; ++i) y[i] = DotCanonical(row_data(i), x, cols_);
 }
 
 void Matrix::MatVecAccumInto(const float* x, float* y) const {
-  for (size_t i = 0; i < rows_; ++i) y[i] += RowDot(row_data(i), x, cols_);
+  for (size_t i = 0; i < rows_; ++i) y[i] += DotCanonical(row_data(i), x, cols_);
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
@@ -93,15 +74,8 @@ Matrix Matrix::MatMul(const Matrix& other) const {
     MatVecInto(other.data(), out.data());
     return out;
   }
-  for (size_t i = 0; i < rows_; ++i) {
-    const float* a_row = row_data(i);
-    float* out_row = out.row_data(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      float a = a_row[k];
-      const float* b_row = other.row_data(k);
-      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  GemmNN(rows_, other.cols_, cols_, data(), cols_, other.data(), other.cols_,
+         out.data(), out.cols());
   return out;
 }
 
@@ -109,15 +83,8 @@ Matrix Matrix::TransposedMatMul(const Matrix& other) const {
   NCL_CHECK(rows_ == other.rows_) << "TransposedMatMul shape mismatch "
                                   << ShapeString() << " x " << other.ShapeString();
   Matrix out(cols_, other.cols_);
-  for (size_t k = 0; k < rows_; ++k) {
-    const float* a_row = row_data(k);
-    const float* b_row = other.row_data(k);
-    for (size_t i = 0; i < cols_; ++i) {
-      float a = a_row[i];
-      float* out_row = out.row_data(i);
-      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  GemmTN(cols_, other.cols_, rows_, data(), cols_, other.data(), other.cols_,
+         out.data(), out.cols());
   return out;
 }
 
@@ -125,16 +92,8 @@ Matrix Matrix::MatMulTransposed(const Matrix& other) const {
   NCL_CHECK(cols_ == other.cols_) << "MatMulTransposed shape mismatch "
                                   << ShapeString() << " x " << other.ShapeString();
   Matrix out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const float* a_row = row_data(i);
-    float* out_row = out.row_data(i);
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const float* b_row = other.row_data(j);
-      float acc = 0.0f;
-      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
-    }
-  }
+  GemmNT(rows_, other.rows_, cols_, data(), cols_, other.data(), other.cols_,
+         out.data(), out.cols());
   return out;
 }
 

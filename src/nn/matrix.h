@@ -1,7 +1,8 @@
 // Dense row-major float matrix — the numeric workhorse of the neural
 // substrate. Sized for the paper's regime (hidden dimensions of tens to a
-// few hundred), so the implementation favours clarity and cache-friendly
-// loops over BLAS-grade tiling.
+// few hundred). The mat-mat products dispatch to the register-blocked SIMD
+// kernels in nn/gemm.h; mat-vec keeps a dedicated row-dot path sharing the
+// same canonical reduction order.
 
 #pragma once
 
@@ -79,7 +80,8 @@ class Matrix {
   double Sum() const;
 
   /// Matrix product: returns this(m,k) * other(k,n). Column-vector operands
-  /// (n == 1) dispatch to the dedicated matvec path.
+  /// (n == 1) dispatch to the dedicated matvec path; larger right-hand
+  /// sides run the blocked GemmNN kernel.
   Matrix MatMul(const Matrix& other) const;
 
   /// Matrix-vector product into a caller buffer: y = this(m,k) * x, where x

@@ -1,0 +1,201 @@
+// Vectorised activations (see vecmath.h for the parity contract).
+//
+// The AVX2 path and its scalar tail must stay operation-for-operation
+// identical: Exp8 and ExpScalar evaluate the same clamp, the same two-part
+// ln2 reduction, the same FMA polynomial chain, and the same 2^n exponent
+// splice, so an element's value never depends on whether it was computed
+// 8-wide or in the tail. The batched-vs-single bit-exactness tests in
+// tests/comaid/batch_inference_test.cc break if the two drift apart.
+
+#include "nn/vecmath.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define NCL_VECMATH_AVX2 1
+#endif
+
+namespace ncl::nn {
+
+namespace {
+
+#if NCL_VECMATH_AVX2
+
+// Cephes expf constants: x = n*ln2 + r with |r| <= ln2/2, exp(r) by a
+// degree-6 polynomial, exp(x) = 2^n * exp(r). The upper clamp must keep
+// n <= 127 *after* the single-precision multiply by log2(e) — at the float
+// overflow threshold (~88.72) the product rounds to exactly 127.5 and the
+// round-to-even to 128 splices an infinite exponent. 88 gives n = 127 max
+// with margin; the lost [88, 88.72) range only moves the saturation value
+// from 2.4e38 to 1.7e38.
+constexpr float kExpHi = 88.0f;
+constexpr float kExpLo = -87.3365478515625f;
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+constexpr float kExpC0 = 1.9875691500e-4f;
+constexpr float kExpC1 = 1.3981999507e-3f;
+constexpr float kExpC2 = 8.3334519073e-3f;
+constexpr float kExpC3 = 4.1665795894e-2f;
+constexpr float kExpC4 = 1.6666665459e-1f;
+constexpr float kExpC5 = 5.0000001201e-1f;
+
+inline __m256 Exp8(__m256 x) {
+  x = _mm256_min_ps(x, _mm256_set1_ps(kExpHi));
+  x = _mm256_max_ps(x, _mm256_set1_ps(kExpLo));
+  const __m256 n = _mm256_round_ps(
+      _mm256_mul_ps(x, _mm256_set1_ps(kLog2e)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_fnmadd_ps(n, _mm256_set1_ps(kLn2Hi), x);
+  r = _mm256_fnmadd_ps(n, _mm256_set1_ps(kLn2Lo), r);
+  __m256 p = _mm256_set1_ps(kExpC0);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC1));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC2));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC3));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC4));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC5));
+  const __m256 r2 = _mm256_mul_ps(r, r);
+  __m256 y = _mm256_add_ps(_mm256_fmadd_ps(p, r2, r), _mm256_set1_ps(1.0f));
+  __m256i e = _mm256_cvtps_epi32(n);
+  e = _mm256_slli_epi32(_mm256_add_epi32(e, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(e));
+}
+
+/// Scalar mirror of Exp8, one operation per vector instruction (FMA via
+/// std::fmaf) — bit-identical to any Exp8 lane for the same input.
+inline float ExpScalar(float x) {
+  x = std::min(x, kExpHi);
+  x = std::max(x, kExpLo);
+  const float n = std::nearbyintf(x * kLog2e);
+  float r = std::fmaf(-n, kLn2Hi, x);
+  r = std::fmaf(-n, kLn2Lo, r);
+  float p = kExpC0;
+  p = std::fmaf(p, r, kExpC1);
+  p = std::fmaf(p, r, kExpC2);
+  p = std::fmaf(p, r, kExpC3);
+  p = std::fmaf(p, r, kExpC4);
+  p = std::fmaf(p, r, kExpC5);
+  const float y = std::fmaf(p, r * r, r) + 1.0f;
+  const int32_t e = (static_cast<int32_t>(n) + 127) << 23;
+  return y * std::bit_cast<float>(e);
+}
+
+/// tanh(x) = sign(x) * (1 - q) / (1 + q) with q = exp(-2|x|) in [0, 1]:
+/// the denominator stays in [1, 2], so there is no huge-operand division —
+/// under -freciprocal-math a (e-1)/(e+1) formulation multiplies by a
+/// subnormal reciprocal that flush-to-zero turns into 0. Saturates to
+/// exactly +-1 once q underflows.
+inline __m256 Tanh8(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  const __m256 sign = _mm256_and_ps(x, sign_mask);
+  const __m256 ax = _mm256_andnot_ps(sign_mask, x);
+  const __m256 q = Exp8(_mm256_sub_ps(_mm256_setzero_ps(),
+                                      _mm256_add_ps(ax, ax)));
+  const __m256 t =
+      _mm256_div_ps(_mm256_sub_ps(one, q), _mm256_add_ps(one, q));
+  return _mm256_or_ps(t, sign);
+}
+
+inline float TanhScalar(float x) {
+  const float ax = std::fabs(x);
+  const float q = ExpScalar(-(ax + ax));
+  return std::copysign((1.0f - q) / (1.0f + q), x);
+}
+
+inline __m256 Sigmoid8(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = Exp8(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+inline float SigmoidScalar(float x) {
+  return 1.0f / (1.0f + ExpScalar(-x));
+}
+
+#endif  // NCL_VECMATH_AVX2
+
+}  // namespace
+
+void SigmoidInplace(float* v, size_t n) {
+#if NCL_VECMATH_AVX2
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(v + j, Sigmoid8(_mm256_loadu_ps(v + j)));
+  }
+  for (; j < n; ++j) v[j] = SigmoidScalar(v[j]);
+#else
+  for (size_t j = 0; j < n; ++j) v[j] = 1.0f / (1.0f + std::exp(-v[j]));
+#endif
+}
+
+void TanhInplace(float* v, size_t n) {
+#if NCL_VECMATH_AVX2
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(v + j, Tanh8(_mm256_loadu_ps(v + j)));
+  }
+  for (; j < n; ++j) v[j] = TanhScalar(v[j]);
+#else
+  for (size_t j = 0; j < n; ++j) v[j] = std::tanh(v[j]);
+#endif
+}
+
+void MulTanhInto(const float* o, const float* c, float* h, size_t n) {
+#if NCL_VECMATH_AVX2
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(
+        h + j, _mm256_mul_ps(_mm256_loadu_ps(o + j),
+                             Tanh8(_mm256_loadu_ps(c + j))));
+  }
+  for (; j < n; ++j) h[j] = o[j] * TanhScalar(c[j]);
+#else
+  for (size_t j = 0; j < n; ++j) h[j] = o[j] * std::tanh(c[j]);
+#endif
+}
+
+void ExpShiftedInplace(float* v, size_t n, float shift) {
+#if NCL_VECMATH_AVX2
+  const __m256 s = _mm256_set1_ps(shift);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(v + j, Exp8(_mm256_sub_ps(_mm256_loadu_ps(v + j), s)));
+  }
+  for (; j < n; ++j) v[j] = ExpScalar(v[j] - shift);
+#else
+  for (size_t j = 0; j < n; ++j) v[j] = std::exp(v[j] - shift);
+#endif
+}
+
+double SumExpShifted(const float* v, size_t n, float shift) {
+#if NCL_VECMATH_AVX2
+  const __m256 s = _mm256_set1_ps(shift);
+  double total = 0.0;
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 e = Exp8(_mm256_sub_ps(_mm256_loadu_ps(v + j), s));
+    // Fixed-order horizontal fold of the chunk, widened into the double
+    // accumulator (same reduction discipline as gemm.cc's DotOrdered).
+    __m128 lo = _mm256_castps256_ps128(e);
+    __m128 hi = _mm256_extractf128_ps(e, 1);
+    __m128 sum4 = _mm_add_ps(lo, hi);
+    __m128 shuf = _mm_movehl_ps(sum4, sum4);
+    __m128 sum2 = _mm_add_ps(sum4, shuf);
+    __m128 sum1 = _mm_add_ss(sum2, _mm_shuffle_ps(sum2, sum2, 0x1));
+    total += static_cast<double>(_mm_cvtss_f32(sum1));
+  }
+  for (; j < n; ++j) total += static_cast<double>(ExpScalar(v[j] - shift));
+  return total;
+#else
+  double total = 0.0;
+  for (size_t j = 0; j < n; ++j) total += std::exp(v[j] - shift);
+  return total;
+#endif
+}
+
+}  // namespace ncl::nn

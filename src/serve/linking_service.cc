@@ -16,12 +16,14 @@ namespace {
 /// Registry handles for `ncl.serve.*`, resolved once.
 struct ServeMetrics {
   obs::Gauge* queue_depth;
+  obs::Gauge* effective_max_batch;
   obs::Counter* admitted;
   obs::Counter* rejected;
   obs::Counter* shed;
   obs::Counter* deadline_exceeded;
   obs::Counter* completed;
   obs::Histogram* batch_size;
+  obs::Histogram* candidates_per_batch;
   obs::Histogram* queue_wait_us;
   obs::Histogram* service_us;
   obs::Histogram* e2e_us;
@@ -31,12 +33,14 @@ const ServeMetrics& GetServeMetrics() {
   static const ServeMetrics metrics = [] {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
     return ServeMetrics{registry.GetGauge("ncl.serve.queue_depth"),
+                        registry.GetGauge("ncl.serve.effective_max_batch"),
                         registry.GetCounter("ncl.serve.admit"),
                         registry.GetCounter("ncl.serve.reject"),
                         registry.GetCounter("ncl.serve.shed"),
                         registry.GetCounter("ncl.serve.deadline_exceeded"),
                         registry.GetCounter("ncl.serve.completed"),
                         registry.GetHistogram("ncl.serve.batch_size"),
+                        registry.GetHistogram("ncl.serve.candidates_per_batch"),
                         registry.GetHistogram("ncl.serve.queue_wait_us"),
                         registry.GetHistogram("ncl.serve.service_us"),
                         registry.GetHistogram("ncl.serve.e2e_us")};
@@ -65,6 +69,10 @@ LinkingService::LinkingService(SnapshotRegistry* registry, ServeConfig config)
   NCL_CHECK(config_.queue_capacity > 0) << "queue_capacity must be positive";
   NCL_CHECK(config_.max_batch > 0) << "max_batch must be positive";
   NCL_CHECK(config_.num_shards > 0) << "num_shards must be positive";
+  if (config_.adaptive_batch) {
+    NCL_CHECK(config_.min_batch > 0 && config_.min_batch <= config_.max_batch)
+        << "adaptive batching needs 0 < min_batch <= max_batch";
+  }
   pool_ = std::make_unique<ThreadPool>(config_.num_shards);
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
@@ -140,44 +148,79 @@ LinkResult LinkingService::Link(std::vector<std::string> query,
   return SubmitLink(std::move(query), options).get();
 }
 
-void LinkingService::Process(
-    PendingRequest& request,
-    const std::shared_ptr<const ModelSnapshot>& snapshot) {
+void LinkingService::ProcessSlice(
+    PendingRequest* requests, size_t count,
+    const std::shared_ptr<const ModelSnapshot>& snapshot,
+    std::atomic<uint64_t>* candidates) {
   const ServeMetrics& metrics = GetServeMetrics();
   const auto dispatched = std::chrono::steady_clock::now();
 
-  LinkResult result;
-  result.queue_us = MicrosBetween(request.enqueued, dispatched);
-  metrics.queue_wait_us->RecordMicros(result.queue_us);
-
-  if (request.has_deadline && dispatched > request.deadline) {
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-    metrics.deadline_exceeded->Increment();
-    result.status = Status::DeadlineExceeded(
-        "request spent its deadline waiting in the admission queue");
-  } else if (snapshot == nullptr) {
-    result.status =
-        Status::FailedPrecondition("no model snapshot has been published");
-  } else {
-    NCL_TRACE_SPAN("ncl.serve.request");
-    Stopwatch watch;
-    try {
-      result.candidates = snapshot->Link(request.query);
-      result.snapshot_version = snapshot->version();
-    } catch (const std::exception& e) {
-      result.status = Status::Internal(std::string("scoring failed: ") + e.what());
-    } catch (...) {
-      result.status = Status::Internal("scoring failed: unknown exception");
+  // Per-request admission checks first: expired or snapshot-less requests
+  // resolve immediately and never reach the scoring pass.
+  std::vector<LinkResult> results(count);
+  std::vector<size_t> live;
+  live.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    results[i].queue_us = MicrosBetween(requests[i].enqueued, dispatched);
+    metrics.queue_wait_us->RecordMicros(results[i].queue_us);
+    if (requests[i].has_deadline && dispatched > requests[i].deadline) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      metrics.deadline_exceeded->Increment();
+      results[i].status = Status::DeadlineExceeded(
+          "request spent its deadline waiting in the admission queue");
+    } else if (snapshot == nullptr) {
+      results[i].status =
+          Status::FailedPrecondition("no model snapshot has been published");
+    } else {
+      live.push_back(i);
     }
-    result.service_us = watch.ElapsedMicros();
-    if (result.status.ok()) {
+  }
+
+  // The surviving queries score as one LinkBatch workload: lock-step GEMM
+  // tiles span the whole slice. A scoring exception fails every live
+  // request in the slice — they shared one computation.
+  if (!live.empty()) {
+    NCL_TRACE_SPAN("ncl.serve.slice");
+    std::vector<std::vector<std::string>> queries;
+    queries.reserve(live.size());
+    for (size_t i : live) queries.push_back(requests[i].query);
+    Stopwatch watch;
+    Status slice_status;
+    std::vector<std::vector<linking::ScoredCandidate>> ranked;
+    try {
+      ranked = snapshot->LinkBatch(queries);
+      NCL_CHECK(ranked.size() == live.size());
+    } catch (const std::exception& e) {
+      slice_status = Status::Internal(std::string("scoring failed: ") + e.what());
+    } catch (...) {
+      slice_status = Status::Internal("scoring failed: unknown exception");
+    }
+    // The slice scored as one unit, so its wall time is shared out evenly;
+    // per-query attribution lives in the `ncl.link.*` histograms.
+    const double per_request_us =
+        watch.ElapsedMicros() / static_cast<double>(live.size());
+    uint64_t scored_candidates = 0;
+    for (size_t r = 0; r < live.size(); ++r) {
+      LinkResult& result = results[live[r]];
+      result.service_us = per_request_us;
+      if (!slice_status.ok()) {
+        result.status = slice_status;
+        continue;
+      }
+      result.candidates = std::move(ranked[r]);
+      result.snapshot_version = snapshot->version();
+      scored_candidates += result.candidates.size();
       completed_.fetch_add(1, std::memory_order_relaxed);
       metrics.completed->Increment();
       metrics.service_us->RecordMicros(result.service_us);
       metrics.e2e_us->RecordMicros(result.queue_us + result.service_us);
     }
+    candidates->fetch_add(scored_candidates, std::memory_order_relaxed);
   }
-  request.promise.set_value(std::move(result));
+
+  for (size_t i = 0; i < count; ++i) {
+    requests[i].promise.set_value(std::move(results[i]));
+  }
 }
 
 void LinkingService::DispatchLoop() {
@@ -191,7 +234,16 @@ void LinkingService::DispatchLoop() {
         if (stopping_) return;
         continue;
       }
-      const size_t take = std::min(config_.max_batch, queue_.size());
+      // Adaptive mode sizes the tick to the backlog: a shallow queue
+      // dispatches immediately in small batches (latency), a deep one fills
+      // batches up to max_batch (cross-query GEMM throughput).
+      size_t effective = config_.max_batch;
+      if (config_.adaptive_batch) {
+        effective = std::clamp(queue_.size(), config_.min_batch,
+                               config_.max_batch);
+      }
+      metrics.effective_max_batch->Set(static_cast<double>(effective));
+      const size_t take = std::min(effective, queue_.size());
       batch.reserve(take);
       for (size_t i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
@@ -208,15 +260,25 @@ void LinkingService::DispatchLoop() {
     // against the same immutable model, and a concurrent Publish only
     // affects the next tick.
     std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+    std::atomic<uint64_t> batch_candidates{0};
     {
       NCL_TRACE_SPAN("ncl.serve.batch");
-      if (batch.size() == 1) {
-        Process(batch[0], snapshot);
+      // Contiguous slices, one per shard; each shard scores its slice as a
+      // single LinkBatch workload.
+      const size_t slices = std::min(config_.num_shards, batch.size());
+      if (slices <= 1) {
+        ProcessSlice(batch.data(), batch.size(), snapshot, &batch_candidates);
       } else {
-        pool_->ParallelFor(batch.size(),
-                           [&](size_t i) { Process(batch[i], snapshot); });
+        pool_->ParallelFor(slices, [&](size_t s) {
+          const size_t begin = batch.size() * s / slices;
+          const size_t end = batch.size() * (s + 1) / slices;
+          ProcessSlice(batch.data() + begin, end - begin, snapshot,
+                       &batch_candidates);
+        });
       }
     }
+    metrics.candidates_per_batch->Record(
+        batch_candidates.load(std::memory_order_relaxed));
 
     {
       std::lock_guard<std::mutex> lock(mutex_);

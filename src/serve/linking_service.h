@@ -15,12 +15,16 @@
 //     answer nobody is waiting for.
 //
 //   * A micro-batching scheduler: a dispatcher thread drains up to
-//     `max_batch` queued requests per tick and fans them out across
-//     `num_shards` workers, one *query* per worker. Phase-II parallelism
-//     therefore comes from batching across queries (each shard scores its
-//     query single-threaded, see NclSnapshot::MakeServingConfig) instead of
-//     from fanning one query's k candidates out — which saturates the pool
-//     with far less synchronisation per unit of work.
+//     `max_batch` queued requests per tick (or, with `adaptive_batch`, a
+//     queue-depth-driven batch between `min_batch` and `max_batch`) and
+//     splits the batch into `num_shards` contiguous slices, one slice per
+//     worker. Each shard scores its whole slice as *one*
+//     ModelSnapshot::LinkBatch workload, so candidates from different
+//     queries in the slice share lock-step GEMM tiles (see
+//     NclLinker::LinkBatchDetailed); Phase-II parallelism comes from
+//     batching across queries, not from fanning one query's k candidates
+//     out — which saturates the pool with far less synchronisation per unit
+//     of work.
 //
 //   * Snapshot pinning: each batch pins SnapshotRegistry::Current() once
 //     and every request in the batch scores against that immutable
@@ -33,13 +37,15 @@
 // fails queued requests with Unavailable. Both are terminal and idempotent;
 // the destructor implies Shutdown.
 //
-// Observability (`ncl.serve.*`): queue_depth gauge; admitted / rejected /
-// shed / deadline_exceeded / completed counters; batch_size, queue_wait_us,
-// service_us and e2e_us histograms (e2e = queue wait + service); per-batch
-// `ncl.serve.batch` and per-request `ncl.serve.request` trace spans.
+// Observability (`ncl.serve.*`): queue_depth and effective_max_batch
+// gauges; admitted / rejected / shed / deadline_exceeded / completed
+// counters; batch_size, candidates_per_batch, queue_wait_us, service_us and
+// e2e_us histograms (e2e = queue wait + service); per-batch
+// `ncl.serve.batch` and per-slice `ncl.serve.slice` trace spans.
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <condition_variable>
@@ -70,10 +76,21 @@ struct ServeConfig {
   /// Admission queue bound (must be > 0).
   size_t queue_capacity = 256;
   OverloadPolicy policy = OverloadPolicy::kBlock;
-  /// Requests drained per scheduler tick (must be > 0).
+  /// Requests drained per scheduler tick (must be > 0). With adaptive
+  /// batching this is the ceiling.
   size_t max_batch = 16;
-  /// Worker shards scoring queries in parallel (must be > 0).
+  /// Worker shards scoring micro-batch slices in parallel (must be > 0).
   size_t num_shards = 4;
+  /// Adapt the per-tick batch size to the observed admission-queue depth:
+  /// each tick takes clamp(queue_depth, min_batch, max_batch) requests, so
+  /// a lightly loaded service dispatches small low-latency batches while a
+  /// backlogged one grows its batches (and with them the cross-query GEMM
+  /// tiles) up to max_batch. The choice is published on the
+  /// `ncl.serve.effective_max_batch` gauge.
+  bool adaptive_batch = false;
+  /// Floor for the adaptive batch size (must be > 0 and <= max_batch when
+  /// adaptive_batch is on).
+  size_t min_batch = 1;
   /// Deadline applied to requests that don't carry their own (zero = none).
   std::chrono::microseconds default_deadline{0};
 };
@@ -151,8 +168,13 @@ class LinkingService {
   };
 
   void DispatchLoop();
-  void Process(PendingRequest& request,
-               const std::shared_ptr<const ModelSnapshot>& snapshot);
+  /// Score one contiguous micro-batch slice on the calling shard: enforce
+  /// deadlines, then hand the surviving queries to the snapshot as one
+  /// LinkBatch workload. Adds the number of candidates returned to
+  /// `candidates` (feeds `ncl.serve.candidates_per_batch`).
+  void ProcessSlice(PendingRequest* requests, size_t count,
+                    const std::shared_ptr<const ModelSnapshot>& snapshot,
+                    std::atomic<uint64_t>* candidates);
   void StopInternal(bool fail_queued);
   void PublishQueueDepthLocked();
 

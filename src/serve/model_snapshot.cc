@@ -41,9 +41,22 @@ NclSnapshot::NclSnapshot(
   if (warm_cache) model_->PrecomputeConceptEncodings();
 }
 
+std::vector<std::vector<linking::ScoredCandidate>> ModelSnapshot::LinkBatch(
+    const std::vector<std::vector<std::string>>& queries) const {
+  std::vector<std::vector<linking::ScoredCandidate>> results;
+  results.reserve(queries.size());
+  for (const auto& query : queries) results.push_back(Link(query));
+  return results;
+}
+
 std::vector<linking::ScoredCandidate> NclSnapshot::Link(
     const std::vector<std::string>& query) const {
   return linker_->LinkDetailed(query);
+}
+
+std::vector<std::vector<linking::ScoredCandidate>> NclSnapshot::LinkBatch(
+    const std::vector<std::vector<std::string>>& queries) const {
+  return linker_->LinkBatchDetailed(queries);
 }
 
 std::shared_ptr<const ModelSnapshot> SnapshotRegistry::Current() const {

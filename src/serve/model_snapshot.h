@@ -49,6 +49,15 @@ class ModelSnapshot {
   virtual std::vector<linking::ScoredCandidate> Link(
       const std::vector<std::string>& query) const = 0;
 
+  /// \brief Score several queries as one workload, results in query order.
+  ///
+  /// The base implementation is a Link loop; snapshots with a batched
+  /// scoring path (NclSnapshot) override it so candidates from different
+  /// queries share lock-step GEMM tiles. Per-query results must equal what
+  /// Link would return. Must be const-thread-safe.
+  virtual std::vector<std::vector<linking::ScoredCandidate>> LinkBatch(
+      const std::vector<std::vector<std::string>>& queries) const;
+
   /// Version assigned by SnapshotRegistry::Publish (0 = never published).
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
@@ -81,6 +90,12 @@ class NclSnapshot : public ModelSnapshot {
 
   std::vector<linking::ScoredCandidate> Link(
       const std::vector<std::string>& query) const override;
+
+  /// Batched override: pools every (query, candidate) lane through
+  /// NclLinker::LinkBatchDetailed so one shard scores its whole micro-batch
+  /// slice as a single GEMM workload.
+  std::vector<std::vector<linking::ScoredCandidate>> LinkBatch(
+      const std::vector<std::vector<std::string>>& queries) const override;
 
   const comaid::ComAidModel& model() const { return *model_; }
   const linking::NclLinker& linker() const { return *linker_; }

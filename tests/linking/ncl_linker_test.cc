@@ -213,5 +213,105 @@ TEST(NclLinkerTest, NoCandidatesYieldsEmptyRanking) {
   EXPECT_TRUE(linker.Link({"xylophone"}, 3).empty());
 }
 
+TEST(NclLinkerTest, BatchedEdMatchesUnbatchedBitExact) {
+  // batch_ed reroutes Phase II through the lock-step scorer; scores — not
+  // just the ranking — must be bit-identical to the per-candidate fast path
+  // (shared canonical reduction order).
+  Fixture f;
+  NclConfig batched;
+  batched.batch_ed = true;
+  NclConfig single;
+  single.batch_ed = false;
+  NclLinker a(f.model.get(), f.candidates.get(), nullptr, batched);
+  NclLinker b(f.model.get(), f.candidates.get(), nullptr, single);
+  for (const std::vector<std::string>& query :
+       {std::vector<std::string>{"ckd", "5"},
+        std::vector<std::string>{"iron", "anemia", "nos"},
+        std::vector<std::string>{"anemia", "blood", "loss"},
+        std::vector<std::string>{}}) {
+    auto ra = a.LinkDetailed(query);
+    auto rb = b.LinkDetailed(query);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].concept_id, rb[i].concept_id);
+      EXPECT_EQ(ra[i].log_prob, rb[i].log_prob);
+    }
+  }
+}
+
+TEST(NclLinkerTest, BatchedEdInvariantToLaneWidthAndThreads) {
+  Fixture f;
+  NclConfig base;
+  base.batch_ed = true;
+  base.ed_batch_lanes = 32;
+  base.scoring_threads = 1;
+  NclLinker reference(f.model.get(), f.candidates.get(), nullptr, base);
+  auto expected = reference.LinkDetailed({"kidney", "disease", "5"});
+
+  for (size_t lanes : {size_t{1}, size_t{3}, size_t{8}}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      NclConfig config = base;
+      config.ed_batch_lanes = lanes;
+      config.scoring_threads = threads;
+      NclLinker linker(f.model.get(), f.candidates.get(), nullptr, config);
+      auto got = linker.LinkDetailed({"kidney", "disease", "5"});
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].concept_id, expected[i].concept_id)
+            << "lanes=" << lanes << " threads=" << threads;
+        EXPECT_EQ(got[i].log_prob, expected[i].log_prob)
+            << "lanes=" << lanes << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(NclLinkerTest, LinkBatchDetailedMatchesSequentialLinkDetailed) {
+  Fixture f;
+  NclLinker linker(f.model.get(), f.candidates.get(), nullptr);
+  std::vector<std::vector<std::string>> queries = {
+      {"ckd", "5"},
+      {"iron", "anemia", "nos"},
+      {},
+      {"anemia", "blood", "loss"},
+      {"xylophone"}};  // no candidates: empty per-query result
+  std::vector<PhaseTimings> timings;
+  auto batch = linker.LinkBatchDetailed(queries, &timings);
+  ASSERT_EQ(batch.size(), queries.size());
+  ASSERT_EQ(timings.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto expected = linker.LinkDetailed(queries[q]);
+    ASSERT_EQ(batch[q].size(), expected.size()) << "query " << q;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(batch[q][i].concept_id, expected[i].concept_id);
+      EXPECT_EQ(batch[q][i].log_prob, expected[i].log_prob);
+      EXPECT_EQ(batch[q][i].loss, expected[i].loss);
+    }
+  }
+  EXPECT_TRUE(batch[4].empty());
+}
+
+TEST(NclLinkerTest, LinkBatchDetailedEmptyAndPriorPostPass) {
+  Fixture f;
+  // The shared post-pass (length normalisation + MAP prior) must apply in
+  // the batched path too.
+  NclConfig config;
+  config.length_normalize = true;
+  config.concept_prior[f.onto.FindByCode("N18.9")] = 1.0;
+  config.default_prior = 1e-12;
+  NclLinker linker(f.model.get(), f.candidates.get(), nullptr, config);
+
+  EXPECT_TRUE(linker.LinkBatchDetailed({}).empty());
+
+  auto batch = linker.LinkBatchDetailed({{"ckd", "5"}});
+  auto expected = linker.LinkDetailed({"ckd", "5"});
+  ASSERT_EQ(batch.size(), 1u);
+  ASSERT_EQ(batch[0].size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(batch[0][i].concept_id, expected[i].concept_id);
+    EXPECT_EQ(batch[0][i].log_prob, expected[i].log_prob);
+  }
+}
+
 }  // namespace
 }  // namespace ncl::linking

@@ -10,9 +10,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/model_snapshot.h"
 
 namespace ncl::serve {
@@ -272,6 +274,111 @@ TEST(LinkingServiceTest, ShutdownFailsQueuedRequests) {
   }
   EXPECT_EQ(ok + unavailable, 8u);
   EXPECT_GT(unavailable, 0u);
+}
+
+/// Snapshot that records LinkBatch slice sizes (the service's shard slices
+/// call LinkBatch, not per-query Link).
+class BatchRecordingSnapshot : public FakeSnapshot {
+ public:
+  using FakeSnapshot::FakeSnapshot;
+
+  std::vector<std::vector<linking::ScoredCandidate>> LinkBatch(
+      const std::vector<std::vector<std::string>>& queries) const override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slice_sizes_.push_back(queries.size());
+    }
+    return FakeSnapshot::LinkBatch(queries);
+  }
+
+  std::vector<size_t> slice_sizes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slice_sizes_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::vector<size_t> slice_sizes_;
+};
+
+TEST(LinkingServiceTest, ShardSlicesScoreAsLinkBatchWorkloads) {
+  SnapshotRegistry registry;
+  auto snapshot = std::make_shared<BatchRecordingSnapshot>(1ms);
+  registry.Publish(snapshot);
+  ServeConfig config;
+  config.num_shards = 2;
+  config.max_batch = 8;
+  LinkingService service(&registry, config);
+
+  constexpr size_t kRequests = 16;
+  std::vector<std::future<LinkResult>> futures;
+  for (size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(service.SubmitLink(Query(i + 1)));
+  }
+  for (size_t i = 0; i < kRequests; ++i) {
+    LinkResult r = futures[i].get();
+    ASSERT_TRUE(r.status.ok());
+    ASSERT_EQ(r.candidates.size(), 1u);
+    // Payload round-trip: slice batching must not permute request/result
+    // pairing (the fake echoes the query length as the concept id).
+    EXPECT_EQ(r.candidates[0].concept_id,
+              static_cast<ontology::ConceptId>(i + 1));
+  }
+  // Every request was scored through LinkBatch slices, at least one of
+  // which covered multiple queries.
+  size_t covered = 0, multi = 0;
+  for (size_t s : snapshot->slice_sizes()) {
+    covered += s;
+    multi += s > 1 ? 1 : 0;
+  }
+  EXPECT_EQ(covered, kRequests);
+  EXPECT_GT(multi, 0u);
+}
+
+TEST(LinkingServiceTest, AdaptiveBatchServesBurstsAndPublishesGauge) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(1ms));
+  ServeConfig config;
+  config.adaptive_batch = true;
+  config.min_batch = 2;
+  config.max_batch = 8;
+  config.num_shards = 2;
+  LinkingService service(&registry, config);
+
+  std::vector<std::future<LinkResult>> futures;
+  for (size_t i = 0; i < 24; ++i) futures.push_back(service.SubmitLink(Query()));
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  // Backlogged ticks must grow past one-request batches.
+  EXPECT_LT(service.stats().batches, 24u);
+  obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
+      "ncl.serve.effective_max_batch");
+  EXPECT_GE(gauge->value(), static_cast<double>(config.min_batch));
+  EXPECT_LE(gauge->value(), static_cast<double>(config.max_batch));
+}
+
+TEST(LinkingServiceTest, AdaptiveBatchRejectsBadBounds) {
+  SnapshotRegistry registry;
+  ServeConfig config;
+  config.adaptive_batch = true;
+  config.min_batch = 9;
+  config.max_batch = 8;
+  EXPECT_DEATH(LinkingService(&registry, config),
+               "min_batch <= max_batch");
+}
+
+TEST(LinkingServiceTest, CandidatesPerBatchHistogramCountsScoredCandidates) {
+  obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "ncl.serve.candidates_per_batch");
+  const uint64_t count_before = histogram->Stats().count;
+
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>());
+  LinkingService service(&registry);
+  EXPECT_TRUE(service.Link(Query()).status.ok());
+  service.Drain();
+
+  // The tick recorded its candidate total (the fake returns 1 per query).
+  EXPECT_GT(histogram->Stats().count, count_before);
 }
 
 TEST(LinkingServiceTest, HotSwapVersionsAreMonotonePerSubmissionOrder) {
