@@ -22,6 +22,7 @@
 
 #include "bench_common.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "util/env.h"
 #include "util/json_writer.h"
@@ -162,9 +163,10 @@ int main() {
 
     // --- Observability overhead (hospital-x): ED phase with the metrics/
     // tracing instrumentation disabled vs the serving default (metrics on,
-    // tracing off) vs tracing on. Rounds are interleaved and the min mean
-    // per configuration is kept, so machine noise hits all three equally.
-    // Acceptance: < 2 % ED regression with tracing disabled.
+    // tracing off) vs the serving default with a MetricsSampler attached vs
+    // tracing on. Rounds are interleaved and the min mean per configuration
+    // is kept, so machine noise hits all four equally.
+    // Acceptance: < 2 % ED regression with tracing disabled, sampler running.
     if (corpus == Corpus::kHospitalX) {
       linking::NclConfig link_config;
       link_config.k = 20;
@@ -174,7 +176,7 @@ int main() {
       MeanTimings(linker, queries);  // warm up caches and pool
 
       const int rounds = 5;
-      double ed_off = 0.0, ed_metrics = 0.0, ed_trace = 0.0;
+      double ed_off = 0.0, ed_metrics = 0.0, ed_sampled = 0.0, ed_trace = 0.0;
       auto keep_min = [](double& slot, double value) {
         slot = slot == 0.0 ? value : std::min(slot, value);
       };
@@ -184,11 +186,19 @@ int main() {
         keep_min(ed_off, MeanTimings(linker, queries).score_us);
         obs::SetMetricsEnabled(true);
         keep_min(ed_metrics, MeanTimings(linker, queries).score_us);
+        {
+          obs::MetricsSampler::Config sampler_config;
+          sampler_config.interval_ms = 5;
+          obs::MetricsSampler sampler(&obs::MetricsRegistry::Global(),
+                                      sampler_config);
+          keep_min(ed_sampled, MeanTimings(linker, queries).score_us);
+        }
         obs::SetTracingEnabled(true);
         keep_min(ed_trace, MeanTimings(linker, queries).score_us);
         obs::SetTracingEnabled(false);
       }
       double metrics_pct = (ed_metrics - ed_off) / ed_off * 100.0;
+      double sampled_pct = (ed_sampled - ed_off) / ed_off * 100.0;
       double trace_pct = (ed_trace - ed_off) / ed_off * 100.0;
 
       TableWriter overhead("Observability overhead, ED phase [us] (k=20)",
@@ -196,6 +206,8 @@ int main() {
       overhead.AddRow("instrumentation disabled", {ed_off, 0.0}, 1);
       overhead.AddRow("metrics on, tracing off (serving)",
                       {ed_metrics, metrics_pct}, 1);
+      overhead.AddRow("metrics on + 5ms sampler (monitored serving)",
+                      {ed_sampled, sampled_pct}, 1);
       overhead.AddRow("metrics on, tracing on", {ed_trace, trace_pct}, 1);
       overhead.Print();
 
@@ -204,8 +216,10 @@ int main() {
       json.Key("rounds").Value(rounds);
       json.Key("ed_us_obs_disabled").Value(ed_off);
       json.Key("ed_us_metrics_on_tracing_off").Value(ed_metrics);
+      json.Key("ed_us_metrics_on_sampler_running").Value(ed_sampled);
       json.Key("ed_us_tracing_on").Value(ed_trace);
       json.Key("overhead_pct_tracing_disabled").Value(metrics_pct);
+      json.Key("overhead_pct_sampler_running").Value(sampled_pct);
       json.Key("overhead_pct_tracing_on").Value(trace_pct);
       json.EndObject();
     }

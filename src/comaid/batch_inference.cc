@@ -24,6 +24,7 @@
 #include "nn/gemm.h"
 #include "nn/vecmath.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ncl::comaid {
@@ -187,6 +188,7 @@ void ComAidModel::ScoreLogProbFastBatch(BatchScoreLane* lanes, size_t num_lanes,
                                         size_t max_lanes) const {
   if (num_lanes == 0) return;
   NCL_CHECK(max_lanes > 0) << "max_lanes must be positive";
+  NCL_TRACE_SPAN("ncl.ed_batch.score");
   thread_local BatchInferenceContext local_ctx;
   if (ctx == nullptr) ctx = &local_ctx;
   const BatchScoreMetrics& metrics = GetBatchScoreMetrics();

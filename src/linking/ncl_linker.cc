@@ -221,7 +221,7 @@ std::vector<ScoredCandidate> NclLinker::LinkDetailed(
 
 std::vector<std::vector<ScoredCandidate>> NclLinker::LinkBatchDetailed(
     const std::vector<std::vector<std::string>>& queries,
-    std::vector<PhaseTimings>* timings) const {
+    std::vector<PhaseTimings>* timings, const uint64_t* flow_ids) const {
   NCL_CHECK(config_.k > 0) << "NclConfig::k must be positive";
   NCL_TRACE_SPAN("ncl.link_batch");
   const size_t num_queries = queries.size();
@@ -240,6 +240,10 @@ std::vector<std::vector<ScoredCandidate>> NclLinker::LinkBatchDetailed(
   std::vector<std::vector<ontology::ConceptId>> candidates(num_queries);
   std::vector<size_t> lane_begin(num_queries + 1, 0);
   for (size_t q = 0; q < num_queries; ++q) {
+    // Terminates the request's shard-level flow edge (when the serving layer
+    // passed one), so the request lane connects down into the linker.
+    NCL_TRACE_SPAN_FLOW("ncl.link.query", 0,
+                        flow_ids != nullptr ? flow_ids[q] : 0);
     watch.Reset();
     std::vector<std::string> rewritten = queries[q];
     if (config_.rewrite_queries && rewriter_ != nullptr) {

@@ -108,9 +108,15 @@ class NclLinker : public ConceptLinker {
   /// (same scores — the batched scorer is lane-order invariant).
   /// `timings`, when non-null, receives one PhaseTimings per query; the
   /// shared ED pass is attributed proportionally to each query's lane count.
+  /// `flow_ids`, when non-null, holds one trace flow-edge id per query (see
+  /// obs::RequestFlowId; 0 = none): each query's Phase-I work then runs
+  /// under an `ncl.link.query` span that terminates that flow edge, so a
+  /// serving request renders as a connected lane from admission down to the
+  /// shard's linker in Perfetto. Ignored while tracing is disabled.
   std::vector<std::vector<ScoredCandidate>> LinkBatchDetailed(
       const std::vector<std::vector<std::string>>& queries,
-      std::vector<PhaseTimings>* timings = nullptr) const;
+      std::vector<PhaseTimings>* timings = nullptr,
+      const uint64_t* flow_ids = nullptr) const;
 
   // There is deliberately no config mutator (a set_k once lived here): the
   // linker is logically const and shared across threads, so a post-hoc

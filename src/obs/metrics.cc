@@ -16,32 +16,27 @@ void SetMetricsEnabled(bool enabled) {
   internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
 }
 
-namespace {
-
-/// Quantile estimate from log2 buckets: walk the cumulative distribution to
-/// the target rank and interpolate linearly inside the landing bucket.
-double BucketQuantile(const std::array<uint64_t, Histogram::kNumBuckets>& counts,
-                      uint64_t total, double q) {
+double HistogramBucketQuantile(
+    const std::array<uint64_t, kHistogramBuckets>& counts, uint64_t total,
+    double q) {
   if (total == 0) return 0.0;
   double target = q * static_cast<double>(total);
   uint64_t cumulative = 0;
-  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
     if (counts[b] == 0) continue;
     double before = static_cast<double>(cumulative);
     cumulative += counts[b];
     if (static_cast<double>(cumulative) >= target) {
       double lo = static_cast<double>(Histogram::LowerBound(b));
       double hi = static_cast<double>(
-          b >= Histogram::kNumBuckets - 1 ? Histogram::LowerBound(b) * 2
-                                          : Histogram::UpperBound(b));
+          b >= kHistogramBuckets - 1 ? Histogram::LowerBound(b) * 2
+                                     : Histogram::UpperBound(b));
       double fraction = (target - before) / static_cast<double>(counts[b]);
       return lo + fraction * (hi - lo);
     }
   }
-  return static_cast<double>(Histogram::LowerBound(Histogram::kNumBuckets - 1));
+  return static_cast<double>(Histogram::LowerBound(kHistogramBuckets - 1));
 }
-
-}  // namespace
 
 std::array<uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts() const {
   std::array<uint64_t, kNumBuckets> counts;
@@ -52,17 +47,17 @@ std::array<uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts() const {
 }
 
 HistogramStats Histogram::Stats() const {
-  std::array<uint64_t, kNumBuckets> counts = BucketCounts();
   HistogramStats stats;
-  for (uint64_t c : counts) stats.count += c;
+  stats.buckets = BucketCounts();
+  for (uint64_t c : stats.buckets) stats.count += c;
   if (stats.count == 0) return stats;
   stats.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
   stats.mean = stats.sum / static_cast<double>(stats.count);
   stats.min = min_.load(std::memory_order_relaxed);
   stats.max = max_.load(std::memory_order_relaxed);
-  stats.p50 = BucketQuantile(counts, stats.count, 0.50);
-  stats.p90 = BucketQuantile(counts, stats.count, 0.90);
-  stats.p99 = BucketQuantile(counts, stats.count, 0.99);
+  stats.p50 = HistogramBucketQuantile(stats.buckets, stats.count, 0.50);
+  stats.p90 = HistogramBucketQuantile(stats.buckets, stats.count, 0.90);
+  stats.p99 = HistogramBucketQuantile(stats.buckets, stats.count, 0.99);
   return stats;
 }
 
@@ -124,6 +119,12 @@ void MetricsSnapshot::AppendJson(JsonWriter* writer) const {
     json.Key("p50").Value(h.p50);
     json.Key("p90").Value(h.p90);
     json.Key("p99").Value(h.p99);
+    // Raw log2 bucket counts (index b covers [2^(b-1), 2^b), bucket 0 holds
+    // zeros): offline tooling diffs two snapshots' arrays to recover the
+    // distribution of the interval between them.
+    json.Key("buckets").BeginArray();
+    for (uint64_t c : h.buckets) json.Value(c);
+    json.EndArray();
     json.EndObject();
   }
   json.EndObject();

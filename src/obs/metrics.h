@@ -94,7 +94,16 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Aggregated view of one histogram at snapshot time.
+/// Log2 bucket count shared by Histogram and the snapshot/export types
+/// (declared here so HistogramStats can carry raw buckets without needing
+/// Histogram's definition first).
+inline constexpr size_t kHistogramBuckets = 64;
+
+/// Aggregated view of one histogram at snapshot time. Carries the raw
+/// log2 bucket counts alongside the precomputed quantiles so offline
+/// tooling (and the MetricsSampler) can compute interval-delta quantiles:
+/// subtracting two snapshots' bucket arrays yields the distribution of
+/// samples recorded *between* them.
 struct HistogramStats {
   uint64_t count = 0;
   double sum = 0.0;
@@ -104,7 +113,16 @@ struct HistogramStats {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
 };
+
+/// Quantile estimate from log2 bucket counts (`total` = their sum): walk the
+/// cumulative distribution to the target rank and interpolate linearly
+/// inside the landing bucket. Bucket b covers [2^(b-1), 2^b), bucket 0 holds
+/// zeros — the same layout Histogram records into.
+double HistogramBucketQuantile(
+    const std::array<uint64_t, kHistogramBuckets>& counts, uint64_t total,
+    double q);
 
 /// \brief Log2-bucketed histogram of non-negative integer samples
 /// (typically microseconds).
@@ -115,7 +133,7 @@ struct HistogramStats {
 /// one relaxed fetch_add on the bucket plus sum/count/min/max updates.
 class Histogram {
  public:
-  static constexpr size_t kNumBuckets = 64;
+  static constexpr size_t kNumBuckets = kHistogramBuckets;
 
   void Record(uint64_t value) {
     if (!MetricsEnabled()) return;

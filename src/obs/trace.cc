@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <fstream>
 #include <memory>
@@ -22,6 +23,8 @@ struct TraceEvent {
   const char* name;
   uint64_t start_ns;
   uint64_t dur_ns;
+  uint64_t id;      // flow departing this span (0 = none)
+  uint64_t parent;  // flow arriving at this span (0 = none)
 };
 
 /// One thread's span ring. The owning thread appends; exporters copy. Both
@@ -89,8 +92,9 @@ uint64_t TraceNowNanos() {
           .count());
 }
 
-void RecordSpan(const char* name, uint64_t start_ns, uint64_t dur_ns) {
-  LocalBuffer().Record(TraceEvent{name, start_ns, dur_ns});
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                uint64_t id, uint64_t parent) {
+  LocalBuffer().Record(TraceEvent{name, start_ns, dur_ns, id, parent});
 }
 
 }  // namespace internal
@@ -163,7 +167,40 @@ std::string ChromeTraceJson() {
     json.Key("dur").Value(static_cast<double>(e.event.dur_ns) / 1e3);
     json.Key("pid").Value(1);
     json.Key("tid").Value(static_cast<int64_t>(e.tid));
+    if (e.event.id != 0 || e.event.parent != 0) {
+      json.Key("args").BeginObject();
+      if (e.event.id != 0) json.Key("flow_id").Value(e.event.id);
+      if (e.event.parent != 0) json.Key("flow_parent").Value(e.event.parent);
+      json.EndObject();
+    }
     json.EndObject();
+    // Flow events pair by (name, cat, id); ts sits mid-span so Perfetto
+    // binds the arrow endpoint to the enclosing slice on this thread.
+    const double mid_ts =
+        static_cast<double>(e.event.start_ns + e.event.dur_ns / 2) / 1e3;
+    if (e.event.parent != 0) {
+      json.BeginObject();
+      json.Key("name").Value("ncl.request");
+      json.Key("cat").Value("ncl.flow");
+      json.Key("ph").Value("f");
+      json.Key("bp").Value("e");
+      json.Key("id").Value(e.event.parent);
+      json.Key("ts").Value(mid_ts);
+      json.Key("pid").Value(1);
+      json.Key("tid").Value(static_cast<int64_t>(e.tid));
+      json.EndObject();
+    }
+    if (e.event.id != 0) {
+      json.BeginObject();
+      json.Key("name").Value("ncl.request");
+      json.Key("cat").Value("ncl.flow");
+      json.Key("ph").Value("s");
+      json.Key("id").Value(e.event.id);
+      json.Key("ts").Value(mid_ts);
+      json.Key("pid").Value(1);
+      json.Key("tid").Value(static_cast<int64_t>(e.tid));
+      json.EndObject();
+    }
   }
   json.EndArray();
   json.Key("displayTimeUnit").Value("ms");
@@ -175,10 +212,13 @@ std::string ChromeTraceJson() {
 }
 
 Status WriteChromeTrace(const std::string& path) {
+  errno = 0;
   std::ofstream file(path, std::ios::trunc);
-  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  if (!file) return Status::IOErrorFromErrno("cannot open for writing", path);
+  errno = 0;
   file << ChromeTraceJson() << "\n";
-  if (!file) return Status::IOError("failed writing " + path);
+  file.flush();
+  if (!file) return Status::IOErrorFromErrno("failed writing", path);
   return Status::OK();
 }
 

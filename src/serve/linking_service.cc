@@ -53,13 +53,18 @@ double MicrosBetween(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
-std::future<LinkResult> MakeErrorFuture(Status status) {
+std::future<LinkResult> MakeErrorFuture(Status status, uint64_t request_id = 0) {
   std::promise<LinkResult> promise;
   LinkResult result;
   result.status = std::move(status);
+  result.request_id = request_id;
   promise.set_value(std::move(result));
   return promise.get_future();
 }
+
+/// Process-wide so request ids — and therefore trace flow-edge ids — stay
+/// unique even across LinkingService instances sharing the trace buffers.
+std::atomic<uint64_t> g_next_request_id{1};
 
 }  // namespace
 
@@ -75,6 +80,19 @@ LinkingService::LinkingService(SnapshotRegistry* registry, ServeConfig config)
   }
   pool_ = std::make_unique<ThreadPool>(config_.num_shards);
   dispatcher_ = std::thread([this] { DispatchLoop(); });
+  if (config_.slo.enabled) {
+    if (config_.slo.slow_log_n > 0) {
+      slow_log_ = std::make_unique<SlowRequestLog>(config_.slo.slow_log_n);
+    }
+    slo_ = std::make_unique<SloWatchdog>(config_.slo, [this] {
+      SloWatchdog::Probe probe;
+      probe.queue_capacity = config_.queue_capacity;
+      probe.batches = batches_.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex_);
+      probe.queue_depth = queue_.size();
+      return probe;
+    });
+  }
 }
 
 LinkingService::~LinkingService() { Shutdown(); }
@@ -87,6 +105,11 @@ void LinkingService::PublishQueueDepthLocked() {
 std::future<LinkResult> LinkingService::SubmitLink(
     std::vector<std::string> query, RequestOptions options) {
   PendingRequest request;
+  request.id = g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+  // Hop 0 of the request's trace lane: the admission span (covering any
+  // blocking wait for queue space) starts the flow edge the dispatcher's
+  // marker finishes.
+  NCL_TRACE_SPAN_FLOW("ncl.serve.admit", obs::RequestFlowId(request.id, 0), 0);
   request.query = std::move(query);
   request.enqueued = std::chrono::steady_clock::now();
   std::chrono::microseconds deadline =
@@ -99,7 +122,8 @@ std::future<LinkResult> LinkingService::SubmitLink(
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (!accepting_) {
-    return MakeErrorFuture(Status::Unavailable("service is not accepting requests"));
+    return MakeErrorFuture(
+        Status::Unavailable("service is not accepting requests"), request.id);
   }
   if (queue_.size() >= config_.queue_capacity) {
     switch (config_.policy) {
@@ -109,7 +133,8 @@ std::future<LinkResult> LinkingService::SubmitLink(
         });
         if (!accepting_) {
           return MakeErrorFuture(
-              Status::Unavailable("service stopped while waiting for queue space"));
+              Status::Unavailable("service stopped while waiting for queue space"),
+              request.id);
         }
         break;
       case OverloadPolicy::kReject: {
@@ -117,7 +142,8 @@ std::future<LinkResult> LinkingService::SubmitLink(
         GetServeMetrics().rejected->Increment();
         return MakeErrorFuture(
             Status::ResourceExhausted("admission queue full (capacity " +
-                                      std::to_string(config_.queue_capacity) + ")"));
+                                      std::to_string(config_.queue_capacity) + ")"),
+            request.id);
       }
       case OverloadPolicy::kShedOldest: {
         PendingRequest victim = std::move(queue_.front());
@@ -127,6 +153,7 @@ std::future<LinkResult> LinkingService::SubmitLink(
         LinkResult shed_result;
         shed_result.status =
             Status::Unavailable("shed from admission queue under overload");
+        shed_result.request_id = victim.id;
         shed_result.queue_us =
             MicrosBetween(victim.enqueued, std::chrono::steady_clock::now());
         victim.promise.set_value(std::move(shed_result));
@@ -154,6 +181,7 @@ void LinkingService::ProcessSlice(
     std::atomic<uint64_t>* candidates) {
   const ServeMetrics& metrics = GetServeMetrics();
   const auto dispatched = std::chrono::steady_clock::now();
+  const bool tracing = obs::TracingEnabled();
 
   // Per-request admission checks first: expired or snapshot-less requests
   // resolve immediately and never reach the scoring pass.
@@ -161,7 +189,12 @@ void LinkingService::ProcessSlice(
   std::vector<size_t> live;
   live.reserve(count);
   for (size_t i = 0; i < count; ++i) {
+    results[i].request_id = requests[i].id;
     results[i].queue_us = MicrosBetween(requests[i].enqueued, dispatched);
+    results[i].timings.queue_wait_us =
+        MicrosBetween(requests[i].enqueued, requests[i].drained);
+    results[i].timings.batch_form_us =
+        MicrosBetween(requests[i].drained, dispatched);
     metrics.queue_wait_us->RecordMicros(results[i].queue_us);
     if (requests[i].has_deadline && dispatched > requests[i].deadline) {
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
@@ -182,21 +215,38 @@ void LinkingService::ProcessSlice(
   if (!live.empty()) {
     NCL_TRACE_SPAN("ncl.serve.slice");
     std::vector<std::vector<std::string>> queries;
+    std::vector<uint64_t> flow_ids;
     queries.reserve(live.size());
-    for (size_t i : live) queries.push_back(requests[i].query);
+    if (tracing) flow_ids.reserve(live.size());
+    for (size_t i : live) {
+      queries.push_back(requests[i].query);
+      if (tracing) {
+        // Hop 2 of the request's trace lane: this shard picked the request
+        // up — finish the dispatch edge, start the edge the linker's
+        // ncl.link.query span terminates.
+        NCL_TRACE_SPAN_FLOW("ncl.serve.request",
+                            obs::RequestFlowId(requests[i].id, 2),
+                            obs::RequestFlowId(requests[i].id, 1));
+        flow_ids.push_back(obs::RequestFlowId(requests[i].id, 2));
+      }
+    }
     Stopwatch watch;
     Status slice_status;
     std::vector<std::vector<linking::ScoredCandidate>> ranked;
+    std::vector<linking::PhaseTimings> phases;
     try {
-      ranked = snapshot->LinkBatch(queries);
+      ranked = snapshot->LinkBatchTraced(
+          queries, tracing ? flow_ids.data() : nullptr, &phases);
       NCL_CHECK(ranked.size() == live.size());
+      NCL_CHECK(phases.size() == live.size());
     } catch (const std::exception& e) {
       slice_status = Status::Internal(std::string("scoring failed: ") + e.what());
     } catch (...) {
       slice_status = Status::Internal("scoring failed: unknown exception");
     }
     // The slice scored as one unit, so its wall time is shared out evenly;
-    // per-query attribution lives in the `ncl.link.*` histograms.
+    // per-query attribution (the RequestTimings stage split) comes from the
+    // linker's PhaseTimings.
     const double per_request_us =
         watch.ElapsedMicros() / static_cast<double>(live.size());
     uint64_t scored_candidates = 0;
@@ -207,6 +257,9 @@ void LinkingService::ProcessSlice(
         result.status = slice_status;
         continue;
       }
+      result.timings.candgen_us = phases[r].rewrite_us + phases[r].retrieve_us;
+      result.timings.ed_us = phases[r].score_us;
+      result.timings.rank_us = phases[r].rank_us;
       result.candidates = std::move(ranked[r]);
       result.snapshot_version = snapshot->version();
       scored_candidates += result.candidates.size();
@@ -219,6 +272,17 @@ void LinkingService::ProcessSlice(
   }
 
   for (size_t i = 0; i < count; ++i) {
+    LinkResult& result = results[i];
+    result.timings.total_us = result.queue_us + result.service_us;
+    // Feed the SLO machinery before resolving the promise: every request
+    // that reached a shard counts toward the rolling window, served or not.
+    if (slo_ != nullptr) {
+      slo_->RecordRequest(result.timings.total_us, result.status.ok());
+    }
+    if (slow_log_ != nullptr) {
+      slow_log_->Offer(result.request_id, result.timings.total_us,
+                       result.timings, requests[i].query);
+    }
     requests[i].promise.set_value(std::move(results[i]));
   }
 }
@@ -254,6 +318,11 @@ void LinkingService::DispatchLoop() {
     }
     cv_space_.notify_all();
 
+    // One clock read stamps the whole tick: queue_wait ends (and batch
+    // formation starts) here for every drained request.
+    const auto drained = std::chrono::steady_clock::now();
+    for (PendingRequest& request : batch) request.drained = drained;
+
     batches_.fetch_add(1, std::memory_order_relaxed);
     metrics.batch_size->Record(batch.size());
     // Pin the snapshot once per batch: every request in the tick scores
@@ -263,6 +332,15 @@ void LinkingService::DispatchLoop() {
     std::atomic<uint64_t> batch_candidates{0};
     {
       NCL_TRACE_SPAN("ncl.serve.batch");
+      if (obs::TracingEnabled()) {
+        // Hop 1 of each request's trace lane: a marker on the dispatcher
+        // thread finishing the admit edge and starting the shard edge.
+        for (const PendingRequest& request : batch) {
+          NCL_TRACE_SPAN_FLOW("ncl.serve.dispatch",
+                              obs::RequestFlowId(request.id, 1),
+                              obs::RequestFlowId(request.id, 0));
+        }
+      }
       // Contiguous slices, one per shard; each shard scores its slice as a
       // single LinkBatch workload.
       const size_t slices = std::min(config_.num_shards, batch.size());
@@ -316,12 +394,23 @@ void LinkingService::StopInternal(bool fail_queued) {
   cv_work_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
   pool_.reset();
+  if (slo_ != nullptr) {
+    // Final window so runs shorter than one check interval still report,
+    // then stop the thread (its probe reads state torn down below).
+    slo_->EvaluateNow();
+    slo_->Stop();
+  }
   stopped_ = true;
 }
 
 void LinkingService::Drain() { StopInternal(/*fail_queued=*/false); }
 
 void LinkingService::Shutdown() { StopInternal(/*fail_queued=*/true); }
+
+std::vector<SlowRequest> LinkingService::slow_requests() const {
+  return slow_log_ != nullptr ? slow_log_->Snapshot()
+                              : std::vector<SlowRequest>{};
+}
 
 ServeStats LinkingService::stats() const {
   ServeStats stats;

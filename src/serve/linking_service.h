@@ -42,6 +42,23 @@
 // counters; batch_size, candidates_per_batch, queue_wait_us, service_us and
 // e2e_us histograms (e2e = queue wait + service); per-batch
 // `ncl.serve.batch` and per-slice `ncl.serve.slice` trace spans.
+//
+// Request-flow tracing: every admitted request gets a process-unique id.
+// When tracing is on, admission records an `ncl.serve.admit` span starting
+// flow edge 0, the dispatcher tick records one `ncl.serve.dispatch` marker
+// per request (finishes edge 0, starts edge 1), each shard records an
+// `ncl.serve.request` span per slice member (finishes edge 1, starts edge
+// 2), and the linker's `ncl.link.query` span finishes edge 2 — so one
+// request renders as a connected lane across the submitter, dispatcher and
+// shard threads in Perfetto (see obs::RequestFlowId). Every LinkResult also
+// carries its request id and a RequestTimings stage breakdown (queue wait /
+// batch formation / candidate generation / ED / ranking), populated from
+// the linker's per-query PhaseTimings.
+//
+// SLO watchdog: with `ServeConfig::slo.enabled`, the service owns an
+// SloWatchdog fed every completed request (rolling-window p50/p99, error
+// budget, stall detection over the dispatch probe — see serve/slo.h) and a
+// SlowRequestLog keeping the N slowest requests with full stage breakdowns.
 
 #pragma once
 
@@ -59,6 +76,7 @@
 
 #include "linking/ncl_linker.h"
 #include "serve/model_snapshot.h"
+#include "serve/slo.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -93,6 +111,8 @@ struct ServeConfig {
   size_t min_batch = 1;
   /// Deadline applied to requests that don't carry their own (zero = none).
   std::chrono::microseconds default_deadline{0};
+  /// SLO watchdog + slow-request log (off by default; see serve/slo.h).
+  SloConfig slo;
 };
 
 /// Per-request overrides.
@@ -109,6 +129,12 @@ struct LinkResult {
   uint64_t snapshot_version = 0;
   double queue_us = 0.0;    ///< admission -> dispatch
   double service_us = 0.0;  ///< Phase I+II scoring time
+  /// Process-unique id assigned at admission (0 when never admitted); the
+  /// trace flow-edge ids of this request are obs::RequestFlowId(id, hop).
+  uint64_t request_id = 0;
+  /// Per-stage breakdown (zeroed fields for stages the request never
+  /// reached; candgen/ed/rank need an NclSnapshot-backed scorer).
+  RequestTimings timings;
 };
 
 /// Point-in-time counters for tests and the load generator (the same events
@@ -157,12 +183,23 @@ class LinkingService {
   ServeStats stats() const;
   const ServeConfig& config() const { return config_; }
 
+  /// The SLO watchdog (null unless `config.slo.enabled`). Stays readable
+  /// after Drain/Shutdown — both run a final evaluation so short runs still
+  /// produce a window.
+  const SloWatchdog* slo_watchdog() const { return slo_.get(); }
+
+  /// The N slowest completed requests, slowest first (empty when the slow
+  /// log is disabled: `config.slo.enabled` off or `slow_log_n` zero).
+  std::vector<SlowRequest> slow_requests() const;
+
  private:
   /// One queued request.
   struct PendingRequest {
     std::vector<std::string> query;
     std::promise<LinkResult> promise;
+    uint64_t id = 0;  ///< process-unique, assigned at admission
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point drained{};  ///< left the queue
     std::chrono::steady_clock::time_point deadline{};
     bool has_deadline = false;
   };
@@ -201,6 +238,12 @@ class LinkingService {
 
   std::mutex stop_mutex_;  ///< serialises Drain/Shutdown/destructor
   bool stopped_ = false;   ///< guarded by stop_mutex_
+
+  /// SLO machinery (null when config_.slo.enabled is off). The watchdog's
+  /// probe reads this service, so both stop before the dispatcher's state
+  /// is torn down.
+  std::unique_ptr<SlowRequestLog> slow_log_;
+  std::unique_ptr<SloWatchdog> slo_;
 
   std::unique_ptr<ThreadPool> pool_;
   std::thread dispatcher_;

@@ -49,6 +49,17 @@ std::vector<std::vector<linking::ScoredCandidate>> ModelSnapshot::LinkBatch(
   return results;
 }
 
+std::vector<std::vector<linking::ScoredCandidate>>
+ModelSnapshot::LinkBatchTraced(
+    const std::vector<std::vector<std::string>>& queries,
+    const uint64_t* /*flow_ids*/,
+    std::vector<linking::PhaseTimings>* timings) const {
+  if (timings != nullptr) {
+    timings->assign(queries.size(), linking::PhaseTimings{});
+  }
+  return LinkBatch(queries);
+}
+
 std::vector<linking::ScoredCandidate> NclSnapshot::Link(
     const std::vector<std::string>& query) const {
   return linker_->LinkDetailed(query);
@@ -57,6 +68,13 @@ std::vector<linking::ScoredCandidate> NclSnapshot::Link(
 std::vector<std::vector<linking::ScoredCandidate>> NclSnapshot::LinkBatch(
     const std::vector<std::vector<std::string>>& queries) const {
   return linker_->LinkBatchDetailed(queries);
+}
+
+std::vector<std::vector<linking::ScoredCandidate>> NclSnapshot::LinkBatchTraced(
+    const std::vector<std::vector<std::string>>& queries,
+    const uint64_t* flow_ids,
+    std::vector<linking::PhaseTimings>* timings) const {
+  return linker_->LinkBatchDetailed(queries, timings, flow_ids);
 }
 
 std::shared_ptr<const ModelSnapshot> SnapshotRegistry::Current() const {

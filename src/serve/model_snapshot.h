@@ -58,6 +58,20 @@ class ModelSnapshot {
   virtual std::vector<std::vector<linking::ScoredCandidate>> LinkBatch(
       const std::vector<std::vector<std::string>>& queries) const;
 
+  /// \brief LinkBatch with request observability: per-query trace flow ids
+  /// and per-query phase timings.
+  ///
+  /// `flow_ids`, when non-null, holds one flow-edge id per query (0 = none)
+  /// that the snapshot's scorer terminates with a span, connecting the
+  /// serving request's trace lane into the scoring internals. `timings`,
+  /// when non-null, receives one PhaseTimings per query. The base
+  /// implementation delegates to LinkBatch, ignores flow ids and zero-fills
+  /// timings, so plain snapshots (tests, fakes) need not care.
+  virtual std::vector<std::vector<linking::ScoredCandidate>> LinkBatchTraced(
+      const std::vector<std::vector<std::string>>& queries,
+      const uint64_t* flow_ids,
+      std::vector<linking::PhaseTimings>* timings) const;
+
   /// Version assigned by SnapshotRegistry::Publish (0 = never published).
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
@@ -96,6 +110,13 @@ class NclSnapshot : public ModelSnapshot {
   /// slice as a single GEMM workload.
   std::vector<std::vector<linking::ScoredCandidate>> LinkBatch(
       const std::vector<std::vector<std::string>>& queries) const override;
+
+  /// Traced override: same pooled pass, but forwards flow ids and surfaces
+  /// the linker's per-query Fig. 11 phase split.
+  std::vector<std::vector<linking::ScoredCandidate>> LinkBatchTraced(
+      const std::vector<std::vector<std::string>>& queries,
+      const uint64_t* flow_ids,
+      std::vector<linking::PhaseTimings>* timings) const override;
 
   const comaid::ComAidModel& model() const { return *model_; }
   const linking::NclLinker& linker() const { return *linker_; }

@@ -1,0 +1,199 @@
+// ncl::serve SLO watchdog — rolling-window latency / error-budget tracking,
+// a stall detector, and a slow-request log for the LinkingService.
+//
+// The cumulative `ncl.serve.*` histograms answer "how has the service done
+// since start"; operating it needs "is the service healthy *right now*":
+//
+//   * SloWatchdog keeps its own wait-free latency histogram + ok/error
+//     counters fed per completed request, and a background thread diffs the
+//     log2 buckets every `check_interval_ms` (the same interval-delta
+//     technique as obs::MetricsSampler) into a rolling window. Windowed
+//     p50/p99, error rate and remaining error budget are published as
+//     `ncl.serve.slo.*` gauges; a window whose p99 exceeds
+//     `latency_target_us` or whose error rate exceeds `error_budget_pct`
+//     increments the violation counters and logs one structured warning.
+//
+//   * The stall detector watches dispatch progress through a caller-supplied
+//     probe (queue depth, queue capacity, completed batches). A queue pinned
+//     at capacity while the batch counter stays frozen for
+//     `stall_deadline_multiple` consecutive checks means the dispatcher or
+//     every shard is wedged — the strongest signal available without
+//     preempting threads — and logs a structured `slo_stall` warning plus
+//     the `ncl.serve.slo.stalls` counter.
+//
+//   * SlowRequestLog keeps the N slowest completed requests with their full
+//     stage breakdown (RequestTimings) and query text. The hot-path Offer is
+//     one relaxed threshold load + branch for the common (not slow) case.
+//
+// Recording costs when the watchdog is attached: one histogram record and
+// one counter increment per request — the same wait-free primitives as the
+// global registry. A service with `SloConfig::enabled == false` constructs
+// neither the watchdog nor the log; its per-request cost is a null check.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ncl {
+class JsonWriter;
+}
+
+namespace ncl::serve {
+
+/// Per-request stage breakdown returned with every LinkResult and captured
+/// by the slow-request log. (Defined here, below LinkingService in the
+/// dependency order, so slo.h need not include linking_service.h.)
+struct RequestTimings {
+  double queue_wait_us = 0.0;  ///< admission -> dispatcher drained it
+  double batch_form_us = 0.0;  ///< drained -> shard began the slice
+  double candgen_us = 0.0;     ///< Phase I: rewrite + candidate retrieval
+  double ed_us = 0.0;          ///< Phase II: encode-decode scoring share
+  double rank_us = 0.0;        ///< ranking
+  double total_us = 0.0;       ///< admission -> completion (queue + service)
+};
+
+/// Watchdog knobs. The defaults suit a service whose requests complete in
+/// tens of milliseconds; serve-eval and bench_serve override them.
+struct SloConfig {
+  /// Master switch: off constructs no watchdog thread and no slow log.
+  bool enabled = false;
+  /// Rolling-window p99 target. A window (one check interval) whose p99
+  /// exceeds this counts one latency violation.
+  double latency_target_us = 100000.0;
+  /// Allowed failed-request percentage per window; beyond it the window
+  /// counts one error-budget breach.
+  double error_budget_pct = 1.0;
+  /// Watchdog evaluation period (must be > 0).
+  int64_t check_interval_ms = 200;
+  /// Stall deadline as a multiple of the check interval: a queue pinned at
+  /// capacity with no completed batch for this many consecutive checks is
+  /// declared stalled (must be > 0).
+  int64_t stall_deadline_multiple = 5;
+  /// Slowest-request log size (0 disables the log).
+  size_t slow_log_n = 8;
+};
+
+/// One slow-request log entry.
+struct SlowRequest {
+  uint64_t request_id = 0;
+  double total_us = 0.0;
+  RequestTimings timings;
+  std::string query;  ///< space-joined query tokens
+};
+
+/// \brief Bounded keep-the-slowest log with a lock-free fast reject.
+class SlowRequestLog {
+ public:
+  explicit SlowRequestLog(size_t capacity);
+
+  /// Consider one completed request. Cheap when the log is full and
+  /// `total_us` does not beat the current floor: one relaxed load + branch.
+  void Offer(uint64_t request_id, double total_us, const RequestTimings& t,
+             const std::vector<std::string>& query);
+
+  /// Entries sorted slowest-first.
+  std::vector<SlowRequest> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  /// Admission floor: the smallest total_us in a *full* log (0 until full).
+  /// Monotone under Offer, so a stale read only admits a request that then
+  /// loses the min-heap comparison under the mutex — never drops one.
+  std::atomic<double> floor_us_{0.0};
+  mutable std::mutex mutex_;
+  std::vector<SlowRequest> heap_;  ///< min-heap by total_us
+};
+
+/// Point-in-time view of the watchdog's last evaluated window plus its
+/// lifetime violation counts.
+struct SloWindowStats {
+  uint64_t window_requests = 0;
+  uint64_t window_errors = 0;
+  double window_p50_us = 0.0;
+  double window_p99_us = 0.0;
+  double error_rate_pct = 0.0;
+  double budget_remaining_pct = 100.0;  ///< of the per-window error budget
+  uint64_t latency_violations = 0;      ///< lifetime count of bad windows
+  uint64_t error_budget_breaches = 0;
+  uint64_t stalls = 0;
+  uint64_t windows_evaluated = 0;
+};
+
+/// \brief The watchdog: wait-free per-request recording, a background
+/// evaluation thread, `ncl.serve.slo.*` metrics, structured warnings.
+class SloWatchdog {
+ public:
+  /// Dispatch-progress reading for the stall detector.
+  struct Probe {
+    size_t queue_depth = 0;
+    size_t queue_capacity = 0;
+    uint64_t batches = 0;  ///< completed dispatch ticks
+  };
+
+  /// \param probe called from the watchdog thread each check; must be
+  ///        thread-safe and non-blocking (LinkingService passes a stats()
+  ///        reader). An empty function disables stall detection.
+  SloWatchdog(SloConfig config, std::function<Probe()> probe);
+  ~SloWatchdog();
+
+  SloWatchdog(const SloWatchdog&) = delete;
+  SloWatchdog& operator=(const SloWatchdog&) = delete;
+
+  /// Stop the evaluation thread. Idempotent; implied by the destructor.
+  void Stop();
+
+  /// Record one finished request (wait-free; called from shard threads).
+  void RecordRequest(double e2e_us, bool ok);
+
+  /// Run one evaluation tick synchronously (tests; also useful for a final
+  /// evaluation after Drain so short runs still produce a window).
+  void EvaluateNow();
+
+  SloWindowStats window() const;
+  const SloConfig& config() const { return config_; }
+
+  /// Append the SLO report ({"window": {...}, "violations": {...}}) to an
+  /// open JSON document.
+  void AppendJson(JsonWriter* writer) const;
+
+ private:
+  void Loop();
+  void Evaluate();
+
+  const SloConfig config_;
+  const std::function<Probe()> probe_;
+
+  /// Wait-free request feed (same primitives as the global registry, but
+  /// instance-local so two services do not mix windows).
+  obs::Histogram latency_;
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> errors_{0};
+
+  mutable std::mutex mutex_;  ///< guards window_ and the prev_* baselines
+  std::condition_variable cv_stop_;
+  bool stopping_ = false;
+  SloWindowStats window_;
+  SloWindowStats published_;  ///< violation counts already in the registry
+  std::array<uint64_t, obs::kHistogramBuckets> prev_buckets_{};
+  uint64_t prev_ok_ = 0;
+  uint64_t prev_errors_ = 0;
+  uint64_t prev_batches_ = 0;
+  int64_t pinned_checks_ = 0;  ///< consecutive checks with a frozen, full queue
+
+  std::thread thread_;
+};
+
+}  // namespace ncl::serve

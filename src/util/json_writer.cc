@@ -1,5 +1,6 @@
 #include "util/json_writer.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -148,10 +149,13 @@ const std::string& JsonWriter::str() const {
 }
 
 Status JsonWriter::WriteFile(const std::string& path) const {
+  errno = 0;
   std::ofstream file(path, std::ios::trunc);
-  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  if (!file) return Status::IOErrorFromErrno("cannot open for writing", path);
+  errno = 0;
   file << str() << "\n";
-  if (!file) return Status::IOError("failed writing " + path);
+  file.flush();
+  if (!file) return Status::IOErrorFromErrno("failed writing", path);
   return Status::OK();
 }
 

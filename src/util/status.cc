@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+#include <cerrno>
+#include <cstring>
+
 namespace ncl {
 
 std::string_view StatusCodeToString(StatusCode code) {
@@ -30,6 +33,22 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+Status Status::IOErrorFromErrno(std::string_view action,
+                                std::string_view path) {
+  const int err = errno;
+  std::string message(action);
+  message += " ";
+  message += path;
+  message += ": ";
+  // ofstream failures do not always set errno; name the ambiguity rather
+  // than inventing a cause.
+  message += err != 0 ? std::strerror(err) : "unknown I/O error (errno not set)";
+  if (err != 0) {
+    message += " (errno " + std::to_string(err) + ")";
+  }
+  return Status(StatusCode::kIOError, std::move(message));
 }
 
 std::string Status::ToString() const {

@@ -79,6 +79,11 @@ class Status {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
+  /// IOError describing a failed file operation: "<action> <path>: <errno
+  /// message>". Reads `errno`, so call immediately after the failing stream
+  /// or syscall operation.
+  static Status IOErrorFromErrno(std::string_view action, std::string_view path);
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -135,6 +135,69 @@ TEST_F(TraceTest, RingOverflowCountsDroppedEvents) {
   EXPECT_EQ(count, 8u);
 }
 
+TEST_F(TraceTest, FlowSpansExportConnectedFlowEvents) {
+  SetTracingEnabled(true);
+  {
+    // One request hopping between two "threads": the producer span starts
+    // flow edge 41, the consumer span finishes it (and would start the next
+    // hop's edge in real serving code).
+    NCL_TRACE_SPAN_FLOW("trace_test.producer", 41, 0);
+  }
+  std::thread consumer([] {
+    NCL_TRACE_SPAN_FLOW("trace_test.consumer", 0, 41);
+  });
+  consumer.join();
+  SetTracingEnabled(false);
+
+  std::string json = ChromeTraceJson();
+  // The X events carry the flow fields as args...
+  EXPECT_TRUE(Contains(json, "\"flow_id\":41")) << json;
+  EXPECT_TRUE(Contains(json, "\"flow_parent\":41")) << json;
+  // ...and the export adds paired flow events: one start (ph:"s") departing
+  // the producer, one finish (ph:"f", binding to the enclosing consumer
+  // slice via bp:"e"), both named "ncl.request" in cat "ncl.flow" with the
+  // same id — exactly what Perfetto needs to draw the arrow.
+  EXPECT_TRUE(Contains(json, "\"ph\":\"s\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"ph\":\"f\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"bp\":\"e\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"name\":\"ncl.request\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"cat\":\"ncl.flow\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"id\":41")) << json;
+}
+
+TEST_F(TraceTest, PlainSpansCarryNoFlowMachinery) {
+  SetTracingEnabled(true);
+  { NCL_TRACE_SPAN("trace_test.plain"); }
+  SetTracingEnabled(false);
+  std::string json = ChromeTraceJson();
+  EXPECT_TRUE(Contains(json, "trace_test.plain"));
+  EXPECT_FALSE(Contains(json, "\"args\"")) << json;
+  EXPECT_FALSE(Contains(json, "ncl.flow")) << json;
+}
+
+TEST_F(TraceTest, RequestFlowIdIsUniquePerHopAndNeverZero) {
+  // Edge ids pack as request_id * 4 + hop + 1; 0 stays free as "no flow".
+  EXPECT_EQ(RequestFlowId(7, 0), 29u);
+  EXPECT_EQ(RequestFlowId(7, 1), 30u);
+  EXPECT_EQ(RequestFlowId(7, 2), 31u);
+  EXPECT_EQ(RequestFlowId(8, 0), 33u);
+  EXPECT_NE(RequestFlowId(0, 0), 0u);
+  // Adjacent requests never share an edge id across the 4 hop slots.
+  EXPECT_NE(RequestFlowId(7, 3), RequestFlowId(8, 0));
+}
+
+TEST_F(TraceTest, WriteChromeTraceReportsPathAndErrnoOnFailure) {
+  SetTracingEnabled(true);
+  { NCL_TRACE_SPAN("trace_test.unwritable"); }
+  SetTracingEnabled(false);
+
+  Status status = WriteChromeTrace("/nonexistent-dir/trace.json");
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(Contains(status.ToString(), "/nonexistent-dir/trace.json"))
+      << status.ToString();
+  EXPECT_TRUE(Contains(status.ToString(), "errno")) << status.ToString();
+}
+
 TEST_F(TraceTest, WriteChromeTraceRoundTrips) {
   SetTracingEnabled(true);
   { NCL_TRACE_SPAN("trace_test.file"); }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_snapshot.h"
 
 namespace ncl::serve {
@@ -408,6 +409,140 @@ TEST(LinkingServiceTest, HotSwapVersionsAreMonotonePerSubmissionOrder) {
   LinkResult after = service.Link(Query());
   ASSERT_TRUE(after.status.ok());
   EXPECT_EQ(after.snapshot_version, 2u);
+}
+
+TEST(LinkingServiceTest, AssignsRequestIdsAndStageTimings) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(1ms));
+  LinkingService service(&registry);
+
+  LinkResult first = service.Link(Query());
+  LinkResult second = service.Link(Query());
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  // Ids are assigned at admission, unique and monotone per service order.
+  EXPECT_GT(first.request_id, 0u);
+  EXPECT_GT(second.request_id, first.request_id);
+
+  // The stage breakdown is populated and internally consistent: stages are
+  // non-negative and the end-to-end total is the queue + service split the
+  // service already reported.
+  EXPECT_GE(first.timings.queue_wait_us, 0.0);
+  EXPECT_GE(first.timings.batch_form_us, 0.0);
+  EXPECT_NEAR(first.timings.total_us, first.queue_us + first.service_us, 1e-6);
+  EXPECT_GT(first.timings.total_us, 0.0);
+}
+
+TEST(LinkingServiceTest, FailedRequestsStillCarryTheirRequestId) {
+  SnapshotRegistry registry;  // no snapshot published
+  LinkingService service(&registry);
+  LinkResult result = service.Link(Query());
+  EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_GT(result.request_id, 0u);
+}
+
+// The tentpole acceptance test: one request served with tracing enabled
+// renders as a connected flow — the admission span starts edge 0, the
+// dispatch marker finishes edge 0 and starts edge 1, the shard's request
+// marker finishes edge 1 and starts edge 2 (which the linker would finish
+// inside a real NclSnapshot). Golden-substring pinned so the exported JSON
+// stays loadable-and-connected in Perfetto.
+TEST(LinkingServiceTest, TracedRequestExportsConnectedFlowEvents) {
+  obs::SetTracingEnabled(false);
+  obs::ClearTrace();
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>());
+  LinkingService service(&registry);
+
+  obs::SetTracingEnabled(true);
+  LinkResult result = service.Link(Query());
+  service.Drain();
+  obs::SetTracingEnabled(false);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_GT(result.request_id, 0u);
+
+  const std::string json = obs::ChromeTraceJson();
+  obs::ClearTrace();
+  auto id_str = [&](uint64_t hop) {
+    return std::to_string(obs::RequestFlowId(result.request_id, hop));
+  };
+  // The three serve-layer spans are present...
+  EXPECT_NE(json.find("\"name\":\"ncl.serve.admit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ncl.serve.dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ncl.serve.request\""), std::string::npos);
+  // ...edge 0 (admit -> dispatch) departs and arrives...
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":" + id_str(0)), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":" + id_str(0)),
+            std::string::npos)
+      << json;
+  // ...edge 1 (dispatch -> shard) departs and arrives...
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":" + id_str(1)), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":" + id_str(1)),
+            std::string::npos)
+      << json;
+  // ...and edge 2 (shard -> linker) departs; a FakeSnapshot has no linker
+  // span to terminate it, NclSnapshot does (see ncl_linker's flow span).
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":" + id_str(2)), std::string::npos)
+      << json;
+}
+
+TEST(LinkingServiceTest, DisabledTracingEmitsNoServeSpans) {
+  obs::SetTracingEnabled(false);
+  obs::ClearTrace();
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>());
+  LinkingService service(&registry);
+  EXPECT_TRUE(service.Link(Query()).status.ok());
+  service.Drain();
+  const std::string json = obs::ChromeTraceJson();
+  EXPECT_EQ(json.find("ncl.serve.admit"), std::string::npos);
+  EXPECT_EQ(json.find("ncl.flow"), std::string::npos);
+}
+
+TEST(LinkingServiceTest, SloDisabledByDefaultConstructsNoWatchdog) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>());
+  LinkingService service(&registry);
+  EXPECT_EQ(service.slo_watchdog(), nullptr);
+  EXPECT_TRUE(service.slow_requests().empty());
+}
+
+TEST(LinkingServiceTest, SloWatchdogAndSlowLogCaptureServedTraffic) {
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(2ms));
+  ServeConfig config;
+  config.slo.enabled = true;
+  config.slo.slow_log_n = 4;
+  config.slo.check_interval_ms = 20;
+  LinkingService service(&registry, config);
+  ASSERT_NE(service.slo_watchdog(), nullptr);
+
+  constexpr size_t kRequests = 12;
+  std::vector<std::future<LinkResult>> futures;
+  for (size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(service.SubmitLink(Query(i + 1)));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  service.Drain();  // stops the watchdog after one final evaluation
+
+  // Every completed request was fed into the rolling window (summed across
+  // however many check intervals the burst spanned).
+  const SloWindowStats window = service.slo_watchdog()->window();
+  EXPECT_GE(window.windows_evaluated, 1u);
+
+  std::vector<SlowRequest> slowest = service.slow_requests();
+  ASSERT_FALSE(slowest.empty());
+  EXPECT_LE(slowest.size(), config.slo.slow_log_n);
+  for (size_t i = 1; i < slowest.size(); ++i) {
+    EXPECT_GE(slowest[i - 1].total_us, slowest[i].total_us);
+  }
+  // Entries carry the full stage breakdown and the query text.
+  EXPECT_GT(slowest[0].total_us, 0.0);
+  EXPECT_GT(slowest[0].request_id, 0u);
+  EXPECT_FALSE(slowest[0].query.empty());
+  EXPECT_NEAR(slowest[0].timings.total_us, slowest[0].total_us, 1e-6);
 }
 
 }  // namespace

@@ -149,6 +149,60 @@ TEST(SnapshotRegistryTest, NgramCandidatePathServesThroughSnapshot) {
   EXPECT_FALSE(typo.empty());
 }
 
+/// Minimal snapshot overriding only Link — stands in for every test fake
+/// that predates LinkBatchTraced.
+class MiniSnapshot : public ModelSnapshot {
+ public:
+  std::vector<linking::ScoredCandidate> Link(
+      const std::vector<std::string>& query) const override {
+    return {linking::ScoredCandidate{
+        static_cast<ontology::ConceptId>(query.size()), -1.0, 1.0}};
+  }
+};
+
+TEST(ModelSnapshotTest, LinkBatchTracedDefaultsToLinkBatchWithZeroTimings) {
+  MiniSnapshot snapshot;
+  const std::vector<std::vector<std::string>> queries = {
+      {"anemia"}, {"blood", "loss"}, {"iron", "deficiency", "anemia"}};
+  std::vector<linking::PhaseTimings> timings;
+  const uint64_t flow_ids[] = {5, 9, 13};  // ignored by the base default
+  auto traced = snapshot.LinkBatchTraced(queries, flow_ids, &timings);
+  auto plain = snapshot.LinkBatch(queries);
+
+  ASSERT_EQ(traced.size(), plain.size());
+  for (size_t q = 0; q < traced.size(); ++q) {
+    ASSERT_EQ(traced[q].size(), plain[q].size());
+    EXPECT_EQ(traced[q][0].concept_id, plain[q][0].concept_id);
+  }
+  // The base default cannot measure phases: zero-filled, one per query.
+  ASSERT_EQ(timings.size(), queries.size());
+  for (const linking::PhaseTimings& t : timings) {
+    EXPECT_DOUBLE_EQ(t.total_us(), 0.0);
+  }
+  // Null out-params are fine too.
+  EXPECT_EQ(snapshot.LinkBatchTraced(queries, nullptr, nullptr).size(),
+            queries.size());
+}
+
+TEST(ModelSnapshotTest, NclSnapshotLinkBatchTracedSurfacesPhaseTimings) {
+  ontology::Ontology onto = MakeOntology();
+  auto candidates = std::make_shared<const linking::CandidateGenerator>(
+      onto, Aliases(onto));
+  NclSnapshot snapshot(TrainModel(onto, 1, 21), candidates, nullptr);
+
+  const std::vector<std::vector<std::string>> queries = {
+      {"megaloblastic", "anemia"}, {"acute", "blood", "loss"}};
+  std::vector<linking::PhaseTimings> timings;
+  auto ranked = snapshot.LinkBatchTraced(queries, nullptr, &timings);
+  ASSERT_EQ(ranked.size(), queries.size());
+  ASSERT_EQ(timings.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_FALSE(ranked[q].empty());
+    // A real scoring pass spent measurable time somewhere.
+    EXPECT_GT(timings[q].total_us(), 0.0);
+  }
+}
+
 // The satellite stress: scorers hammer ScoreLogProbFast through pinned
 // snapshots while a publisher trains fresh models (weight mutation + cache
 // invalidation) and swaps them in. Without snapshots this is the

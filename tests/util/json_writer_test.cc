@@ -97,7 +97,15 @@ TEST(JsonWriterTest, WriteFileRoundTrips) {
 TEST(JsonWriterTest, WriteFileToBadPathFails) {
   JsonWriter w;
   w.BeginObject().EndObject();
-  EXPECT_FALSE(w.WriteFile("/nonexistent-dir-ncl/x.json").ok());
+  const Status status = w.WriteFile("/nonexistent-dir-ncl/x.json");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  // The message names the path and the errno so the operator can act on the
+  // log line without a debugger.
+  const std::string text = status.ToString();
+  EXPECT_NE(text.find("/nonexistent-dir-ncl/x.json"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("errno"), std::string::npos) << text;
 }
 
 }  // namespace

@@ -28,13 +28,23 @@
 //       is published as a snapshot and C closed-loop client threads stream
 //       the queries through the micro-batching scheduler. Reports accuracy,
 //       MRR, throughput and the ncl.serve admission counters.
+//       --slow-log-n <N> additionally enables the SLO watchdog for the run
+//       and prints the rolling-window report plus the N slowest requests
+//       with their per-stage breakdown.
 //
 // Observability flags (every subcommand):
 //   --metrics-json <path>   write a snapshot of the ncl::obs metrics
 //                           registry (counters/gauges/histograms) as JSON
 //                           after the command finishes
 //   --trace-out <path>      enable span tracing for the run and write a
-//                           Chrome trace-event JSON (open in Perfetto)
+//                           Chrome trace-event JSON (open in Perfetto);
+//                           serve-eval requests render as connected flow
+//                           lanes (admit -> dispatch -> shard -> linker)
+//   --timeseries-out <path> run a background MetricsSampler for the whole
+//                           command and write the windowed TIMESERIES JSON
+//                           (counter rates, windowed histogram p50/p99)
+//   --metrics-interval-ms N sampling period for --timeseries-out
+//                           (default 200)
 // Flags accept both "--name value" and "--name=value".
 //
 // Exit status is non-zero on any error; diagnostics go to stderr.
@@ -51,6 +61,7 @@
 #include "comaid/model_io.h"
 #include "comaid/trainer.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "datagen/dataset.h"
 #include "datagen/snippet_io.h"
@@ -84,10 +95,13 @@ int Usage() {
       "  ncl link <dir> [--k K] [--ngram-index] \"query text\"...\n"
       "  ncl eval <dir> [--k K] [--ngram-index]\n"
       "  ncl serve-eval <dir> [--k K] [--shards N] [--clients C] [--max-batch B]\n"
-      "                 [--ngram-index]\n"
+      "                 [--ngram-index] [--slow-log-n N]\n"
       "observability (any subcommand):\n"
-      "  --metrics-json <path>   dump metrics registry snapshot as JSON\n"
-      "  --trace-out <path>      record spans; write Chrome trace JSON\n";
+      "  --metrics-json <path>     dump metrics registry snapshot as JSON\n"
+      "  --trace-out <path>        record spans; write Chrome trace JSON\n"
+      "  --timeseries-out <path>   sample metrics during the run; write\n"
+      "                            windowed TIMESERIES JSON\n"
+      "  --metrics-interval-ms N   sampling period (default 200)\n";
   return 2;
 }
 
@@ -351,6 +365,12 @@ int CmdServeEval(const std::vector<std::string>& args,
   serve_config.num_shards = static_cast<size_t>(FlagInt(flags, "shards", 4));
   serve_config.max_batch = static_cast<size_t>(
       FlagInt(flags, "max-batch", 2 * static_cast<int64_t>(serve_config.num_shards)));
+  const int64_t slow_log_n = FlagInt(flags, "slow-log-n", 0);
+  if (slow_log_n > 0) {
+    serve_config.slo.enabled = true;
+    serve_config.slo.slow_log_n = static_cast<size_t>(slow_log_n);
+    serve_config.slo.check_interval_ms = 100;
+  }
   serve::LinkingService service(&registry, serve_config);
 
   const size_t num_clients =
@@ -397,6 +417,25 @@ int CmdServeEval(const std::vector<std::string>& args,
             << "  batches=" << stats.batches << "  admitted=" << stats.admitted
             << "  completed=" << stats.completed << "  errors=" << errors.load()
             << "\n";
+  if (const serve::SloWatchdog* slo = service.slo_watchdog()) {
+    const serve::SloWindowStats w = slo->window();
+    std::cout << "slo: window_p50_us=" << FormatDouble(w.window_p50_us, 1)
+              << "  window_p99_us=" << FormatDouble(w.window_p99_us, 1)
+              << "  error_rate_pct=" << FormatDouble(w.error_rate_pct, 2)
+              << "  latency_violations=" << w.latency_violations
+              << "  budget_breaches=" << w.error_budget_breaches
+              << "  stalls=" << w.stalls << "\n";
+    for (const serve::SlowRequest& r : service.slow_requests()) {
+      std::cout << "slow: id=" << r.request_id
+                << "  total_us=" << FormatDouble(r.total_us, 1)
+                << "  queue_us=" << FormatDouble(r.timings.queue_wait_us, 1)
+                << "  batch_form_us=" << FormatDouble(r.timings.batch_form_us, 1)
+                << "  candgen_us=" << FormatDouble(r.timings.candgen_us, 1)
+                << "  ed_us=" << FormatDouble(r.timings.ed_us, 1)
+                << "  rank_us=" << FormatDouble(r.timings.rank_us, 1)
+                << "  \"" << r.query << "\"\n";
+    }
+  }
   return errors.load() == 0 ? 0 : 1;
 }
 
@@ -412,7 +451,17 @@ int main(int argc, char** argv) {
       flags.contains("metrics-json") ? flags.at("metrics-json") : "";
   const std::string trace_path =
       flags.contains("trace-out") ? flags.at("trace-out") : "";
+  const std::string timeseries_path =
+      flags.contains("timeseries-out") ? flags.at("timeseries-out") : "";
   if (!trace_path.empty()) obs::SetTracingEnabled(true);
+  std::unique_ptr<obs::MetricsSampler> sampler;
+  if (!timeseries_path.empty()) {
+    obs::MetricsSampler::Config sampler_config;
+    sampler_config.interval_ms =
+        std::max<int64_t>(1, FlagInt(flags, "metrics-interval-ms", 200));
+    sampler = std::make_unique<obs::MetricsSampler>(
+        &obs::MetricsRegistry::Global(), sampler_config);
+  }
 
   int exit_code;
   if (command == "synth") {
@@ -429,6 +478,14 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  if (sampler != nullptr) {
+    sampler->SampleNow();  // flush the tail interval
+    sampler->Stop();
+    Status status = sampler->WriteJson(timeseries_path);
+    if (!status.ok()) return Fail(status);
+    std::cerr << "wrote metrics time series to " << timeseries_path << " ("
+              << sampler->sample_count() << " samples)\n";
+  }
   if (!metrics_path.empty()) {
     Status status =
         obs::MetricsRegistry::Global().Snapshot().WriteJsonFile(metrics_path);
