@@ -1,0 +1,268 @@
+// ncl::net load generator — the wire and router taxes, measured against the
+// in-process serving path on the exact same request schedule.
+//
+// Four measurements over one shared closed-loop generator (load_gen.h),
+// emitted as BENCH_net.json:
+//
+//   * in_process: LinkingService::Link called directly — the bench_serve
+//     deployment model and the floor every networked number is read against.
+//   * direct: the same service behind one net::Server on a UDS, one
+//     net::Client (one connection) per load thread. p50 delta vs in_process
+//     is the framing + syscall tax per round trip.
+//   * router_1: the same single replica fronted by a net::Router. p50 delta
+//     vs direct is the router hop (one extra proxy round trip).
+//   * router_2: two replicas behind the router. The acceptance bar is
+//     throughput ≥ 1.3x router_1 — queries hash across both replicas, so
+//     with real cores the fleet should scale. The bar presumes the replicas
+//     can actually run in parallel: on a single-core host the two replicas
+//     time-slice one core and the sweep degenerates, so the JSON records
+//     hardware_concurrency and the bar is waived below 2 (the console says
+//     so explicitly).
+//
+// Every level replays the identical deterministic schedule (same queries,
+// same seed), so qps/p50/p99 differences are transport, not workload.
+// Quick defaults run in seconds; NCL_BENCH_FULL=1 enlarges the sweep.
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_common.h"
+#include "load_gen.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "serve/linking_service.h"
+#include "serve/model_snapshot.h"
+#include "util/env.h"
+#include "util/json_writer.h"
+#include "util/string_util.h"
+
+using namespace ncl;
+using namespace ncl::bench;
+
+namespace {
+
+net::Endpoint UdsEndpoint(const char* role, int index) {
+  net::Endpoint endpoint;
+  endpoint.kind = net::Endpoint::Kind::kUnix;
+  endpoint.path = "/tmp/ncl_bench_net_" + std::to_string(::getpid()) + "_" +
+                  role + "_" + std::to_string(index) + ".sock";
+  return endpoint;
+}
+
+/// One replica: registry + service + wire server, sharing the pipeline's
+/// model via no-op-deleter aliases (the pipeline outlives every replica).
+struct Replica {
+  serve::SnapshotRegistry registry;
+  std::unique_ptr<serve::LinkingService> service;
+  std::unique_ptr<net::Server> server;
+
+  Replica(const Pipeline& pipeline, size_t shards, const net::Endpoint& at) {
+    auto model = std::shared_ptr<const comaid::ComAidModel>(
+        pipeline.model.get(), [](const comaid::ComAidModel*) {});
+    auto candidates = std::shared_ptr<const linking::CandidateGenerator>(
+        pipeline.candidates.get(), [](const linking::CandidateGenerator*) {});
+    auto rewriter = std::shared_ptr<const linking::QueryRewriter>(
+        pipeline.rewriter.get(), [](const linking::QueryRewriter*) {});
+    registry.Publish(std::make_shared<serve::NclSnapshot>(
+        model, candidates, rewriter));
+    serve::ServeConfig config;
+    config.num_shards = shards;
+    config.max_batch = 2 * shards;
+    config.queue_capacity = 4 * shards;
+    config.policy = serve::OverloadPolicy::kBlock;
+    service = std::make_unique<serve::LinkingService>(&registry, config);
+    net::ServerConfig server_config;
+    server_config.endpoint = at;
+    server.reset(new net::Server(service.get(), &registry, server_config));
+  }
+
+  ~Replica() {
+    if (server) server->Stop();
+    if (service) service->Shutdown();
+  }
+};
+
+/// Closed loop over the wire: one connected client per load thread, all
+/// aimed at `endpoint`, replaying the shared schedule.
+LoadLevelResult RunWireLevel(const net::Endpoint& endpoint,
+                             const std::vector<linking::EvalQuery>& queries,
+                             size_t clients, size_t per_client,
+                             uint64_t seed) {
+  std::vector<std::unique_ptr<net::Client>> connections(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    auto connected = net::Client::Connect(endpoint);
+    if (!connected.ok()) {
+      std::cerr << "bench_net: connect to " << endpoint.ToString()
+                << " failed: " << connected.status().ToString() << "\n";
+      return LoadLevelResult{};
+    }
+    connections[c] = std::move(connected).value();
+  }
+  return RunClosedLoopLevel(
+      queries, clients, per_client, seed,
+      [&](size_t c, size_t, const linking::EvalQuery& query) {
+        auto response = connections[c]->Link(query.tokens);
+        return response.ok() && response->status.ok();
+      });
+}
+
+void PrintLevel(const char* tag, const LoadLevelResult& r) {
+  std::cout << "  " << tag << " clients=" << r.clients << "  qps="
+            << FormatDouble(r.qps, 1) << "  p50=" << FormatDouble(r.p50_us, 0)
+            << "us  p99=" << FormatDouble(r.p99_us, 0) << "us  ok=" << r.ok
+            << "/" << r.issued << "\n";
+}
+
+void EmitLevel(JsonWriter& json, const char* key, const LoadLevelResult& r) {
+  json.Key(key).BeginObject();
+  json.Key("clients").Value(static_cast<uint64_t>(r.clients));
+  json.Key("issued").Value(r.issued);
+  json.Key("ok").Value(r.ok);
+  json.Key("failed").Value(r.failed);
+  json.Key("qps").Value(r.qps);
+  json.Key("p50_us").Value(r.p50_us);
+  json.Key("p99_us").Value(r.p99_us);
+  json.EndObject();
+}
+
+}  // namespace
+
+int main() {
+  const bool full = BenchFullMode();
+  const size_t shards =
+      static_cast<size_t>(GetEnvInt("NCL_NET_SHARDS", full ? 4 : 2));
+  const size_t clients =
+      static_cast<size_t>(GetEnvInt("NCL_NET_CLIENTS", full ? 8 : 4));
+  const size_t per_client = static_cast<size_t>(
+      GetEnvInt("NCL_NET_PER_CLIENT", full ? 150 : 40));
+  constexpr uint64_t kSeed = 17;  // same schedule at every level
+
+  PipelineConfig config;
+  config.scale = full ? 0.5 : 0.3;
+  config.dim = 32;
+  config.num_query_groups = 1;
+  config.queries_per_group = full ? 160 : 64;
+  std::cout << "building pipeline (scale=" << config.scale << ", dim="
+            << config.dim << ")...\n";
+  std::unique_ptr<Pipeline> pipeline = BuildPipeline(config);
+  const std::vector<linking::EvalQuery>& queries = pipeline->eval_groups[0];
+
+  // --- in_process: the floor. One replica's service called directly.
+  LoadLevelResult in_process;
+  {
+    Replica replica(*pipeline, shards, UdsEndpoint("floor", 0));
+    in_process = RunClosedLoopLevel(
+        queries, clients, per_client, kSeed,
+        [&](size_t, size_t, const linking::EvalQuery& query) {
+          return replica.service->Link(query.tokens).status.ok();
+        });
+    PrintLevel("in_process", in_process);
+  }
+
+  // --- direct: one replica on a UDS, clients hold their own connections.
+  LoadLevelResult direct;
+  {
+    Replica replica(*pipeline, shards, UdsEndpoint("direct", 0));
+    Status started = replica.server->Start();
+    if (!started.ok()) {
+      std::cerr << "bench_net: server start failed: " << started.ToString()
+                << "\n";
+      return 1;
+    }
+    direct = RunWireLevel(replica.server->bound_endpoint(), queries, clients,
+                          per_client, kSeed);
+    PrintLevel("direct", direct);
+  }
+
+  // --- router_1 / router_2: the same load through a Router front-end,
+  // first over one backend (isolating the hop), then over two.
+  LoadLevelResult router_1;
+  LoadLevelResult router_2;
+  for (int replicas = 1; replicas <= 2; ++replicas) {
+    std::vector<std::unique_ptr<Replica>> fleet;
+    net::RouterConfig router_config;
+    router_config.listen = UdsEndpoint("router", replicas);
+    for (int i = 0; i < replicas; ++i) {
+      fleet.push_back(std::make_unique<Replica>(
+          *pipeline, shards, UdsEndpoint("replica", replicas * 10 + i)));
+      Status started = fleet.back()->server->Start();
+      if (!started.ok()) {
+        std::cerr << "bench_net: replica start failed: " << started.ToString()
+                  << "\n";
+        return 1;
+      }
+      router_config.backends.push_back(fleet.back()->server->bound_endpoint());
+    }
+    net::Router router(router_config);
+    Status started = router.Start();
+    if (!started.ok()) {
+      std::cerr << "bench_net: router start failed: " << started.ToString()
+                << "\n";
+      return 1;
+    }
+    LoadLevelResult level = RunWireLevel(router.bound_endpoint(), queries,
+                                         clients, per_client, kSeed);
+    PrintLevel(replicas == 1 ? "router_1" : "router_2", level);
+    (replicas == 1 ? router_1 : router_2) = level;
+    router.Stop();
+  }
+
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const double wire_tax_us = direct.p50_us - in_process.p50_us;
+  const double router_tax_us = router_1.p50_us - direct.p50_us;
+  const double fleet_speedup =
+      router_1.qps > 0.0 ? router_2.qps / router_1.qps : 0.0;
+  const bool bar_waived = hardware_threads < 2;
+  const bool bar_ok = bar_waived || fleet_speedup >= 1.3;
+
+  std::cout << "wire tax (direct - in_process, p50): "
+            << FormatDouble(wire_tax_us, 0) << "us\n";
+  std::cout << "router tax (router_1 - direct, p50): "
+            << FormatDouble(router_tax_us, 0) << "us\n";
+  std::cout << "fleet speedup (router_2 / router_1): "
+            << FormatDouble(fleet_speedup, 2) << "x (bar: >= 1.3x on >= 2 "
+            << "cores; this host has " << hardware_threads << ")"
+            << (bar_ok ? "" : "  ** UNDER BAR **") << "\n";
+  if (bar_waived) {
+    std::cout << "note: single-core host — the two replicas time-slice one "
+                 "core, so the scaling bar is waived; the numbers still pin "
+                 "the wire and router taxes.\n";
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("config").BeginObject();
+  json.Key("shards_per_replica").Value(static_cast<uint64_t>(shards));
+  json.Key("clients").Value(static_cast<uint64_t>(clients));
+  json.Key("per_client").Value(static_cast<uint64_t>(per_client));
+  json.Key("seed").Value(kSeed);
+  json.Key("scale").Value(config.scale);
+  json.Key("queries").Value(static_cast<uint64_t>(queries.size()));
+  json.Key("hardware_concurrency")
+      .Value(static_cast<uint64_t>(hardware_threads));
+  json.Key("full").Value(full);
+  json.EndObject();
+  EmitLevel(json, "in_process", in_process);
+  EmitLevel(json, "direct", direct);
+  EmitLevel(json, "router_1", router_1);
+  EmitLevel(json, "router_2", router_2);
+  json.Key("wire_tax_p50_us").Value(wire_tax_us);
+  json.Key("router_tax_p50_us").Value(router_tax_us);
+  json.Key("fleet_speedup").Value(fleet_speedup);
+  json.Key("fleet_speedup_bar_waived").Value(bar_waived);
+  json.Key("fleet_speedup_ok").Value(bar_ok);
+  json.EndObject();
+  Status status = json.WriteFile("BENCH_net.json");
+  if (!status.ok()) {
+    std::cerr << "failed to write BENCH_net.json: " << status.ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "wrote BENCH_net.json\n";
+  return 0;
+}

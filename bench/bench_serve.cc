@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "load_gen.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
@@ -53,12 +54,6 @@ using namespace ncl::bench;
 
 namespace {
 
-double Percentile(std::vector<double>& sorted_us, double p) {
-  if (sorted_us.empty()) return 0.0;
-  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_us.size() - 1));
-  return sorted_us[idx];
-}
-
 struct LevelResult {
   size_t clients = 0;
   double qps = 0.0;
@@ -70,31 +65,16 @@ struct LevelResult {
   uint64_t rejected = 0;
 };
 
-/// Closed loop: `clients` threads each issue `per_client` requests
-/// back-to-back against `service`, drawing round-robin from `queries`.
+/// Closed loop against an in-process `service`, via the shared generator
+/// (bench_net drives the identical schedule over the wire).
 LevelResult RunLevel(serve::LinkingService& service,
                      const std::vector<linking::EvalQuery>& queries,
                      size_t clients, size_t per_client) {
-  std::vector<std::vector<double>> latencies(clients);
-  std::vector<std::thread> threads;
-  Stopwatch wall;
-  for (size_t c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      latencies[c].reserve(per_client);
-      for (size_t i = 0; i < per_client; ++i) {
-        const auto& query = queries[(c * per_client + i) % queries.size()];
-        Stopwatch rtt;
-        serve::LinkResult result = service.Link(query.tokens);
-        if (result.status.ok()) latencies[c].push_back(rtt.ElapsedMicros());
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  const double elapsed = wall.ElapsedSeconds();
-
-  std::vector<double> merged;
-  for (auto& v : latencies) merged.insert(merged.end(), v.begin(), v.end());
-  std::sort(merged.begin(), merged.end());
+  LoadLevelResult load = RunClosedLoopLevel(
+      queries, clients, per_client, /*seed=*/0,
+      [&](size_t, size_t, const linking::EvalQuery& query) {
+        return service.Link(query.tokens).status.ok();
+      });
 
   serve::ServeStats stats = service.stats();
   LevelResult result;
@@ -102,9 +82,9 @@ LevelResult RunLevel(serve::LinkingService& service,
   result.completed = stats.completed;
   result.shed = stats.shed;
   result.rejected = stats.rejected;
-  result.qps = static_cast<double>(merged.size()) / elapsed;
-  result.p50_us = Percentile(merged, 0.50);
-  result.p99_us = Percentile(merged, 0.99);
+  result.qps = load.qps;
+  result.p50_us = load.p50_us;
+  result.p99_us = load.p99_us;
   const uint64_t total = stats.completed + stats.shed + stats.rejected +
                          stats.deadline_exceeded;
   result.shed_rate =

@@ -1,0 +1,60 @@
+#include "load_gen.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/stopwatch.h"
+
+namespace ncl::bench {
+
+double PercentileSorted(const std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  size_t idx =
+      static_cast<size_t>(p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+LoadLevelResult RunClosedLoopLevel(
+    const std::vector<linking::EvalQuery>& queries, size_t clients,
+    size_t per_client, uint64_t seed, const IssueFn& issue) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<uint64_t> failures(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Stopwatch wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      for (size_t i = 0; i < per_client; ++i) {
+        const auto& query =
+            queries[(seed + c * per_client + i) % queries.size()];
+        Stopwatch rtt;
+        if (issue(c, i, query)) {
+          latencies[c].push_back(rtt.ElapsedMicros());
+        } else {
+          ++failures[c];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  std::vector<double> merged;
+  for (auto& v : latencies) merged.insert(merged.end(), v.begin(), v.end());
+  std::sort(merged.begin(), merged.end());
+
+  LoadLevelResult result;
+  result.clients = clients;
+  result.issued = static_cast<uint64_t>(clients) * per_client;
+  result.ok = merged.size();
+  for (uint64_t f : failures) result.failed += f;
+  result.elapsed_s = elapsed;
+  result.qps =
+      elapsed > 0.0 ? static_cast<double>(merged.size()) / elapsed : 0.0;
+  result.p50_us = PercentileSorted(merged, 0.50);
+  result.p99_us = PercentileSorted(merged, 0.99);
+  return result;
+}
+
+}  // namespace ncl::bench

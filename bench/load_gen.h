@@ -1,0 +1,50 @@
+// Shared closed-loop load generator for the serving benchmarks.
+//
+// `clients` threads each issue `per_client` requests back-to-back, drawing
+// deterministically from a fixed query list; successful round trips merge
+// into one latency distribution. The transport is a callback, so the same
+// schedule drives an in-process LinkingService (bench_serve) and a wire
+// client behind a router (bench_net) identically: the seed fixes the
+// client->query assignment, making throughput numbers comparable across
+// transports and repeatable across invocations.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "linking/metrics.h"
+
+namespace ncl::bench {
+
+struct LoadLevelResult {
+  size_t clients = 0;
+  uint64_t issued = 0;
+  uint64_t ok = 0;      // requests whose round trip succeeded
+  uint64_t failed = 0;  // transport or service errors
+  double elapsed_s = 0.0;
+  double qps = 0.0;  // successful round trips per wall second
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// One call per request. Returns true when the round trip succeeded; only
+/// successful calls contribute to the latency distribution. Called
+/// concurrently from `clients` threads, one thread per `client` index.
+using IssueFn = std::function<bool(size_t client, size_t request,
+                                   const linking::EvalQuery& query)>;
+
+/// Runs the closed loop and merges per-client latencies. The schedule is
+/// `queries[(seed + client * per_client + request) % queries.size()]` —
+/// pure arithmetic, so two transports given the same (queries, clients,
+/// per_client, seed) issue byte-identical request streams.
+LoadLevelResult RunClosedLoopLevel(
+    const std::vector<linking::EvalQuery>& queries, size_t clients,
+    size_t per_client, uint64_t seed, const IssueFn& issue);
+
+/// Nearest-rank percentile over an already-sorted sample, `p` in [0, 1].
+double PercentileSorted(const std::vector<double>& sorted_us, double p);
+
+}  // namespace ncl::bench

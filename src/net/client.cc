@@ -1,0 +1,221 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace ncl::net {
+
+namespace {
+
+struct ClientMetrics {
+  obs::Counter* requests;
+  obs::Counter* retries;
+  obs::Counter* transport_errors;
+};
+
+const ClientMetrics& GetClientMetrics() {
+  static const ClientMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return ClientMetrics{registry.GetCounter("ncl.net.client.requests"),
+                         registry.GetCounter("ncl.net.client.retries"),
+                         registry.GetCounter("ncl.net.client.transport_errors")};
+  }();
+  return metrics;
+}
+
+bool Retryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const Endpoint& endpoint,
+                                                ClientConfig config) {
+  std::unique_ptr<Client> client(new Client(endpoint, config));
+  std::lock_guard<std::mutex> lock(client->mutex_);
+  NCL_RETURN_NOT_OK(client->EnsureConnectedLocked());
+  return client;
+}
+
+Status Client::EnsureConnectedLocked() {
+  if (fd_.valid()) return Status::OK();
+  NCL_ASSIGN_OR_RETURN(fd_, net::Connect(endpoint_, config_.connect_timeout_ms));
+  return Status::OK();
+}
+
+Status Client::SendFrameLocked(const std::string& frame) {
+  Status status = SendAll(fd_.get(), frame, config_.send_timeout_ms);
+  if (!status.ok()) {
+    GetClientMetrics().transport_errors->Increment();
+    DisconnectLocked();
+  }
+  return status;
+}
+
+Result<Frame> Client::ReadFrameLocked() {
+  std::string header_bytes;
+  Status status =
+      RecvExactly(fd_.get(), kHeaderSize, &header_bytes, config_.recv_timeout_ms);
+  if (!status.ok()) {
+    GetClientMetrics().transport_errors->Increment();
+    DisconnectLocked();
+    return status;
+  }
+  Result<FrameHeader> header = DecodeHeader(header_bytes, config_.max_body_bytes);
+  if (!header.ok()) {
+    // A framing error means we lost stream sync: the connection is useless.
+    DisconnectLocked();
+    return header.status();
+  }
+  Frame frame;
+  frame.header = *header;
+  if (header->body_size > 0) {
+    status = RecvExactly(fd_.get(), header->body_size, &frame.body,
+                         config_.recv_timeout_ms);
+    if (!status.ok()) {
+      GetClientMetrics().transport_errors->Increment();
+      DisconnectLocked();
+      return status;
+    }
+  }
+  return frame;
+}
+
+Result<Frame> Client::RoundTripLocked(const std::string& frame,
+                                      MessageType expected,
+                                      uint64_t correlation_id) {
+  NCL_RETURN_NOT_OK(EnsureConnectedLocked());
+  NCL_RETURN_NOT_OK(SendFrameLocked(frame));
+  NCL_ASSIGN_OR_RETURN(Frame reply, ReadFrameLocked());
+  if (reply.header.correlation_id != correlation_id) {
+    // Only possible after mixing pipelined and sync calls on one client;
+    // the stream is out of step with this caller.
+    DisconnectLocked();
+    return Status::Internal(
+        "response correlation id " + std::to_string(reply.header.correlation_id) +
+        " does not match request " + std::to_string(correlation_id));
+  }
+  if (reply.header.type == MessageType::kError) {
+    Status enveloped;
+    NCL_RETURN_NOT_OK(DecodeStatusEnvelope(reply.body, &enveloped));
+    return enveloped;
+  }
+  if (reply.header.type != expected) {
+    DisconnectLocked();
+    return Status::Internal("unexpected response type " +
+                            std::to_string(static_cast<int>(reply.header.type)));
+  }
+  return reply;
+}
+
+Result<LinkResponseMsg> Client::Link(const std::vector<std::string>& tokens,
+                                     uint64_t deadline_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GetClientMetrics().requests->Increment();
+  LinkRequestMsg request;
+  request.deadline_us = deadline_us;
+  request.tokens = tokens;
+
+  Status last_error;
+  int backoff_ms = config_.initial_backoff_ms;
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      GetClientMetrics().retries->Increment();
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    const uint64_t correlation_id = next_correlation_id_++;
+    Result<Frame> reply = RoundTripLocked(
+        EncodeLinkRequest(correlation_id, request), MessageType::kLinkResponse,
+        correlation_id);
+    if (!reply.ok()) {
+      if (Retryable(reply.status())) {
+        last_error = reply.status();
+        continue;
+      }
+      return reply.status();
+    }
+    Result<LinkResponseMsg> response = DecodeLinkResponse(reply->body);
+    if (!response.ok()) return response.status();
+    if (Retryable(response->status)) {
+      // The service itself said Unavailable (shed / draining / shut down):
+      // same treatment as a dead connection.
+      last_error = response->status;
+      continue;
+    }
+    return response;
+  }
+  return Status::Unavailable(
+      "link to " + endpoint_.ToString() + " failed after " +
+      std::to_string(config_.max_retries + 1) + " attempts: " +
+      last_error.ToString());
+}
+
+Result<uint64_t> Client::SendLink(const std::vector<std::string>& tokens,
+                                  uint64_t deadline_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NCL_RETURN_NOT_OK(EnsureConnectedLocked());
+  GetClientMetrics().requests->Increment();
+  LinkRequestMsg request;
+  request.deadline_us = deadline_us;
+  request.tokens = tokens;
+  const uint64_t correlation_id = next_correlation_id_++;
+  NCL_RETURN_NOT_OK(SendFrameLocked(EncodeLinkRequest(correlation_id, request)));
+  return correlation_id;
+}
+
+Result<LinkResponseMsg> Client::ReceiveLink(uint64_t* correlation_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("ReceiveLink on a disconnected client");
+  }
+  NCL_ASSIGN_OR_RETURN(Frame reply, ReadFrameLocked());
+  if (correlation_id != nullptr) *correlation_id = reply.header.correlation_id;
+  if (reply.header.type == MessageType::kError) {
+    Status enveloped;
+    NCL_RETURN_NOT_OK(DecodeStatusEnvelope(reply.body, &enveloped));
+    return enveloped;
+  }
+  if (reply.header.type != MessageType::kLinkResponse) {
+    DisconnectLocked();
+    return Status::Internal("unexpected response type " +
+                            std::to_string(static_cast<int>(reply.header.type)));
+  }
+  return DecodeLinkResponse(reply.body);
+}
+
+Result<HealthResponseMsg> Client::Health() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t correlation_id = next_correlation_id_++;
+  NCL_ASSIGN_OR_RETURN(
+      Frame reply,
+      RoundTripLocked(EncodeHealthRequest(correlation_id),
+                      MessageType::kHealthResponse, correlation_id));
+  return DecodeHealthResponse(reply.body);
+}
+
+Result<StatsResponseMsg> Client::Stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t correlation_id = next_correlation_id_++;
+  NCL_ASSIGN_OR_RETURN(
+      Frame reply,
+      RoundTripLocked(EncodeStatsRequest(correlation_id),
+                      MessageType::kStatsResponse, correlation_id));
+  return DecodeStatsResponse(reply.body);
+}
+
+Status Client::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t correlation_id = next_correlation_id_++;
+  Result<Frame> reply =
+      RoundTripLocked(EncodeDrainRequest(correlation_id),
+                      MessageType::kDrainResponse, correlation_id);
+  if (!reply.ok()) return reply.status();
+  Status acknowledged;
+  NCL_RETURN_NOT_OK(DecodeStatusEnvelope(reply->body, &acknowledged));
+  return acknowledged;
+}
+
+}  // namespace ncl::net

@@ -1,0 +1,98 @@
+// net::Client — blocking and pipelined client for the ncl::net protocol.
+//
+// One client owns one connection. The sync entry point Link() sends a
+// request and waits for its response, reconnecting and retrying with
+// exponential backoff when the transport or the service says Unavailable
+// (replica down, connection reset, drained mid-flight) up to
+// ClientConfig::max_retries extra attempts — the retryable set is exactly
+// Unavailable; DeadlineExceeded, ResourceExhausted and scoring errors are
+// returned to the caller untouched, Status code intact.
+//
+// Pipelining: SendLink() fires a request without waiting and returns its
+// correlation id; ReceiveLink() blocks for the next response on the wire.
+// Responses come back in server completion order, so a pipelined caller
+// matches them by the returned id. Pipelined sends do not retry — a
+// transport error surfaces on the call and the connection is reset, losing
+// the in-flight window (the caller re-sends what it still cares about).
+//
+// Thread safety: calls are serialised internally with a mutex, so a client
+// *may* be shared, but each call holds the connection for its full round
+// trip — concurrent throughput needs one client (one connection) per
+// thread, which is how serve-eval and bench_net drive the fleet.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace ncl::net {
+
+struct ClientConfig {
+  int connect_timeout_ms = 2000;
+  int send_timeout_ms = 5000;
+  int recv_timeout_ms = 10000;
+  /// Extra attempts after the first when the failure is Unavailable.
+  int max_retries = 2;
+  /// First retry backoff; doubles per attempt (10, 20, 40, ...).
+  int initial_backoff_ms = 10;
+  uint32_t max_body_bytes = kDefaultMaxBodyBytes;
+};
+
+/// \brief One connection to a net::Server (or Router) speaking net/wire.h.
+class Client {
+ public:
+  /// Construct and connect. Fails Unavailable when the peer is down.
+  static Result<std::unique_ptr<Client>> Connect(const Endpoint& endpoint,
+                                                 ClientConfig config = {});
+
+  /// Sync link: send, wait, retry on Unavailable per the config. The
+  /// deadline travels on the wire and is enforced by the replica's
+  /// admission control (DeadlineExceeded comes back in the envelope).
+  Result<LinkResponseMsg> Link(const std::vector<std::string>& tokens,
+                               uint64_t deadline_us = 0);
+
+  /// Pipelined send: returns the correlation id to match in ReceiveLink.
+  /// No retry; a transport error resets the connection.
+  Result<uint64_t> SendLink(const std::vector<std::string>& tokens,
+                            uint64_t deadline_us = 0);
+
+  /// Next link response on the wire (server completion order). `*correlation_id`
+  /// receives the id of the request it answers.
+  Result<LinkResponseMsg> ReceiveLink(uint64_t* correlation_id);
+
+  Result<HealthResponseMsg> Health();
+  Result<StatsResponseMsg> Stats();
+  /// Ask the replica to drain (see Server docs). OK means acknowledged.
+  Status Drain();
+
+  const Endpoint& endpoint() const { return endpoint_; }
+
+ private:
+  Client(Endpoint endpoint, ClientConfig config)
+      : endpoint_(std::move(endpoint)), config_(config) {}
+
+  Status EnsureConnectedLocked();
+  void DisconnectLocked() { fd_ = Fd(); }
+  Status SendFrameLocked(const std::string& frame);
+  /// Read one complete frame (header + body) off the connection.
+  Result<Frame> ReadFrameLocked();
+  /// Send `frame`, read one frame, check it answers `correlation_id` with
+  /// `expected` (kError envelopes are unwrapped into the returned Status).
+  Result<Frame> RoundTripLocked(const std::string& frame,
+                                MessageType expected, uint64_t correlation_id);
+
+  const Endpoint endpoint_;
+  const ClientConfig config_;
+  std::mutex mutex_;
+  Fd fd_;
+  uint64_t next_correlation_id_ = 1;
+};
+
+}  // namespace ncl::net

@@ -1,0 +1,436 @@
+#include "net/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace ncl::net {
+
+namespace {
+
+/// Registry handles for `ncl.net.*`, resolved once.
+struct NetMetrics {
+  obs::Counter* connections;
+  obs::Gauge* active_connections;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* requests;
+  obs::Counter* responses;
+  obs::Counter* decode_errors;
+  obs::Gauge* in_flight;
+  obs::Counter* drain_requests;
+};
+
+const NetMetrics& GetNetMetrics() {
+  static const NetMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return NetMetrics{registry.GetCounter("ncl.net.connections"),
+                      registry.GetGauge("ncl.net.active_connections"),
+                      registry.GetCounter("ncl.net.bytes_in"),
+                      registry.GetCounter("ncl.net.bytes_out"),
+                      registry.GetCounter("ncl.net.requests"),
+                      registry.GetCounter("ncl.net.responses"),
+                      registry.GetCounter("ncl.net.decode_errors"),
+                      registry.GetGauge("ncl.net.in_flight"),
+                      registry.GetCounter("ncl.net.drain_requests")};
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+Server::Server(serve::LinkingService* service, serve::SnapshotRegistry* registry,
+               ServerConfig config)
+    : service_(service), registry_(registry), config_(std::move(config)) {
+  NCL_CHECK(service_ != nullptr);
+  NCL_CHECK(registry_ != nullptr);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  NCL_CHECK(!started_.load()) << "Server::Start called twice";
+  NCL_ASSIGN_OR_RETURN(listener_, Listen(config_.endpoint, config_.backlog));
+  NCL_ASSIGN_OR_RETURN(bound_endpoint_,
+                       LocalEndpoint(listener_, config_.endpoint));
+  NCL_RETURN_NOT_OK(SetNonBlocking(listener_.get()));
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wakeup_read_ = Fd(pipe_fds[0]);
+  wakeup_write_ = Fd(pipe_fds[1]);
+  NCL_RETURN_NOT_OK(SetNonBlocking(wakeup_read_.get()));
+  NCL_RETURN_NOT_OK(SetNonBlocking(wakeup_write_.get()));
+
+  started_.store(true);
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  completion_thread_ = std::thread([this] { CompletionLoop(); });
+  drain_thread_ = std::thread([this] { DrainLoop(); });
+  NCL_LOG(Info) << "net::Server listening on " << bound_endpoint_.ToString();
+  return Status::OK();
+}
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (!started_.load() || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  Wakeup();
+  inflight_cv_.notify_all();
+  drain_cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  if (completion_thread_.joinable()) completion_thread_.join();
+  if (drain_thread_.joinable()) drain_thread_.join();
+  if (config_.endpoint.kind == Endpoint::Kind::kUnix) {
+    ::unlink(config_.endpoint.path.c_str());
+  }
+}
+
+void Server::Wakeup() {
+  if (!wakeup_write_.valid()) return;
+  const char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wakeup_write_.get(), &byte, 1);
+}
+
+void Server::WaitForDrain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] { return flushed_ || stopping_.load(); });
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  stats.active_connections = active_connections_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.responses = responses_.load(std::memory_order_relaxed);
+  stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
+  stats.drain_requests = drain_requests_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Server::QueueResponse(Connection* conn, std::string frame_bytes) {
+  conn->outbox.append(frame_bytes);
+}
+
+void Server::HandleFrame(Connection* conn, Frame frame) {
+  const NetMetrics& metrics = GetNetMetrics();
+  const uint64_t correlation_id = frame.header.correlation_id;
+  switch (frame.header.type) {
+    case MessageType::kLinkRequest: {
+      Result<LinkRequestMsg> request = DecodeLinkRequest(frame.body);
+      if (!request.ok()) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        metrics.decode_errors->Increment();
+        QueueResponse(conn,
+                      EncodeErrorResponse(correlation_id, request.status()));
+        return;
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      metrics.requests->Increment();
+      serve::RequestOptions options;
+      options.deadline = std::chrono::microseconds(request->deadline_us);
+      // May block under a full kBlock admission queue — intentional: the
+      // loop stops reading and the kernel back-pressures every client.
+      std::future<serve::LinkResult> future =
+          service_->SubmitLink(std::move(request->tokens), options);
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      metrics.in_flight->Increment();
+      {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.push_back(
+            InFlight{conn->id, correlation_id, std::move(future)});
+      }
+      inflight_cv_.notify_one();
+      return;
+    }
+    case MessageType::kHealthRequest: {
+      HealthResponseMsg health;
+      health.state = drain_requested() ? ServerState::kDraining
+                                       : ServerState::kServing;
+      health.snapshot_version = registry_->current_version();
+      QueueResponse(conn, EncodeHealthResponse(correlation_id, health));
+      return;
+    }
+    case MessageType::kStatsRequest: {
+      StatsResponseMsg stats_msg;
+      stats_msg.stats = service_->stats();
+      QueueResponse(conn, EncodeStatsResponse(correlation_id, stats_msg));
+      return;
+    }
+    case MessageType::kDrainRequest: {
+      drain_requests_.fetch_add(1, std::memory_order_relaxed);
+      metrics.drain_requests->Increment();
+      // Acknowledge first, drain on the helper thread: Drain() blocks until
+      // the queue empties, which must not stall the loop that has to flush
+      // the very responses Drain waits on.
+      drain_requested_.store(true, std::memory_order_release);
+      drain_cv_.notify_all();
+      QueueResponse(conn, EncodeDrainResponse(correlation_id, Status::OK()));
+      NCL_LOG(Info) << "net::Server drain requested over the wire";
+      return;
+    }
+    default: {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics.decode_errors->Increment();
+      QueueResponse(
+          conn,
+          EncodeErrorResponse(
+              correlation_id,
+              Status::InvalidArgument(
+                  "unexpected message type " +
+                  std::to_string(static_cast<int>(frame.header.type)))));
+      return;
+    }
+  }
+}
+
+void Server::EventLoop() {
+  const NetMetrics& metrics = GetNetMetrics();
+  std::vector<pollfd> pollfds;
+  std::vector<uint64_t> poll_conn_ids;  // parallel to pollfds, 0 = not a conn
+  char read_buf[64 * 1024];
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfds.clear();
+    poll_conn_ids.clear();
+    pollfds.push_back(pollfd{wakeup_read_.get(), POLLIN, 0});
+    poll_conn_ids.push_back(0);
+    // Accepting continues through a drain: fresh connections must still be
+    // able to ask Health (that is how a router's probe sees kDraining —
+    // probes reconnect each sweep) and get a proper Unavailable for link
+    // requests from SubmitLink, instead of hanging in the backlog.
+    pollfds.push_back(pollfd{listener_.get(), POLLIN, 0});
+    poll_conn_ids.push_back(0);
+    for (auto& [id, conn] : connections_) {
+      short events = POLLIN;
+      if (conn->outbox_sent < conn->outbox.size()) events |= POLLOUT;
+      pollfds.push_back(pollfd{conn->fd.get(), events, 0});
+      poll_conn_ids.push_back(id);
+    }
+
+    int ready = ::poll(pollfds.data(), pollfds.size(), /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) {
+      NCL_LOG(Error) << "net::Server poll: " << std::strerror(errno);
+      break;
+    }
+
+    // Splice responses encoded by the completion thread into outboxes.
+    {
+      std::vector<std::pair<uint64_t, std::string>> writes;
+      {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        writes.swap(pending_writes_);
+      }
+      for (auto& [conn_id, bytes] : writes) {
+        auto it = connections_.find(conn_id);
+        if (it != connections_.end()) QueueResponse(it->second.get(), bytes);
+        // else: the client went away before its response was ready — drop.
+      }
+    }
+
+    for (size_t i = 0; i < pollfds.size(); ++i) {
+      const pollfd& pfd = pollfds[i];
+      if (pfd.revents == 0) continue;
+      if (pfd.fd == wakeup_read_.get()) {
+        char drain[256];
+        while (::read(wakeup_read_.get(), drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (pfd.fd == listener_.get() && poll_conn_ids[i] == 0) {
+        for (;;) {
+          int client = ::accept(listener_.get(), nullptr, nullptr);
+          if (client < 0) break;  // EAGAIN or transient error
+          Status status = SetNonBlocking(client);
+          if (!status.ok()) {
+            NCL_LOG(Warning) << "net::Server accept setup: " << status.ToString();
+            ::close(client);
+            continue;
+          }
+          auto conn = std::make_unique<Connection>(config_.max_body_bytes);
+          conn->fd = Fd(client);
+          conn->id = next_connection_id_++;
+          connections_.emplace(conn->id, std::move(conn));
+          connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+          metrics.connections->Increment();
+          active_connections_.store(connections_.size(),
+                                    std::memory_order_relaxed);
+          metrics.active_connections->Set(
+              static_cast<double>(connections_.size()));
+        }
+        continue;
+      }
+
+      auto it = connections_.find(poll_conn_ids[i]);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      bool close_conn = false;
+
+      if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // Flush what we can if only the read side hung up; a hard error
+        // closes immediately below.
+        conn->closing = true;
+        if (pfd.revents & (POLLERR | POLLNVAL)) close_conn = true;
+      }
+
+      if (!close_conn && (pfd.revents & POLLIN)) {
+        for (;;) {
+          ssize_t n = ::recv(conn->fd.get(), read_buf, sizeof(read_buf), 0);
+          if (n > 0) {
+            metrics.bytes_in->Increment(static_cast<uint64_t>(n));
+            conn->decoder.Append(std::string_view(read_buf, n));
+            continue;
+          }
+          if (n == 0) {
+            conn->closing = true;  // peer sent FIN; flush pending responses
+            break;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          close_conn = true;
+          break;
+        }
+        Frame frame;
+        Status status;
+        while (conn->decoder.Next(&frame, &status)) {
+          HandleFrame(conn, std::move(frame));
+        }
+        if (!status.ok()) {
+          // Framing is unrecoverable on a byte stream: log, count, close.
+          decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          metrics.decode_errors->Increment();
+          NCL_LOG(Warning) << "net::Server closing connection " << conn->id
+                           << ": " << status.ToString();
+          close_conn = true;
+        }
+      }
+
+      if (!close_conn && (conn->outbox_sent < conn->outbox.size())) {
+        for (;;) {
+          const size_t remaining = conn->outbox.size() - conn->outbox_sent;
+          if (remaining == 0) break;
+          ssize_t n = ::send(conn->fd.get(), conn->outbox.data() + conn->outbox_sent,
+                             remaining, MSG_NOSIGNAL);
+          if (n > 0) {
+            metrics.bytes_out->Increment(static_cast<uint64_t>(n));
+            conn->outbox_sent += static_cast<size_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+            break;
+          }
+          close_conn = true;  // EPIPE / reset
+          break;
+        }
+        if (conn->outbox_sent == conn->outbox.size()) {
+          conn->outbox.clear();
+          conn->outbox_sent = 0;
+        }
+      }
+
+      if (close_conn ||
+          (conn->closing && conn->outbox_sent >= conn->outbox.size())) {
+        connections_.erase(it);
+        active_connections_.store(connections_.size(), std::memory_order_relaxed);
+        metrics.active_connections->Set(static_cast<double>(connections_.size()));
+      }
+    }
+
+    // Drain epilogue: once the service is drained, every in-flight response
+    // is encoded and every outbox is empty, the fleet owner may stop us.
+    if (drain_requested()) {
+      bool all_flushed = in_flight_.load(std::memory_order_acquire) == 0;
+      if (all_flushed) {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        all_flushed = pending_writes_.empty();
+      }
+      if (all_flushed) {
+        for (auto& [id, conn] : connections_) {
+          if (conn->outbox_sent < conn->outbox.size()) {
+            all_flushed = false;
+            break;
+          }
+        }
+      }
+      if (all_flushed) {
+        std::lock_guard<std::mutex> lock(drain_mutex_);
+        if (drained_ && !flushed_) {
+          flushed_ = true;
+          drain_cv_.notify_all();
+        }
+      }
+    }
+  }
+  connections_.clear();
+  active_connections_.store(0, std::memory_order_relaxed);
+  GetNetMetrics().active_connections->Set(0.0);
+}
+
+void Server::CompletionLoop() {
+  const NetMetrics& metrics = GetNetMetrics();
+  for (;;) {
+    InFlight entry;
+    {
+      std::unique_lock<std::mutex> lock(inflight_mutex_);
+      inflight_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !inflight_.empty();
+      });
+      if (inflight_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      entry = std::move(inflight_.front());
+      inflight_.pop_front();
+    }
+    // Futures always resolve (LinkingService contract), even across
+    // Drain/Shutdown, so this wait is bounded by service progress.
+    serve::LinkResult result = entry.future.get();
+    LinkResponseMsg response;
+    response.status = std::move(result.status);
+    response.snapshot_version = result.snapshot_version;
+    response.server_request_id = result.request_id;
+    response.timings = result.timings;
+    response.candidates = std::move(result.candidates);
+    std::string bytes = EncodeLinkResponse(entry.correlation_id, response);
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_writes_.emplace_back(entry.connection_id, std::move(bytes));
+    }
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    metrics.responses->Increment();
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    metrics.in_flight->Add(-1.0);
+    Wakeup();
+  }
+}
+
+void Server::DrainLoop() {
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] {
+      return drain_requested_.load(std::memory_order_acquire) ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    if (!drain_requested_.load(std::memory_order_acquire)) return;
+  }
+  // Off-loop: completes everything queued; the completion + event loops
+  // flush the responses while we wait here.
+  service_->Drain();
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drained_ = true;
+  }
+  drain_cv_.notify_all();
+  Wakeup();  // let the event loop run its drain epilogue promptly
+  NCL_LOG(Info) << "net::Server service drained";
+}
+
+}  // namespace ncl::net

@@ -1,0 +1,191 @@
+// net::Server — the transport that turns a LinkingService into a network
+// replica.
+//
+// One poll(2) event loop owns the listener and every connection: it accepts,
+// reads, decodes frames (net/wire.h) and writes buffered responses; it never
+// scores. Link requests are submitted to the LinkingService via SubmitLink —
+// the wire deadline_us field becomes RequestOptions::deadline, so admission
+// control, micro-batching and deadline enforcement are exactly the
+// in-process semantics — and a completion thread waits on the returned
+// futures in FIFO order (the dispatcher resolves them in near-FIFO order, so
+// head-of-line waiting is cheap), encodes LinkResponse frames and hands the
+// bytes back to the event loop through a wakeup pipe. Health, Stats and
+// Drain frames are answered inline on the loop.
+//
+// Backpressure: the admission queue's kBlock policy blocks SubmitLink on the
+// event-loop thread, which stops the server reading new frames until the
+// queue has space — TCP/UDS flow control then pushes back on every client.
+// That is intentional (it is the wire analogue of a blocked in-process
+// submitter); deployments that prefer fast failure configure kReject or
+// kShedOldest and the error envelope carries ResourceExhausted/Unavailable
+// to the client with the Status code intact.
+//
+// Drain: a kDrainRequest is acknowledged immediately, then a helper thread
+// runs LinkingService::Drain() — queued requests complete and their
+// responses flush before WaitForDrain() returns, while health flips to
+// kDraining so a router stops routing here. New link requests after a drain
+// fail with Unavailable (from SubmitLink). This is the per-replica half of
+// zero-downtime rollout: drain, restart with the new model (the
+// SnapshotRegistry publish flow), health flips back to kServing, the router
+// re-adds the replica.
+//
+// Observability (`ncl.net.*`): connections / active_connections,
+// bytes_in / bytes_out, requests / responses, decode_errors, in_flight,
+// drain_requests.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/linking_service.h"
+#include "serve/model_snapshot.h"
+#include "util/status.h"
+
+namespace ncl::net {
+
+struct ServerConfig {
+  Endpoint endpoint;
+  /// Frames announcing a larger body are rejected and the connection closed.
+  uint32_t max_body_bytes = kDefaultMaxBodyBytes;
+  /// listen(2) backlog.
+  int backlog = 64;
+};
+
+/// Point-in-time transport counters (per instance; the same events also
+/// feed the global `ncl.net.*` metrics).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  size_t active_connections = 0;
+  uint64_t requests = 0;        ///< link requests decoded
+  uint64_t responses = 0;       ///< link responses written out
+  uint64_t decode_errors = 0;   ///< malformed frames / bodies
+  size_t in_flight = 0;         ///< submitted, response not yet encoded
+  uint64_t drain_requests = 0;
+};
+
+/// \brief Serves one LinkingService over TCP or a Unix-domain socket.
+class Server {
+ public:
+  /// `service` and `registry` must outlive the server. The registry is only
+  /// read for the health response's snapshot version.
+  Server(serve::LinkingService* service, serve::SnapshotRegistry* registry,
+         ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and start the event loop. Fails if the endpoint is bad or
+  /// already bound; idempotence is not supported (one Start per instance).
+  Status Start();
+
+  /// Stop accepting and reading, let in-flight futures resolve, close every
+  /// connection, join the threads. Idempotent. Does not stop the service.
+  void Stop();
+
+  /// Block until a wire Drain has been requested *and* the service finished
+  /// draining *and* every in-flight response has been flushed to its socket.
+  /// serve-net uses this to exit cleanly after a remote drain.
+  void WaitForDrain();
+
+  /// True once a kDrainRequest has been seen (health reports kDraining).
+  bool drain_requested() const {
+    return drain_requested_.load(std::memory_order_acquire);
+  }
+
+  /// The endpoint actually bound (ephemeral TCP ports resolved). Valid
+  /// after a successful Start.
+  const Endpoint& bound_endpoint() const { return bound_endpoint_; }
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    Fd fd;
+    uint64_t id = 0;
+    FrameDecoder decoder;
+    std::string outbox;      ///< encoded responses awaiting POLLOUT
+    size_t outbox_sent = 0;  ///< prefix of outbox already written
+    bool closing = false;    ///< close once the outbox flushes
+    explicit Connection(uint32_t max_body) : decoder(max_body) {}
+  };
+
+  /// One submitted link request whose response is still pending.
+  struct InFlight {
+    uint64_t connection_id = 0;
+    uint64_t correlation_id = 0;
+    std::future<serve::LinkResult> future;
+  };
+
+  void EventLoop();
+  void CompletionLoop();
+  void DrainLoop();
+  void HandleFrame(Connection* conn, Frame frame);
+  void QueueResponse(Connection* conn, std::string frame_bytes);
+  void Wakeup();
+
+  serve::LinkingService* service_;
+  serve::SnapshotRegistry* registry_;
+  const ServerConfig config_;
+  Endpoint bound_endpoint_;
+
+  Fd listener_;
+  Fd wakeup_read_;
+  Fd wakeup_write_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::mutex stop_mutex_;  ///< serialises Stop/destructor
+  bool stopped_ = false;   ///< guarded by stop_mutex_
+
+  /// Responses encoded off-loop (completion thread), spliced into
+  /// connection outboxes by the event loop after a wakeup.
+  std::mutex pending_mutex_;
+  std::vector<std::pair<uint64_t, std::string>> pending_writes_;
+
+  /// FIFO of futures the completion thread resolves.
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::deque<InFlight> inflight_;
+
+  /// Drain state machine: requested (wire) -> drained (service) -> flushed
+  /// (all responses on the wire).
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::atomic<bool> drain_requested_{false};
+  bool drained_ = false;
+  bool flushed_ = false;
+
+  /// Per-instance counters (event loop thread + completion thread).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<uint64_t> drain_requests_{0};
+
+  std::thread loop_thread_;
+  std::thread completion_thread_;
+  std::thread drain_thread_;
+
+  /// Event-loop-private connection table (id -> connection). Ids are
+  /// monotonic so a recycled fd never aliases a stale pending write.
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_connection_id_ = 1;
+};
+
+}  // namespace ncl::net

@@ -1,0 +1,179 @@
+// ncl::net wire protocol — length-prefixed, versioned binary framing.
+//
+// Every message on a connection is one frame:
+//
+//     offset  size  field
+//     ------  ----  -----------------------------------------------
+//          0     2  magic 0x4E43 ("NC", little-endian on the wire)
+//          2     1  protocol version (kProtocolVersion)
+//          3     1  message type (MessageType)
+//          4     4  body length in bytes (u32 LE, <= max_body_bytes)
+//          8     8  correlation id (u64 LE, echoed verbatim in the reply)
+//         16     -  body (per-type layout below)
+//
+// The correlation id is chosen by the sender of a request and copied into
+// the matching response, so clients may pipeline: several requests can be
+// in flight on one connection and responses are matched by id, not order
+// (the server happens to respond in completion order).
+//
+// Integers are little-endian fixed-width; doubles travel as their IEEE-754
+// bit pattern in a u64. Strings and token lists are u32-length-prefixed.
+// Status travels as an *error envelope*: the code's canonical name (see
+// StatusCodeToString / StatusCodeFromString — names, not raw enum values,
+// so a renumbered enum can never alias across versions) plus the message.
+//
+// Versioning rules: the header layout is frozen; kProtocolVersion bumps
+// whenever any body layout changes. A decoder that sees a version it does
+// not speak rejects the frame with InvalidArgument before reading the body
+// — there is no cross-version negotiation, replicas and routers are
+// deployed from the same build.
+//
+// Body layouts (request → response):
+//
+//   kLinkRequest:   u64 deadline_us (0 = none), u32 n, n × string token
+//   kLinkResponse:  envelope, u64 snapshot_version, u64 server_request_id,
+//                   6 × f64 timings (queue_wait, batch_form, candgen, ed,
+//                   rank, total — serve::RequestTimings), u32 n,
+//                   n × { i32 concept_id, f64 log_prob, f64 loss }
+//   kHealthRequest: (empty)
+//   kHealthResponse: u8 state (ServerState), u64 snapshot_version
+//   kDrainRequest:  (empty)
+//   kDrainResponse: envelope
+//   kStatsRequest:  (empty)
+//   kStatsResponse: 8 × u64 (admitted, rejected, shed, deadline_exceeded,
+//                   completed, batches, queue_depth, max_queue_depth)
+//   kError:         envelope — the response to a frame whose header parsed
+//                   but whose body or type did not.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linking/ncl_linker.h"
+#include "serve/linking_service.h"
+#include "util/status.h"
+
+namespace ncl::net {
+
+inline constexpr uint16_t kMagic = 0x4E43;
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderSize = 16;
+/// Default body-size cap; a header announcing more is a decode error (it is
+/// a corrupt stream or a hostile peer, not a big request).
+inline constexpr uint32_t kDefaultMaxBodyBytes = 16u << 20;
+
+enum class MessageType : uint8_t {
+  kLinkRequest = 1,
+  kLinkResponse = 2,
+  kHealthRequest = 3,
+  kHealthResponse = 4,
+  kDrainRequest = 5,
+  kDrainResponse = 6,
+  kStatsRequest = 7,
+  kStatsResponse = 8,
+  kError = 9,
+};
+
+/// What a replica reports in kHealthResponse.
+enum class ServerState : uint8_t {
+  kServing = 0,
+  kDraining = 1,  ///< drain requested: finish queued work, admit nothing new
+};
+
+struct FrameHeader {
+  uint8_t version = kProtocolVersion;
+  MessageType type = MessageType::kError;
+  uint32_t body_size = 0;
+  uint64_t correlation_id = 0;
+};
+
+struct LinkRequestMsg {
+  uint64_t deadline_us = 0;  ///< propagated into serve::RequestOptions
+  std::vector<std::string> tokens;
+};
+
+struct LinkResponseMsg {
+  Status status;
+  uint64_t snapshot_version = 0;
+  uint64_t server_request_id = 0;
+  serve::RequestTimings timings;
+  std::vector<linking::ScoredCandidate> candidates;
+};
+
+struct HealthResponseMsg {
+  ServerState state = ServerState::kServing;
+  uint64_t snapshot_version = 0;
+};
+
+struct StatsResponseMsg {
+  serve::ServeStats stats;
+};
+
+// --- Encoding. Each encoder returns one complete frame (header + body).
+
+std::string EncodeLinkRequest(uint64_t correlation_id, const LinkRequestMsg& msg);
+std::string EncodeLinkResponse(uint64_t correlation_id, const LinkResponseMsg& msg);
+std::string EncodeHealthRequest(uint64_t correlation_id);
+std::string EncodeHealthResponse(uint64_t correlation_id, const HealthResponseMsg& msg);
+std::string EncodeDrainRequest(uint64_t correlation_id);
+std::string EncodeDrainResponse(uint64_t correlation_id, const Status& status);
+std::string EncodeStatsRequest(uint64_t correlation_id);
+std::string EncodeStatsResponse(uint64_t correlation_id, const StatsResponseMsg& msg);
+std::string EncodeErrorResponse(uint64_t correlation_id, const Status& status);
+
+// --- Decoding.
+
+/// Parse a header from exactly kHeaderSize bytes. Fails InvalidArgument on
+/// bad magic or version, or a body size above `max_body_bytes`.
+Result<FrameHeader> DecodeHeader(std::string_view bytes,
+                                 uint32_t max_body_bytes = kDefaultMaxBodyBytes);
+
+/// Body decoders: `body` is exactly `FrameHeader::body_size` bytes. All are
+/// bounds-checked and fail InvalidArgument on truncated or trailing bytes.
+Result<LinkRequestMsg> DecodeLinkRequest(std::string_view body);
+Result<LinkResponseMsg> DecodeLinkResponse(std::string_view body);
+Result<HealthResponseMsg> DecodeHealthResponse(std::string_view body);
+Result<StatsResponseMsg> DecodeStatsResponse(std::string_view body);
+/// kDrainResponse and kError bodies are a bare error envelope. `*decoded`
+/// receives the transported Status; the return value reports malformed
+/// bodies (Result<Status> would be ambiguous, hence the out-param).
+Status DecodeStatusEnvelope(std::string_view body, Status* decoded);
+
+/// One decoded frame: header plus its raw body (decode with the per-type
+/// function matching header.type).
+struct Frame {
+  FrameHeader header;
+  std::string body;
+};
+
+/// \brief Incremental frame decoder for a byte stream.
+///
+/// Feed arbitrary chunks with Append; Next pops complete frames. A framing
+/// error (bad magic/version/oversized body) is sticky: Next returns the
+/// error forever after, because byte-stream resynchronisation after a bad
+/// length prefix is not possible.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_body_bytes = kDefaultMaxBodyBytes)
+      : max_body_bytes_(max_body_bytes) {}
+
+  void Append(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// True: `*frame` holds the next complete frame. False with OK status:
+  /// need more bytes. False with non-OK status: the stream is corrupt.
+  bool Next(Frame* frame, Status* status);
+
+  /// Bytes buffered but not yet consumed by Next.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  uint32_t max_body_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+  Status error_;
+};
+
+}  // namespace ncl::net

@@ -35,6 +35,29 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  // The table mirrors StatusCodeToString; the round trip over every code is
+  // pinned by status_test.
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kIOError,
+      StatusCode::kNotImplemented,
+      StatusCode::kInternal,
+      StatusCode::kUnavailable,
+      StatusCode::kResourceExhausted,
+      StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : kCodes) {
+    if (StatusCodeToString(code) == name) return code;
+  }
+  return std::nullopt;
+}
+
 Status Status::IOErrorFromErrno(std::string_view action,
                                 std::string_view path) {
   const int err = errno;

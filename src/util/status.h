@@ -34,6 +34,15 @@ enum class StatusCode {
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
 std::string_view StatusCodeToString(StatusCode code);
 
+/// \brief Inverse of StatusCodeToString: parse a code name back to the enum.
+///
+/// Round-trips every StatusCode (`StatusCodeFromString(StatusCodeToString(c))
+/// == c`); unknown names return nullopt. The ncl::net wire error envelope
+/// transports codes by name through this pair, so an old binary decoding a
+/// frame from a newer one degrades to nullopt instead of aliasing a
+/// renumbered enum value.
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
+
 /// \brief Outcome of a fallible operation: a code plus an optional message.
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy in the OK

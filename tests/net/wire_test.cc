@@ -1,0 +1,242 @@
+// Wire-protocol tests: every message round-trips bit-exact through its
+// encoder/decoder pair, the error envelope preserves every Status code by
+// name, and malformed frames — bad magic, wrong version, oversized or
+// truncated bodies, trailing bytes — fail loudly instead of misparsing.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ncl::net {
+namespace {
+
+LinkRequestMsg MakeLinkRequest() {
+  LinkRequestMsg msg;
+  msg.deadline_us = 2500;
+  msg.tokens = {"iron", "deficiency", "anemia", ""};  // empty token is legal
+  return msg;
+}
+
+LinkResponseMsg MakeLinkResponse() {
+  LinkResponseMsg msg;
+  msg.status = Status::OK();
+  msg.snapshot_version = 7;
+  msg.server_request_id = 42;
+  msg.timings.queue_wait_us = 1.5;
+  msg.timings.batch_form_us = 2.25;
+  msg.timings.candgen_us = 3.125;
+  msg.timings.ed_us = 4.0625;
+  msg.timings.rank_us = 5.5;
+  msg.timings.total_us = 16.4375;
+  msg.candidates = {linking::ScoredCandidate{3, -0.25, 1.75},
+                    linking::ScoredCandidate{-1, -2.5, 0.0}};
+  return msg;
+}
+
+TEST(WireTest, HeaderRoundTrip) {
+  std::string frame = EncodeHealthRequest(/*correlation_id=*/0xDEADBEEFCAFEull);
+  ASSERT_EQ(frame.size(), kHeaderSize);  // empty body
+  auto header = DecodeHeader(frame);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->version, kProtocolVersion);
+  EXPECT_EQ(header->type, MessageType::kHealthRequest);
+  EXPECT_EQ(header->body_size, 0u);
+  EXPECT_EQ(header->correlation_id, 0xDEADBEEFCAFEull);
+}
+
+TEST(WireTest, HeaderRejectsBadMagic) {
+  std::string frame = EncodeHealthRequest(1);
+  frame[0] = 'X';
+  auto header = DecodeHeader(frame);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, HeaderRejectsUnknownVersion) {
+  std::string frame = EncodeHealthRequest(1);
+  frame[2] = static_cast<char>(kProtocolVersion + 1);
+  auto header = DecodeHeader(frame);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, HeaderRejectsOversizedBody) {
+  LinkRequestMsg msg = MakeLinkRequest();
+  std::string frame = EncodeLinkRequest(1, msg);
+  auto header = DecodeHeader(frame, /*max_body_bytes=*/4);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, HeaderRejectsShortBuffer) {
+  auto header = DecodeHeader("NC");
+  EXPECT_FALSE(header.ok());
+}
+
+TEST(WireTest, LinkRequestRoundTrip) {
+  LinkRequestMsg msg = MakeLinkRequest();
+  std::string frame = EncodeLinkRequest(9, msg);
+  auto header = DecodeHeader(std::string_view(frame).substr(0, kHeaderSize));
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type, MessageType::kLinkRequest);
+  EXPECT_EQ(header->correlation_id, 9u);
+  auto decoded = DecodeLinkRequest(std::string_view(frame).substr(kHeaderSize));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->deadline_us, msg.deadline_us);
+  EXPECT_EQ(decoded->tokens, msg.tokens);
+}
+
+TEST(WireTest, LinkResponseRoundTripBitExact) {
+  LinkResponseMsg msg = MakeLinkResponse();
+  std::string frame = EncodeLinkResponse(3, msg);
+  auto decoded = DecodeLinkResponse(std::string_view(frame).substr(kHeaderSize));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->snapshot_version, msg.snapshot_version);
+  EXPECT_EQ(decoded->server_request_id, msg.server_request_id);
+  // Doubles travel as IEEE-754 bit patterns: equality must be exact.
+  EXPECT_EQ(decoded->timings.queue_wait_us, msg.timings.queue_wait_us);
+  EXPECT_EQ(decoded->timings.batch_form_us, msg.timings.batch_form_us);
+  EXPECT_EQ(decoded->timings.candgen_us, msg.timings.candgen_us);
+  EXPECT_EQ(decoded->timings.ed_us, msg.timings.ed_us);
+  EXPECT_EQ(decoded->timings.rank_us, msg.timings.rank_us);
+  EXPECT_EQ(decoded->timings.total_us, msg.timings.total_us);
+  ASSERT_EQ(decoded->candidates.size(), msg.candidates.size());
+  for (size_t i = 0; i < msg.candidates.size(); ++i) {
+    EXPECT_EQ(decoded->candidates[i].concept_id, msg.candidates[i].concept_id);
+    EXPECT_EQ(decoded->candidates[i].log_prob, msg.candidates[i].log_prob);
+    EXPECT_EQ(decoded->candidates[i].loss, msg.candidates[i].loss);
+  }
+}
+
+TEST(WireTest, LinkResponseCarriesErrorStatus) {
+  LinkResponseMsg msg;
+  msg.status = Status::DeadlineExceeded("deadline of 100us passed in queue");
+  std::string frame = EncodeLinkResponse(1, msg);
+  auto decoded = DecodeLinkResponse(std::string_view(frame).substr(kHeaderSize));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded->status.message(), "deadline of 100us passed in queue");
+}
+
+TEST(WireTest, StatusEnvelopeRoundTripsEveryCode) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kInternal,     StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
+      StatusCode::kNotImplemented, StatusCode::kIOError,
+  };
+  for (StatusCode code : codes) {
+    Status original =
+        code == StatusCode::kOk
+            ? Status::OK()
+            : Status(code, std::string("message for ")
+                               .append(StatusCodeToString(code)));
+    std::string frame = EncodeErrorResponse(5, original);
+    Status decoded;
+    Status parse =
+        DecodeStatusEnvelope(std::string_view(frame).substr(kHeaderSize), &decoded);
+    ASSERT_TRUE(parse.ok()) << parse.ToString();
+    EXPECT_EQ(decoded.code(), original.code());
+    EXPECT_EQ(decoded.message(), original.message());
+  }
+}
+
+TEST(WireTest, HealthAndStatsRoundTrip) {
+  HealthResponseMsg health;
+  health.state = ServerState::kDraining;
+  health.snapshot_version = 11;
+  auto decoded_health = DecodeHealthResponse(
+      std::string_view(EncodeHealthResponse(2, health)).substr(kHeaderSize));
+  ASSERT_TRUE(decoded_health.ok());
+  EXPECT_EQ(decoded_health->state, ServerState::kDraining);
+  EXPECT_EQ(decoded_health->snapshot_version, 11u);
+
+  StatsResponseMsg stats;
+  stats.stats.admitted = 1;
+  stats.stats.rejected = 2;
+  stats.stats.shed = 3;
+  stats.stats.deadline_exceeded = 4;
+  stats.stats.completed = 5;
+  stats.stats.batches = 6;
+  stats.stats.queue_depth = 7;
+  stats.stats.max_queue_depth = 8;
+  auto decoded_stats = DecodeStatsResponse(
+      std::string_view(EncodeStatsResponse(2, stats)).substr(kHeaderSize));
+  ASSERT_TRUE(decoded_stats.ok());
+  EXPECT_EQ(decoded_stats->stats.admitted, 1u);
+  EXPECT_EQ(decoded_stats->stats.rejected, 2u);
+  EXPECT_EQ(decoded_stats->stats.shed, 3u);
+  EXPECT_EQ(decoded_stats->stats.deadline_exceeded, 4u);
+  EXPECT_EQ(decoded_stats->stats.completed, 5u);
+  EXPECT_EQ(decoded_stats->stats.batches, 6u);
+  EXPECT_EQ(decoded_stats->stats.queue_depth, 7u);
+  EXPECT_EQ(decoded_stats->stats.max_queue_depth, 8u);
+}
+
+TEST(WireTest, BodyDecodersRejectTruncationAndTrailingBytes) {
+  std::string body =
+      EncodeLinkRequest(1, MakeLinkRequest()).substr(kHeaderSize);
+  // Every strict prefix must fail (bounds-checked readers, no overread).
+  for (size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeLinkRequest(std::string_view(body).substr(0, len)).ok())
+        << "prefix of " << len << " bytes parsed";
+  }
+  EXPECT_FALSE(DecodeLinkRequest(body + "x").ok()) << "trailing byte parsed";
+
+  std::string response_body =
+      EncodeLinkResponse(1, MakeLinkResponse()).substr(kHeaderSize);
+  for (size_t len = 0; len < response_body.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeLinkResponse(std::string_view(response_body).substr(0, len)).ok());
+  }
+  EXPECT_FALSE(DecodeLinkResponse(response_body + "x").ok());
+}
+
+TEST(WireTest, FrameDecoderReassemblesByteByByte) {
+  // Two frames fed one byte at a time must come out whole and in order.
+  std::string stream = EncodeLinkRequest(1, MakeLinkRequest()) +
+                       EncodeHealthRequest(2);
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  Status status;
+  for (char byte : stream) {
+    decoder.Append(std::string_view(&byte, 1));
+    Frame frame;
+    while (decoder.Next(&frame, &status)) frames.push_back(std::move(frame));
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].header.type, MessageType::kLinkRequest);
+  EXPECT_EQ(frames[0].header.correlation_id, 1u);
+  EXPECT_EQ(frames[1].header.type, MessageType::kHealthRequest);
+  EXPECT_EQ(frames[1].header.correlation_id, 2u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+
+  auto decoded = DecodeLinkRequest(frames[0].body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tokens, MakeLinkRequest().tokens);
+}
+
+TEST(WireTest, FrameDecoderErrorIsSticky) {
+  FrameDecoder decoder;
+  std::string bad = EncodeHealthRequest(1);
+  bad[0] = 'X';  // corrupt the magic
+  decoder.Append(bad);
+  Frame frame;
+  Status status;
+  EXPECT_FALSE(decoder.Next(&frame, &status));
+  EXPECT_FALSE(status.ok());
+  // A good frame appended after the corruption must not resynchronise.
+  decoder.Append(EncodeHealthRequest(2));
+  EXPECT_FALSE(decoder.Next(&frame, &status));
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace ncl::net

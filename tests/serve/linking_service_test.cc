@@ -251,6 +251,52 @@ TEST(LinkingServiceTest, DrainServesQueuedThenRefusesNewWork) {
   EXPECT_EQ(service.Link(Query()).status.code(), StatusCode::kUnavailable);
 }
 
+TEST(LinkingServiceTest, DrainRacingConcurrentSubmitsResolvesEveryFuture) {
+  // Drain from one thread while several submitters hammer SubmitLink: every
+  // future must resolve — completed or Unavailable — and never hang. Run
+  // under TSan in CI; this is the race the net::Server drain path leans on.
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<FakeSnapshot>(200us));
+  ServeConfig config;
+  config.max_batch = 4;
+  config.num_shards = 2;
+  LinkingService service(&registry, config);
+
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kPerThread = 50;
+  std::mutex futures_mutex;
+  std::vector<std::future<LinkResult>> futures;
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        std::future<LinkResult> f = service.SubmitLink(Query());
+        std::lock_guard<std::mutex> lock(futures_mutex);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  // Start the drain mid-burst, concurrent with the submitters.
+  std::this_thread::sleep_for(2ms);
+  std::thread drainer([&] { service.Drain(); });
+  for (auto& t : submitters) t.join();
+  drainer.join();
+
+  size_t ok = 0, unavailable = 0;
+  for (auto& f : futures) {
+    LinkResult r = f.get();  // must not hang
+    if (r.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status.code(), StatusCode::kUnavailable)
+          << r.status.ToString();
+      ++unavailable;
+    }
+  }
+  EXPECT_EQ(ok + unavailable, kSubmitters * kPerThread);
+  EXPECT_GT(ok, 0u);  // the drain started after real work was queued
+}
+
 TEST(LinkingServiceTest, ShutdownFailsQueuedRequests) {
   SnapshotRegistry registry;
   registry.Publish(std::make_shared<FakeSnapshot>(10ms));

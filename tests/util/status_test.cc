@@ -51,6 +51,33 @@ TEST(StatusCodeTest, NamesAreHumanReadable) {
             "DeadlineExceeded");
 }
 
+TEST(StatusCodeTest, FromStringRoundTripsEveryCode) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kIOError,      StatusCode::kNotImplemented,
+      StatusCode::kInternal,     StatusCode::kUnavailable,
+      StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : codes) {
+    std::optional<StatusCode> parsed =
+        StatusCodeFromString(StatusCodeToString(code));
+    ASSERT_TRUE(parsed.has_value())
+        << "no inverse for " << StatusCodeToString(code);
+    EXPECT_EQ(*parsed, code);
+  }
+}
+
+TEST(StatusCodeTest, FromStringRejectsUnknownNames) {
+  // The wire error envelope depends on nullopt here: an unknown name from
+  // a newer peer degrades to Internal instead of aliasing another code.
+  EXPECT_FALSE(StatusCodeFromString("").has_value());
+  EXPECT_FALSE(StatusCodeFromString("NoSuchCode").has_value());
+  EXPECT_FALSE(StatusCodeFromString("ok").has_value());        // case-sensitive
+  EXPECT_FALSE(StatusCodeFromString("IOError ").has_value());  // exact match
+}
+
 Status FailIfNegative(int x) {
   if (x < 0) return Status::InvalidArgument("negative");
   return Status::OK();

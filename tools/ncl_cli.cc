@@ -31,6 +31,26 @@
 //       --slow-log-n <N> additionally enables the SLO watchdog for the run
 //       and prints the rolling-window report plus the N slowest requests
 //       with their per-stage breakdown.
+//       --connect <endpoint> drives a remote replica (or router) over the
+//       ncl::net wire protocol instead of an in-process service: each client
+//       thread opens its own connection. --deadline-us <N> stamps every wire
+//       request with a deadline; --drain sends a fleet drain after the run
+//       and waits for the acknowledgement.
+//
+//   ncl serve-net <dir> --listen <endpoint> [--k K] [--shards N]
+//                 [--max-batch B] [--ngram-index] [--ready-file <path>]
+//       Run one replica: load the trained artifacts, publish them as a
+//       snapshot and serve LinkingService over the endpoint
+//       ("tcp:HOST:PORT" or "unix:/path"). Exits cleanly on SIGINT/SIGTERM
+//       or after a wire Drain has been served and flushed. --ready-file is
+//       written with the bound endpoint once serving (ephemeral TCP ports
+//       resolved) — scripts wait on it instead of sleeping.
+//
+//   ncl route --listen <endpoint> --backends <ep1,ep2,...>
+//             [--health-interval-ms N] [--ready-file <path>]
+//       Run the replica front-end: rendezvous-hash link requests over the
+//       healthy backends, probe health, fan drains out. Exits on
+//       SIGINT/SIGTERM.
 //
 // Observability flags (every subcommand):
 //   --metrics-json <path>   write a snapshot of the ncl::obs metrics
@@ -50,11 +70,15 @@
 // Exit status is non-zero on any error; diagnostics go to stderr.
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +93,9 @@
 #include "linking/metrics.h"
 #include "linking/ncl_linker.h"
 #include "linking/query_rewriter.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/server.h"
 #include "ontology/ontology_io.h"
 #include "pretrain/cbow.h"
 #include "pretrain/concept_injection.h"
@@ -96,6 +123,12 @@ int Usage() {
       "  ncl eval <dir> [--k K] [--ngram-index]\n"
       "  ncl serve-eval <dir> [--k K] [--shards N] [--clients C] [--max-batch B]\n"
       "                 [--ngram-index] [--slow-log-n N]\n"
+      "                 [--connect EP] [--deadline-us N] [--drain]\n"
+      "  ncl serve-net <dir> --listen EP [--k K] [--shards N] [--max-batch B]\n"
+      "                 [--ngram-index] [--ready-file PATH]\n"
+      "  ncl route --listen EP --backends EP1,EP2,... [--health-interval-ms N]\n"
+      "                 [--ready-file PATH]\n"
+      "  (endpoints EP are \"tcp:HOST:PORT\" or \"unix:/path\")\n"
       "observability (any subcommand):\n"
       "  --metrics-json <path>     dump metrics registry snapshot as JSON\n"
       "  --trace-out <path>        record spans; write Chrome trace JSON\n"
@@ -120,6 +153,8 @@ std::vector<std::string> ParseFlags(int argc, char** argv,
         (*flags)["mimic"] = "1";
       } else if (arg == "--ngram-index") {
         (*flags)["ngram-index"] = "1";
+      } else if (arg == "--drain") {
+        (*flags)["drain"] = "1";
       } else if (i + 1 < argc) {
         (*flags)[arg.substr(2)] = argv[++i];
       } else {
@@ -335,10 +370,225 @@ int CmdEval(const std::vector<std::string>& args,
   return 0;
 }
 
+/// SIGINT/SIGTERM ask serve-net and route to exit their wait loops.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleShutdownSignal(int) { g_shutdown_requested = 1; }
+
+void InstallShutdownHandler() {
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+}
+
+/// Write the bound endpoint to `path` so scripts can wait for startup and
+/// learn ephemeral ports instead of sleeping.
+Status WriteReadyFile(const std::string& path, const net::Endpoint& endpoint) {
+  std::ofstream out(path, std::ios::trunc);
+  out << endpoint.ToString() << "\n";
+  out.close();
+  if (!out) return Status::IOError("cannot write ready file " + path);
+  return Status::OK();
+}
+
+int CmdServeNet(const std::vector<std::string>& args,
+                const std::unordered_map<std::string, std::string>& flags) {
+  if (args.empty() || !flags.contains("listen")) return Usage();
+  const std::string& dir = args[0];
+  auto endpoint = net::Endpoint::Parse(flags.at("listen"));
+  if (!endpoint.ok()) return Fail(endpoint.status());
+
+  auto serving = LoadServing(dir, FlagNgramIndex(flags));
+  if (!serving.ok()) return Fail(serving.status());
+
+  linking::NclConfig link_config = serve::NclSnapshot::MakeServingConfig();
+  link_config.k = static_cast<size_t>(FlagInt(flags, "k", 20));
+  serve::SnapshotRegistry registry;
+  registry.Publish(std::make_shared<serve::NclSnapshot>(
+      std::shared_ptr<const comaid::ComAidModel>(
+          (*serving)->model.get(), [](const comaid::ComAidModel*) {}),
+      std::shared_ptr<const linking::CandidateGenerator>(
+          (*serving)->candidates.get(), [](const linking::CandidateGenerator*) {}),
+      std::shared_ptr<const linking::QueryRewriter>(
+          (*serving)->rewriter.get(), [](const linking::QueryRewriter*) {}),
+      link_config, /*warm_cache=*/true));
+
+  serve::ServeConfig serve_config;
+  serve_config.num_shards = static_cast<size_t>(FlagInt(flags, "shards", 4));
+  serve_config.max_batch = static_cast<size_t>(
+      FlagInt(flags, "max-batch", 2 * static_cast<int64_t>(serve_config.num_shards)));
+  serve::LinkingService service(&registry, serve_config);
+
+  net::ServerConfig server_config;
+  server_config.endpoint = *endpoint;
+  net::Server server(&service, &registry, server_config);
+  Status status = server.Start();
+  if (!status.ok()) return Fail(status);
+  if (flags.contains("ready-file")) {
+    status = WriteReadyFile(flags.at("ready-file"), server.bound_endpoint());
+    if (!status.ok()) {
+      server.Stop();
+      return Fail(status);
+    }
+  }
+  std::cerr << "serve-net: replica on " << server.bound_endpoint().ToString()
+            << " (pid " << ::getpid() << ")\n";
+
+  InstallShutdownHandler();
+  while (g_shutdown_requested == 0 && !server.drain_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (server.drain_requested()) {
+    server.WaitForDrain();
+    std::cerr << "serve-net: drained, all responses flushed\n";
+  }
+  server.Stop();
+  net::ServerStats stats = server.stats();
+  serve::ServeStats serve_stats = service.stats();
+  std::cout << "serve-net: connections=" << stats.connections_accepted
+            << "  requests=" << stats.requests
+            << "  responses=" << stats.responses
+            << "  decode_errors=" << stats.decode_errors
+            << "  completed=" << serve_stats.completed
+            << "  batches=" << serve_stats.batches << "\n";
+  return 0;
+}
+
+int CmdRoute(const std::vector<std::string>& /*args*/,
+             const std::unordered_map<std::string, std::string>& flags) {
+  if (!flags.contains("listen") || !flags.contains("backends")) return Usage();
+  auto listen = net::Endpoint::Parse(flags.at("listen"));
+  if (!listen.ok()) return Fail(listen.status());
+
+  net::RouterConfig config;
+  config.listen = *listen;
+  for (const std::string& spec : SplitKeepEmpty(flags.at("backends"), ',')) {
+    if (spec.empty()) continue;
+    auto backend = net::Endpoint::Parse(spec);
+    if (!backend.ok()) return Fail(backend.status());
+    config.backends.push_back(*backend);
+  }
+  config.health_interval_ms =
+      static_cast<int>(FlagInt(flags, "health-interval-ms", 200));
+  net::Router router(config);
+  Status status = router.Start();
+  if (!status.ok()) return Fail(status);
+  if (flags.contains("ready-file")) {
+    status = WriteReadyFile(flags.at("ready-file"), router.bound_endpoint());
+    if (!status.ok()) {
+      router.Stop();
+      return Fail(status);
+    }
+  }
+  std::cerr << "route: router on " << router.bound_endpoint().ToString()
+            << " over " << config.backends.size() << " backends (pid "
+            << ::getpid() << ")\n";
+
+  InstallShutdownHandler();
+  while (g_shutdown_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  router.Stop();
+  net::RouterStats stats = router.stats();
+  std::cout << "route: requests=" << stats.requests
+            << "  retried=" << stats.retried << "  failed=" << stats.failed
+            << "\n";
+  for (const net::BackendStatus& b : stats.backends) {
+    std::cout << "route: backend " << b.endpoint.ToString()
+              << "  routed=" << b.routed << "  failures=" << b.failures
+              << (b.healthy ? "" : "  DOWN") << (b.draining ? "  DRAINING" : "")
+              << "\n";
+  }
+  return 0;
+}
+
+/// serve-eval --connect: same eval set and metrics, but each client thread
+/// drives a remote replica or router over the wire protocol.
+int CmdServeEvalNet(const std::string& dir,
+                    const std::unordered_map<std::string, std::string>& flags) {
+  auto endpoint = net::Endpoint::Parse(flags.at("connect"));
+  if (!endpoint.ok()) return Fail(endpoint.status());
+  auto onto = ontology::LoadOntologyFromFile(dir + "/ontology.tsv");
+  if (!onto.ok()) return Fail(onto.status());
+  auto queries = datagen::LoadSnippetsFromFile(dir + "/queries.tsv", *onto);
+  if (!queries.ok()) return Fail(queries.status());
+  if (queries->empty()) return Fail(Status::NotFound("no queries in " + dir));
+
+  const size_t num_clients =
+      std::max<size_t>(1, static_cast<size_t>(FlagInt(flags, "clients", 4)));
+  const uint64_t deadline_us =
+      static_cast<uint64_t>(FlagInt(flags, "deadline-us", 0));
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> answered{0};
+  std::atomic<double> mrr_sum{0.0};
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      // One connection per thread: Client serialises calls internally, so
+      // concurrency comes from the connection count.
+      auto client = net::Client::Connect(*endpoint);
+      if (!client.ok()) {
+        errors.fetch_add((queries->size() + num_clients - 1 - c) / num_clients,
+                         std::memory_order_relaxed);
+        return;
+      }
+      for (size_t i = c; i < queries->size(); i += num_clients) {
+        const auto& q = (*queries)[i];
+        auto response = (*client)->Link(q.tokens, deadline_us);
+        if (!response.ok() || !response->status.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        answered.fetch_add(1, std::memory_order_relaxed);
+        for (size_t rank = 0; rank < response->candidates.size(); ++rank) {
+          if (response->candidates[rank].concept_id == q.concept_id) {
+            if (rank == 0) hits.fetch_add(1, std::memory_order_relaxed);
+            double expected = mrr_sum.load(std::memory_order_relaxed);
+            const double reciprocal = 1.0 / static_cast<double>(rank + 1);
+            while (!mrr_sum.compare_exchange_weak(
+                expected, expected + reciprocal, std::memory_order_relaxed)) {
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  const double n = static_cast<double>(queries->size());
+  std::cout << "queries=" << queries->size() << "  clients=" << num_clients
+            << "  connect=" << endpoint->ToString()
+            << "  accuracy=" << FormatDouble(static_cast<double>(hits.load()) / n, 3)
+            << "  MRR=" << FormatDouble(mrr_sum.load() / n, 3) << "\n";
+  std::cout << "qps=" << FormatDouble(n / elapsed, 1)
+            << "  answered=" << answered.load() << "  errors=" << errors.load()
+            << "\n";
+
+  auto control = net::Client::Connect(*endpoint);
+  if (control.ok()) {
+    if (auto stats = (*control)->Stats(); stats.ok()) {
+      std::cout << "remote: admitted=" << stats->stats.admitted
+                << "  completed=" << stats->stats.completed
+                << "  deadline_exceeded=" << stats->stats.deadline_exceeded
+                << "  batches=" << stats->stats.batches << "\n";
+    }
+    if (FlagInt(flags, "drain", 0) != 0) {
+      Status status = (*control)->Drain();
+      if (!status.ok()) return Fail(status);
+      std::cout << "drain: acknowledged by " << endpoint->ToString() << "\n";
+    }
+  }
+  return errors.load() == 0 ? 0 : 1;
+}
+
 int CmdServeEval(const std::vector<std::string>& args,
                  const std::unordered_map<std::string, std::string>& flags) {
   if (args.empty()) return Usage();
   const std::string& dir = args[0];
+  if (flags.contains("connect")) return CmdServeEvalNet(dir, flags);
   auto serving = LoadServing(dir, FlagNgramIndex(flags));
   if (!serving.ok()) return Fail(serving.status());
 
@@ -474,29 +724,51 @@ int main(int argc, char** argv) {
     exit_code = CmdEval(positional, flags);
   } else if (command == "serve-eval") {
     exit_code = CmdServeEval(positional, flags);
+  } else if (command == "serve-net") {
+    exit_code = CmdServeNet(positional, flags);
+  } else if (command == "route") {
+    exit_code = CmdRoute(positional, flags);
   } else {
     return Usage();
   }
 
+  // Every requested output is attempted even after an earlier one fails —
+  // a broken --trace-out path must not cost the --metrics-json dump — and
+  // any failure makes the exit non-zero so CI cannot silently lose
+  // artifacts.
+  int write_failures = 0;
+  auto report_write = [&write_failures](const Status& status) {
+    if (!status.ok()) {
+      std::cerr << "ncl: " << status.ToString() << std::endl;
+      ++write_failures;
+    }
+  };
   if (sampler != nullptr) {
     sampler->SampleNow();  // flush the tail interval
     sampler->Stop();
     Status status = sampler->WriteJson(timeseries_path);
-    if (!status.ok()) return Fail(status);
-    std::cerr << "wrote metrics time series to " << timeseries_path << " ("
-              << sampler->sample_count() << " samples)\n";
+    report_write(status);
+    if (status.ok()) {
+      std::cerr << "wrote metrics time series to " << timeseries_path << " ("
+                << sampler->sample_count() << " samples)\n";
+    }
   }
   if (!metrics_path.empty()) {
     Status status =
         obs::MetricsRegistry::Global().Snapshot().WriteJsonFile(metrics_path);
-    if (!status.ok()) return Fail(status);
-    std::cerr << "wrote metrics snapshot to " << metrics_path << "\n";
+    report_write(status);
+    if (status.ok()) {
+      std::cerr << "wrote metrics snapshot to " << metrics_path << "\n";
+    }
   }
   if (!trace_path.empty()) {
     Status status = obs::WriteChromeTrace(trace_path);
-    if (!status.ok()) return Fail(status);
-    std::cerr << "wrote Chrome trace to " << trace_path
-              << " (open in https://ui.perfetto.dev)\n";
+    report_write(status);
+    if (status.ok()) {
+      std::cerr << "wrote Chrome trace to " << trace_path
+                << " (open in https://ui.perfetto.dev)\n";
+    }
   }
-  return exit_code;
+  if (exit_code != 0) return exit_code;
+  return write_failures > 0 ? 1 : 0;
 }
