@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <iterator>
 #include <poll.h>
 #include <sys/socket.h>
 
@@ -96,8 +97,10 @@ void Router::Stop() {
   health_cv_.notify_all();
   {
     // Unblock handler threads waiting in recv on idle client connections.
+    // Only live entries are here: a handler deregisters before its Fd
+    // closes, so no shutdown ever lands on a recycled fd number.
     std::lock_guard<std::mutex> lock(handlers_mutex_);
-    for (int fd : handler_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [id, entry] : handlers_) ::shutdown(entry.fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (health_thread_.joinable()) health_thread_.join();
@@ -105,7 +108,12 @@ void Router::Stop() {
   std::vector<std::thread> handlers;
   {
     std::lock_guard<std::mutex> lock(handlers_mutex_);
-    handlers.swap(handlers_);
+    for (auto& [id, entry] : handlers_) handlers.push_back(std::move(entry.thread));
+    handlers_.clear();
+    handlers.insert(handlers.end(),
+                    std::make_move_iterator(finished_handlers_.begin()),
+                    std::make_move_iterator(finished_handlers_.end()));
+    finished_handlers_.clear();
   }
   for (std::thread& t : handlers) {
     if (t.joinable()) t.join();
@@ -257,14 +265,19 @@ void Router::AcceptLoop() {
         ::close(client);
         return;
       }
-      handler_fds_.push_back(client);
-      handlers_.emplace_back(
-          [this, client] { HandleConnection(Fd(client)); });
+      ReapFinishedHandlersLocked();
+      const uint64_t id = next_handler_id_++;
+      HandlerEntry& entry = handlers_[id];
+      entry.fd = client;
+      // Safe to start under the lock: the handler touches handlers_ only on
+      // exit, and blocks on this mutex until the entry is fully formed.
+      entry.thread =
+          std::thread([this, id, client] { HandleConnection(id, Fd(client)); });
     }
   }
 }
 
-void Router::HandleConnection(Fd fd) {
+void Router::HandleConnection(uint64_t handler_id, Fd fd) {
   // Handler-local backend connections: no lock spans network I/O.
   std::vector<std::unique_ptr<Client>> backend_clients;
   while (!stopping_.load(std::memory_order_acquire)) {
@@ -351,6 +364,22 @@ void Router::HandleConnection(Fd fd) {
     status = SendAll(fd.get(), reply, config_.io_timeout_ms);
     if (!status.ok()) break;
   }
+  // Deregister before `fd` closes (it outlives this block): once the entry
+  // is gone, Stop cannot shutdown(2) whatever the kernel recycles this fd
+  // number into. Under Stop, the entry may already have been claimed.
+  std::lock_guard<std::mutex> lock(handlers_mutex_);
+  auto it = handlers_.find(handler_id);
+  if (it != handlers_.end()) {
+    finished_handlers_.push_back(std::move(it->second.thread));
+    handlers_.erase(it);
+  }
+}
+
+void Router::ReapFinishedHandlersLocked() {
+  for (std::thread& t : finished_handlers_) {
+    if (t.joinable()) t.join();
+  }
+  finished_handlers_.clear();
 }
 
 void Router::ProbeAllBackends() {

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -123,8 +124,10 @@ class Router {
   };
 
   void AcceptLoop();
-  void HandleConnection(Fd fd);
+  void HandleConnection(uint64_t handler_id, Fd fd);
   void HealthLoop();
+  /// Join handler threads that have finished. Requires handlers_mutex_.
+  void ReapFinishedHandlersLocked();
   void ProbeAllBackends();
   /// Mark a forwarding failure: out of rotation until the probe readmits.
   void MarkBackendDown(size_t index);
@@ -161,10 +164,20 @@ class Router {
 
   std::thread accept_thread_;
   std::thread health_thread_;
+
+  /// One live entry per client connection. The fd is kept so Stop can
+  /// shutdown(2) it to unblock the handler's read; the handler erases its
+  /// own entry on exit (so Stop never touches a recycled fd number) and
+  /// parks its thread on finished_handlers_ for joining — a long-running
+  /// router holds state only for connections that are still open.
+  struct HandlerEntry {
+    std::thread thread;
+    int fd = -1;
+  };
   std::mutex handlers_mutex_;
-  std::vector<std::thread> handlers_;
-  /// Client-connection fds, for shutdown(2) to unblock handler reads.
-  std::vector<int> handler_fds_;
+  std::map<uint64_t, HandlerEntry> handlers_;
+  std::vector<std::thread> finished_handlers_;
+  uint64_t next_handler_id_ = 0;
 };
 
 }  // namespace ncl::net

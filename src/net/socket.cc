@@ -66,10 +66,10 @@ Result<sockaddr_in> MakeTcpAddr(const std::string& host, uint16_t port) {
 
 void Fd::Close() {
   if (fd_ >= 0) {
-    int rc;
-    do {
-      rc = ::close(fd_);
-    } while (rc != 0 && errno == EINTR);
+    // Exactly one close, EINTR included: on Linux the descriptor is released
+    // even when close is interrupted, so a retry could close an unrelated fd
+    // that another thread was just handed the same number for.
+    ::close(fd_);
     fd_ = -1;
   }
 }

@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <cstdio>
 #include <cstring>
 
 namespace ncl::net {
@@ -99,12 +100,22 @@ class Reader {
 
   bool exhausted() const { return pos_ == data_.size(); }
 
+  /// Bytes left to read — the bound for validating wire element counts
+  /// before they size an allocation.
+  size_t remaining() const { return data_.size() - pos_; }
+
  private:
   uint32_t Byte(int i) const { return static_cast<uint8_t>(data_[pos_ + i]); }
 
   std::string_view data_;
   size_t pos_ = 0;
 };
+
+std::string ToHex(uint16_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%04x", v);
+  return buf;
+}
 
 Status Truncated(const char* what) {
   return Status::InvalidArgument(std::string("truncated or malformed ") + what +
@@ -244,8 +255,8 @@ Result<FrameHeader> DecodeHeader(std::string_view bytes,
   reader.ReadU32(&header.body_size);
   reader.ReadU64(&header.correlation_id);
   if (magic != kMagic) {
-    return Status::InvalidArgument("bad frame magic 0x" +
-                                   std::to_string(magic) + " (not an ncl::net peer?)");
+    return Status::InvalidArgument("bad frame magic " + ToHex(magic) +
+                                   " (not an ncl::net peer?)");
   }
   if (version != kProtocolVersion) {
     return Status::InvalidArgument(
@@ -269,6 +280,10 @@ Result<LinkRequestMsg> DecodeLinkRequest(std::string_view body) {
   if (!reader.ReadU64(&msg.deadline_us) || !reader.ReadU32(&count)) {
     return Truncated("LinkRequest");
   }
+  // The count is attacker-controlled: bound it by the bytes actually present
+  // (each token carries at least a 4-byte length prefix) before it sizes an
+  // allocation, or a 28-byte frame could demand a multi-GB reserve.
+  if (count > reader.remaining() / 4) return Truncated("LinkRequest");
   msg.tokens.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     std::string token;
@@ -294,6 +309,9 @@ Result<LinkResponseMsg> DecodeLinkResponse(std::string_view body) {
       !reader.ReadF64(&msg.timings.total_us) || !reader.ReadU32(&count)) {
     return Truncated("LinkResponse");
   }
+  // Same wire-count validation as DecodeLinkRequest: a candidate is exactly
+  // 20 bytes (i32 + two f64), so any count beyond remaining/20 is malformed.
+  if (count > reader.remaining() / 20) return Truncated("LinkResponse");
   msg.candidates.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     linking::ScoredCandidate candidate;

@@ -198,6 +198,40 @@ TEST(WireTest, BodyDecodersRejectTruncationAndTrailingBytes) {
   EXPECT_FALSE(DecodeLinkResponse(response_body + "x").ok());
 }
 
+TEST(WireTest, DecodersRejectHugeElementCountsWithoutAllocating) {
+  // A tiny body claiming ~2^32 elements must fail validation up front, not
+  // attempt a multi-GB reserve (remote-crash vector: std::bad_alloc).
+  auto put_u32 = [](std::string* out, uint32_t v) {
+    for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  };
+  std::string request_body;
+  request_body.append(8, '\0');  // deadline_us = 0
+  put_u32(&request_body, 0xFFFFFFFFu);  // token count with no tokens behind it
+  auto request = DecodeLinkRequest(request_body);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+
+  // LinkResponse: valid envelope/timings, then a hostile candidate count.
+  std::string response_body = EncodeLinkResponse(1, LinkResponseMsg());
+  response_body = response_body.substr(kHeaderSize);
+  response_body.resize(response_body.size() - 4);  // drop the real count (0)
+  put_u32(&response_body, 0xFFFFFFFFu);
+  auto response = DecodeLinkResponse(response_body);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, BadMagicDiagnosticIsHex) {
+  std::string frame = EncodeHealthRequest(1);
+  frame[0] = 'X';
+  frame[1] = 'Y';
+  auto header = DecodeHeader(frame);
+  ASSERT_FALSE(header.ok());
+  // 'X' = 0x58 low byte, 'Y' = 0x59 high byte, little-endian -> 0x5958.
+  EXPECT_NE(header.status().message().find("0x5958"), std::string::npos)
+      << header.status().message();
+}
+
 TEST(WireTest, FrameDecoderReassemblesByteByByte) {
   // Two frames fed one byte at a time must come out whole and in order.
   std::string stream = EncodeLinkRequest(1, MakeLinkRequest()) +
