@@ -18,11 +18,15 @@
 //     time-slice one core and the sweep degenerates, so the JSON records
 //     hardware_concurrency and the bar is waived below 2 (the console says
 //     so explicitly).
+//   * two_tenant: one replica hosting the model under two ontology ids
+//     ("icd9"/"icd10") behind the router, clients split between the
+//     tenants by parity — per-tenant throughput and p99 land in the JSON.
 //
 // Every level replays the identical deterministic schedule (same queries,
 // same seed), so qps/p50/p99 differences are transport, not workload.
 // Quick defaults run in seconds; NCL_BENCH_FULL=1 enlarges the sweep.
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -39,6 +43,7 @@
 #include "serve/model_snapshot.h"
 #include "util/env.h"
 #include "util/json_writer.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 using namespace ncl;
@@ -56,20 +61,27 @@ net::Endpoint UdsEndpoint(const char* role, int index) {
 
 /// One replica: registry + service + wire server, sharing the pipeline's
 /// model via no-op-deleter aliases (the pipeline outlives every replica).
+/// `tenants` names the ontology ids the model is published under (the
+/// default tenant when empty).
 struct Replica {
-  serve::SnapshotRegistry registry;
+  serve::TenantRegistry registry;
   std::unique_ptr<serve::LinkingService> service;
   std::unique_ptr<net::Server> server;
 
-  Replica(const Pipeline& pipeline, size_t shards, const net::Endpoint& at) {
+  Replica(const Pipeline& pipeline, size_t shards, const net::Endpoint& at,
+          const std::vector<std::string>& tenants = {}) {
     auto model = std::shared_ptr<const comaid::ComAidModel>(
         pipeline.model.get(), [](const comaid::ComAidModel*) {});
     auto candidates = std::shared_ptr<const linking::CandidateGenerator>(
         pipeline.candidates.get(), [](const linking::CandidateGenerator*) {});
     auto rewriter = std::shared_ptr<const linking::QueryRewriter>(
         pipeline.rewriter.get(), [](const linking::QueryRewriter*) {});
-    registry.Publish(std::make_shared<serve::NclSnapshot>(
-        model, candidates, rewriter));
+    std::vector<std::string> ids = tenants;
+    if (ids.empty()) ids.emplace_back(serve::kDefaultTenant);
+    for (const std::string& tenant : ids) {
+      registry.Publish(tenant, std::make_shared<serve::NclSnapshot>(
+                                   model, candidates, rewriter));
+    }
     serve::ServeConfig config;
     config.num_shards = shards;
     config.max_batch = 2 * shards;
@@ -212,6 +224,86 @@ int main() {
     router.Stop();
   }
 
+  // --- two_tenant: one replica hosting the model under two ontology ids
+  // behind the router; even clients drive "icd9", odd clients "icd10" on
+  // the shared schedule. Per-tenant latencies are timed in the callback
+  // (the generator merges all clients into one distribution).
+  struct TenantLevel {
+    uint64_t ok = 0;
+    uint64_t failed = 0;
+    double qps = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+  };
+  const char* kTenantNames[2] = {"icd9", "icd10"};
+  TenantLevel tenant_levels[2];
+  LoadLevelResult two_tenant;
+  {
+    Replica replica(*pipeline, shards, UdsEndpoint("tenants", 0),
+                    {kTenantNames[0], kTenantNames[1]});
+    Status started = replica.server->Start();
+    if (!started.ok()) {
+      std::cerr << "bench_net: tenant replica start failed: "
+                << started.ToString() << "\n";
+      return 1;
+    }
+    net::RouterConfig router_config;
+    router_config.listen = UdsEndpoint("router", 3);
+    router_config.backends.push_back(replica.server->bound_endpoint());
+    net::Router router(router_config);
+    started = router.Start();
+    if (!started.ok()) {
+      std::cerr << "bench_net: tenant router start failed: "
+                << started.ToString() << "\n";
+      return 1;
+    }
+    std::vector<std::unique_ptr<net::Client>> connections(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      auto connected = net::Client::Connect(router.bound_endpoint());
+      if (!connected.ok()) {
+        std::cerr << "bench_net: connect failed: "
+                  << connected.status().ToString() << "\n";
+        return 1;
+      }
+      connections[c] = std::move(connected).value();
+    }
+    std::vector<std::vector<double>> latencies(clients);
+    for (auto& lat : latencies) lat.reserve(per_client);
+    two_tenant = RunClosedLoopLevel(
+        queries, clients, per_client, kSeed,
+        [&](size_t c, size_t, const linking::EvalQuery& query) {
+          Stopwatch watch;
+          auto response = connections[c]->Link(query.tokens, /*deadline_us=*/0,
+                                               kTenantNames[c % 2]);
+          const bool ok = response.ok() && response->status.ok();
+          if (ok) latencies[c].push_back(watch.ElapsedMicros());
+          return ok;
+        });
+    router.Stop();
+    for (size_t t = 0; t < 2; ++t) {
+      std::vector<double> merged;
+      uint64_t issued = 0;
+      for (size_t c = t; c < clients; c += 2) {
+        merged.insert(merged.end(), latencies[c].begin(), latencies[c].end());
+        issued += per_client;
+      }
+      std::sort(merged.begin(), merged.end());
+      TenantLevel& level = tenant_levels[t];
+      level.ok = merged.size();
+      level.failed = issued - merged.size();
+      level.qps = two_tenant.elapsed_s > 0.0
+                      ? static_cast<double>(level.ok) / two_tenant.elapsed_s
+                      : 0.0;
+      level.p50_us = PercentileSorted(merged, 0.50);
+      level.p99_us = PercentileSorted(merged, 0.99);
+      std::cout << "  two_tenant[" << kTenantNames[t] << "] qps="
+                << FormatDouble(level.qps, 1) << "  p50="
+                << FormatDouble(level.p50_us, 0) << "us  p99="
+                << FormatDouble(level.p99_us, 0) << "us  ok=" << level.ok
+                << "  failed=" << level.failed << "\n";
+    }
+  }
+
   const unsigned hardware_threads = std::thread::hardware_concurrency();
   const double wire_tax_us = direct.p50_us - in_process.p50_us;
   const double router_tax_us = router_1.p50_us - direct.p50_us;
@@ -251,6 +343,23 @@ int main() {
   EmitLevel(json, "direct", direct);
   EmitLevel(json, "router_1", router_1);
   EmitLevel(json, "router_2", router_2);
+  json.Key("two_tenant").BeginObject();
+  json.Key("clients").Value(static_cast<uint64_t>(clients));
+  json.Key("qps").Value(two_tenant.qps);
+  json.Key("p50_us").Value(two_tenant.p50_us);
+  json.Key("p99_us").Value(two_tenant.p99_us);
+  json.Key("tenants").BeginObject();
+  for (size_t t = 0; t < 2; ++t) {
+    json.Key(kTenantNames[t]).BeginObject();
+    json.Key("ok").Value(tenant_levels[t].ok);
+    json.Key("failed").Value(tenant_levels[t].failed);
+    json.Key("qps").Value(tenant_levels[t].qps);
+    json.Key("p50_us").Value(tenant_levels[t].p50_us);
+    json.Key("p99_us").Value(tenant_levels[t].p99_us);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
   json.Key("wire_tax_p50_us").Value(wire_tax_us);
   json.Key("router_tax_p50_us").Value(router_tax_us);
   json.Key("fleet_speedup").Value(fleet_speedup);

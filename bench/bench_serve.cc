@@ -20,6 +20,11 @@
 //     requests stays bounded too (the metric reported is e2e: queue wait +
 //     service), while the shed rate absorbs the excess. The SLO watchdog
 //     runs on this level; its window/violation report lands in the JSON.
+//   * two_tenant: one multi-tenant service hosting the model under two
+//     ontology ids ("icd9"/"icd10"); even clients drive one tenant, odd
+//     clients the other, on the same shared schedule. Per-tenant
+//     throughput and p99 land in the JSON — the number to watch is the
+//     spread between the tenants, which should be noise.
 //
 // The whole sweep runs under a MetricsSampler (TIMESERIES_serve.json), a
 // short traced burst exports TRACE_serve.json (request flow lanes for
@@ -274,6 +279,71 @@ int main() {
               << "  slow_logged=" << slowest.size() << "\n";
   }
 
+  // --- Two-tenant mixed load: the same model published under two ontology
+  // ids behind one shared queue and shard pool; clients split between the
+  // tenants by parity. The shared generator merges every client into one
+  // distribution, so per-tenant latencies are timed here in the callback.
+  struct TenantLevel {
+    uint64_t ok = 0;
+    uint64_t failed = 0;
+    double qps = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+  };
+  const char* kTenantNames[2] = {"icd9", "icd10"};
+  TenantLevel tenant_levels[2];
+  LoadLevelResult mixed;
+  const size_t mixed_clients = std::max<size_t>(2, shards);
+  {
+    serve::TenantRegistry registry;
+    for (const char* tenant : kTenantNames) {
+      registry.Publish(tenant, std::make_shared<serve::NclSnapshot>(
+                                   model, candidates, rewriter));
+    }
+    serve::ServeConfig serve_config;
+    serve_config.num_shards = shards;
+    serve_config.max_batch = 2 * shards;
+    serve_config.queue_capacity = 4 * shards;
+    serve_config.policy = serve::OverloadPolicy::kBlock;
+    serve_config.tenant_quota = 2 * shards;
+    serve::LinkingService service(&registry, serve_config);
+    std::vector<std::vector<double>> latencies(mixed_clients);
+    for (auto& lat : latencies) lat.reserve(per_client);
+    mixed = RunClosedLoopLevel(
+        queries, mixed_clients, per_client, /*seed=*/0,
+        [&](size_t c, size_t, const linking::EvalQuery& query) {
+          serve::RequestOptions options;
+          options.ontology = kTenantNames[c % 2];
+          Stopwatch watch;
+          const bool ok = service.Link(query.tokens, options).status.ok();
+          if (ok) latencies[c].push_back(watch.ElapsedMicros());
+          return ok;
+        });
+    service.Drain();
+    for (size_t t = 0; t < 2; ++t) {
+      std::vector<double> merged;
+      uint64_t issued = 0;
+      for (size_t c = t; c < mixed_clients; c += 2) {
+        merged.insert(merged.end(), latencies[c].begin(), latencies[c].end());
+        issued += per_client;
+      }
+      std::sort(merged.begin(), merged.end());
+      TenantLevel& level = tenant_levels[t];
+      level.ok = merged.size();
+      level.failed = issued - merged.size();
+      level.qps = mixed.elapsed_s > 0.0
+                      ? static_cast<double>(level.ok) / mixed.elapsed_s
+                      : 0.0;
+      level.p50_us = PercentileSorted(merged, 0.50);
+      level.p99_us = PercentileSorted(merged, 0.99);
+      std::cout << "  two_tenant[" << kTenantNames[t] << "] qps="
+                << FormatDouble(level.qps, 1) << "  p50="
+                << FormatDouble(level.p50_us, 0) << "us  p99="
+                << FormatDouble(level.p99_us, 0) << "us  ok=" << level.ok
+                << "  failed=" << level.failed << "\n";
+    }
+  }
+
   // --- Traced burst: a short run with span recording on, exported as
   // request-correlated flow lanes for Perfetto.
   {
@@ -383,6 +453,23 @@ int main() {
     json.EndObject();
   }
   json.EndArray();
+  json.EndObject();
+  json.Key("two_tenant").BeginObject();
+  json.Key("clients").Value(static_cast<uint64_t>(mixed_clients));
+  json.Key("qps").Value(mixed.qps);
+  json.Key("p50_us").Value(mixed.p50_us);
+  json.Key("p99_us").Value(mixed.p99_us);
+  json.Key("tenants").BeginObject();
+  for (size_t t = 0; t < 2; ++t) {
+    json.Key(kTenantNames[t]).BeginObject();
+    json.Key("ok").Value(tenant_levels[t].ok);
+    json.Key("failed").Value(tenant_levels[t].failed);
+    json.Key("qps").Value(tenant_levels[t].qps);
+    json.Key("p50_us").Value(tenant_levels[t].p50_us);
+    json.Key("p99_us").Value(tenant_levels[t].p99_us);
+    json.EndObject();
+  }
+  json.EndObject();
   json.EndObject();
   json.Key("sampler_overhead").BeginObject();
   json.Key("base_ns_per_record").Value(overhead.base_ns);

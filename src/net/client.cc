@@ -1,5 +1,6 @@
 #include "net/client.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -111,25 +112,56 @@ Result<Frame> Client::RoundTripLocked(const std::string& frame,
 }
 
 Result<LinkResponseMsg> Client::Link(const std::vector<std::string>& tokens,
-                                     uint64_t deadline_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
+                                     uint64_t deadline_us,
+                                     const std::string& ontology) {
   GetClientMetrics().requests->Increment();
   LinkRequestMsg request;
-  request.deadline_us = deadline_us;
+  request.ontology = ontology;
   request.tokens = tokens;
+
+  // A non-zero deadline is an end-to-end budget across attempts, not a
+  // per-attempt allowance: resending the full deadline every retry would
+  // let one call burn (max_retries+1) x deadline of caller wall-clock.
+  const auto started = std::chrono::steady_clock::now();
+  const auto remaining_us = [&]() -> uint64_t {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - started);
+    const uint64_t spent = static_cast<uint64_t>(elapsed.count());
+    return spent >= deadline_us ? 0 : deadline_us - spent;
+  };
 
   Status last_error;
   int backoff_ms = config_.initial_backoff_ms;
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     if (attempt > 0) {
       GetClientMetrics().retries->Increment();
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      // Sleep outside the mutex — a backing-off retry must not stall
+      // concurrent users of a shared client — and never longer than the
+      // remaining budget.
+      uint64_t sleep_us = static_cast<uint64_t>(backoff_ms) * 1000;
+      if (deadline_us > 0) sleep_us = std::min(sleep_us, remaining_us());
+      if (sleep_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      }
       backoff_ms *= 2;
     }
-    const uint64_t correlation_id = next_correlation_id_++;
-    Result<Frame> reply = RoundTripLocked(
-        EncodeLinkRequest(correlation_id, request), MessageType::kLinkResponse,
-        correlation_id);
+    request.deadline_us = deadline_us;
+    if (deadline_us > 0) {
+      request.deadline_us = remaining_us();
+      if (request.deadline_us == 0) {
+        return Status::DeadlineExceeded(
+            "link to " + endpoint_.ToString() + " spent its " +
+            std::to_string(deadline_us) + "us budget after " +
+            std::to_string(attempt) + " attempt(s)" +
+            (last_error.ok() ? "" : ": " + last_error.ToString()));
+      }
+    }
+    Result<Frame> reply = [&] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const uint64_t correlation_id = next_correlation_id_++;
+      return RoundTripLocked(EncodeLinkRequest(correlation_id, request),
+                             MessageType::kLinkResponse, correlation_id);
+    }();
     if (!reply.ok()) {
       if (Retryable(reply.status())) {
         last_error = reply.status();
@@ -154,12 +186,14 @@ Result<LinkResponseMsg> Client::Link(const std::vector<std::string>& tokens,
 }
 
 Result<uint64_t> Client::SendLink(const std::vector<std::string>& tokens,
-                                  uint64_t deadline_us) {
+                                  uint64_t deadline_us,
+                                  const std::string& ontology) {
   std::lock_guard<std::mutex> lock(mutex_);
   NCL_RETURN_NOT_OK(EnsureConnectedLocked());
   GetClientMetrics().requests->Increment();
   LinkRequestMsg request;
   request.deadline_us = deadline_us;
+  request.ontology = ontology;
   request.tokens = tokens;
   const uint64_t correlation_id = next_correlation_id_++;
   NCL_RETURN_NOT_OK(SendFrameLocked(EncodeLinkRequest(correlation_id, request)));

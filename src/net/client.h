@@ -8,6 +8,14 @@
 // Unavailable; DeadlineExceeded, ResourceExhausted and scoring errors are
 // returned to the caller untouched, Status code intact.
 //
+// A non-zero deadline_us is an *end-to-end budget*: it bounds the caller's
+// total wall-clock across every attempt and backoff, each retry resends
+// only the remaining microseconds (so a replica never holds a request
+// longer than the caller will wait), and once the budget is spent Link
+// returns DeadlineExceeded instead of burning further attempts. Backoff
+// sleeps happen outside the client mutex, so a retrying caller does not
+// stall concurrent users of a shared client.
+//
 // Pipelining: SendLink() fires a request without waiting and returns its
 // correlation id; ReceiveLink() blocks for the next response on the wire.
 // Responses come back in server completion order, so a pipelined caller
@@ -52,16 +60,21 @@ class Client {
   static Result<std::unique_ptr<Client>> Connect(const Endpoint& endpoint,
                                                  ClientConfig config = {});
 
-  /// Sync link: send, wait, retry on Unavailable per the config. The
-  /// deadline travels on the wire and is enforced by the replica's
-  /// admission control (DeadlineExceeded comes back in the envelope).
+  /// Sync link: send, wait, retry on Unavailable per the config. A
+  /// non-zero `deadline_us` is the end-to-end budget described above: the
+  /// *remaining* budget travels on the wire each attempt and is enforced by
+  /// the replica's admission control (DeadlineExceeded comes back in the
+  /// envelope); zero means no deadline and unbudgeted retries. `ontology`
+  /// selects the tenant model on a multi-tenant replica ("" = default).
   Result<LinkResponseMsg> Link(const std::vector<std::string>& tokens,
-                               uint64_t deadline_us = 0);
+                               uint64_t deadline_us = 0,
+                               const std::string& ontology = {});
 
   /// Pipelined send: returns the correlation id to match in ReceiveLink.
   /// No retry; a transport error resets the connection.
   Result<uint64_t> SendLink(const std::vector<std::string>& tokens,
-                            uint64_t deadline_us = 0);
+                            uint64_t deadline_us = 0,
+                            const std::string& ontology = {});
 
   /// Next link response on the wire (server completion order). `*correlation_id`
   /// receives the id of the request it answers.

@@ -34,7 +34,9 @@ const RouterMetrics& GetRouterMetrics() {
   return metrics;
 }
 
-uint64_t Fnv1a64(std::string_view data) {
+}  // namespace
+
+uint64_t RouteHash(std::string_view data) {
   uint64_t hash = 0xcbf29ce484222325ull;
   for (char c : data) {
     hash ^= static_cast<uint8_t>(c);
@@ -43,25 +45,29 @@ uint64_t Fnv1a64(std::string_view data) {
   return hash;
 }
 
-/// splitmix64 finisher — mixes the query hash with a backend index into an
-/// independent rendezvous score per backend.
-uint64_t MixScore(uint64_t query_hash, size_t backend_index) {
-  uint64_t z = query_hash ^ ((backend_index + 1) * 0x9E3779B97F4A7C15ull);
+uint64_t RendezvousScore(uint64_t key_hash, uint64_t backend_hash) {
+  // splitmix64 finisher over the key hash and the backend's *identity*
+  // hash. Mixing the config index here instead was the bug that made
+  // routing depend on backend list order: two routers with permuted
+  // configs disagreed on every key, and deleting entry 0 reshuffled the
+  // whole keyspace instead of just the deleted backend's share.
+  uint64_t z = key_hash ^ (backend_hash * 0x9E3779B97F4A7C15ull);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
 }
 
-std::string RouteKey(const std::vector<std::string>& tokens) {
+std::string RouteKey(std::string_view ontology,
+                     const std::vector<std::string>& tokens) {
   std::string key;
+  key += ontology;
+  key += '\x1e';  // record separator: tenant vs. token space
   for (const std::string& token : tokens) {
     key += token;
     key += '\x1f';  // unit separator: ("ab","c") != ("a","bc")
   }
   return key;
 }
-
-}  // namespace
 
 Router::Router(RouterConfig config) : config_(std::move(config)) {
   for (const Endpoint& endpoint : config_.backends) {
@@ -153,7 +159,7 @@ void Router::MarkBackendDown(size_t index) {
 }
 
 std::vector<size_t> Router::RouteOrder(std::string_view key) const {
-  const uint64_t query_hash = Fnv1a64(key);
+  const uint64_t key_hash = RouteHash(key);
   struct Scored {
     uint64_t score;
     size_t index;
@@ -165,7 +171,8 @@ std::vector<size_t> Router::RouteOrder(std::string_view key) const {
     const Backend& backend = *backends_[i];
     const bool routable = backend.healthy.load(std::memory_order_acquire) &&
                           !backend.draining.load(std::memory_order_acquire);
-    scored.push_back(Scored{MixScore(query_hash, i), i, routable});
+    scored.push_back(
+        Scored{RendezvousScore(key_hash, backend.address_hash), i, routable});
   }
   // Routable backends first (by descending rendezvous score), the rest as a
   // last resort in the same order — a fleet whose probes have all failed
@@ -205,7 +212,8 @@ LinkResponseMsg Router::ForwardLink(
     std::vector<std::unique_ptr<Client>>* backends) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   GetRouterMetrics().requests->Increment();
-  const std::vector<size_t> order = RouteOrder(RouteKey(request.tokens));
+  const std::vector<size_t> order =
+      RouteOrder(RouteKey(request.ontology, request.tokens));
   Status last_error = Status::Unavailable("no backends configured");
   bool needed_retry = false;
   for (size_t index : order) {
@@ -218,7 +226,7 @@ LinkResponseMsg Router::ForwardLink(
       continue;
     }
     Result<LinkResponseMsg> response =
-        client->Link(request.tokens, request.deadline_us);
+        client->Link(request.tokens, request.deadline_us, request.ontology);
     if (response.ok() &&
         response->status.code() != StatusCode::kUnavailable) {
       // Includes non-OK outcomes like DeadlineExceeded or

@@ -2,11 +2,14 @@
 //
 // The router listens on one endpoint and holds client connections to N
 // backend replicas. Each link request is routed by *rendezvous (highest-
-// random-weight) hashing* of the query text over the currently routable
-// backends: hash(query, backend) is computed per backend and the maximum
-// wins, so a backend joining or leaving only remaps the queries that hashed
-// to it — the consistent-routing property that keeps per-replica encoding
-// caches warm across membership churn.
+// random-weight) hashing* of its (ontology, query) key over the currently
+// routable backends: score(key, backend) is computed per backend and the
+// maximum wins, so a backend joining or leaving only remaps the keys that
+// hashed to it — the consistent-routing property that keeps per-replica
+// encoding caches warm across membership churn. The per-backend mix uses a
+// hash of the backend's *address*, never its position in the config, so
+// two routers given the same fleet in any order route identically and
+// editing the backend list cannot reshuffle unrelated keys.
 //
 // Health: a probe thread sends kHealthRequest to every backend each
 // `health_interval_ms`. A probe failure (or a kDraining state) takes the
@@ -50,6 +53,25 @@
 #include "util/status.h"
 
 namespace ncl::net {
+
+// --- Rendezvous-hash primitives, exposed so tests can pin the routing
+// contract (order-independence, minimal disruption) without a live fleet.
+
+/// FNV-1a over arbitrary bytes: route keys and backend addresses.
+uint64_t RouteHash(std::string_view data);
+
+/// Rendezvous score of one (key, backend) pair — splitmix64-mixes the key
+/// hash with a hash of the backend's *address* (RouteHash of
+/// Endpoint::ToString), never its index in the config, so every router
+/// agrees on the winner regardless of backend list order.
+uint64_t RendezvousScore(uint64_t key_hash, uint64_t backend_hash);
+
+/// The routing key of a request: the tenant id and the query tokens,
+/// delimiter-separated so distinct (ontology, tokens) tuples never collide.
+/// Keying on the tenant too means one ontology's keyspace spreads over the
+/// fleet independently of its neighbours'.
+std::string RouteKey(std::string_view ontology,
+                     const std::vector<std::string>& tokens);
 
 struct RouterConfig {
   Endpoint listen;
@@ -115,12 +137,16 @@ class Router {
  private:
   struct Backend {
     Endpoint endpoint;
+    /// RouteHash of the endpoint address, precomputed once: the backend's
+    /// rendezvous identity, stable across config order and fleet edits.
+    uint64_t address_hash = 0;
     std::atomic<bool> healthy{false};
     std::atomic<bool> draining{false};
     std::atomic<uint64_t> snapshot_version{0};
     std::atomic<uint64_t> routed{0};
     std::atomic<uint64_t> failures{0};
-    explicit Backend(Endpoint ep) : endpoint(std::move(ep)) {}
+    explicit Backend(Endpoint ep)
+        : endpoint(std::move(ep)), address_hash(RouteHash(endpoint.ToString())) {}
   };
 
   void AcceptLoop();

@@ -44,7 +44,7 @@ const NetMetrics& GetNetMetrics() {
 
 }  // namespace
 
-Server::Server(serve::LinkingService* service, serve::SnapshotRegistry* registry,
+Server::Server(serve::LinkingService* service, serve::TenantRegistry* registry,
                ServerConfig config)
     : service_(service), registry_(registry), config_(std::move(config)) {
   NCL_CHECK(service_ != nullptr);
@@ -137,7 +137,10 @@ void Server::HandleFrame(Connection* conn, Frame frame) {
       requests_.fetch_add(1, std::memory_order_relaxed);
       metrics.requests->Increment();
       serve::RequestOptions options;
+      // deadline_us was clamped to kMaxDeadlineUs at decode, so this
+      // conversion can never feed the service an overflowing duration.
       options.deadline = std::chrono::microseconds(request->deadline_us);
+      options.ontology = std::move(request->ontology);
       // May block under a full kBlock admission queue — intentional: the
       // loop stops reading and the kernel back-pressures every client.
       std::future<serve::LinkResult> future =
@@ -156,7 +159,7 @@ void Server::HandleFrame(Connection* conn, Frame frame) {
       HealthResponseMsg health;
       health.state = drain_requested() ? ServerState::kDraining
                                        : ServerState::kServing;
-      health.snapshot_version = registry_->current_version();
+      health.snapshot_version = registry_->max_version();
       QueueResponse(conn, EncodeHealthResponse(correlation_id, health));
       return;
     }

@@ -77,11 +77,16 @@ struct ServerStats {
 };
 
 /// \brief Serves one LinkingService over TCP or a Unix-domain socket.
+///
+/// The service may host one model or a whole TenantRegistry of them — the
+/// wire request's ontology field rides into RequestOptions::ontology
+/// unchanged, so one replica serves every tenant the registry holds.
 class Server {
  public:
   /// `service` and `registry` must outlive the server. The registry is only
-  /// read for the health response's snapshot version.
-  Server(serve::LinkingService* service, serve::SnapshotRegistry* registry,
+  /// read for the health response's snapshot version (the newest live
+  /// version across tenants).
+  Server(serve::LinkingService* service, serve::TenantRegistry* registry,
          ServerConfig config);
   ~Server();
 
@@ -138,7 +143,7 @@ class Server {
   void Wakeup();
 
   serve::LinkingService* service_;
-  serve::SnapshotRegistry* registry_;
+  serve::TenantRegistry* registry_;
   const ServerConfig config_;
   Endpoint bound_endpoint_;
 

@@ -166,6 +166,7 @@ std::string MakeFrame(MessageType type, uint64_t correlation_id,
 std::string EncodeLinkRequest(uint64_t correlation_id, const LinkRequestMsg& msg) {
   std::string body;
   PutU64(&body, msg.deadline_us);
+  PutString(&body, msg.ontology);
   PutU32(&body, static_cast<uint32_t>(msg.tokens.size()));
   for (const std::string& token : msg.tokens) PutString(&body, token);
   return MakeFrame(MessageType::kLinkRequest, correlation_id, body);
@@ -277,9 +278,14 @@ Result<LinkRequestMsg> DecodeLinkRequest(std::string_view body) {
   Reader reader(body);
   LinkRequestMsg msg;
   uint32_t count;
-  if (!reader.ReadU64(&msg.deadline_us) || !reader.ReadU32(&count)) {
+  if (!reader.ReadU64(&msg.deadline_us) || !reader.ReadString(&msg.ontology) ||
+      !reader.ReadU32(&count)) {
     return Truncated("LinkRequest");
   }
+  // The deadline is attacker-controlled: clamp it here, at the trust
+  // boundary, so no downstream arithmetic ever sees a value that could
+  // overflow a steady_clock time_point.
+  if (msg.deadline_us > kMaxDeadlineUs) msg.deadline_us = kMaxDeadlineUs;
   // The count is attacker-controlled: bound it by the bytes actually present
   // (each token carries at least a 4-byte length prefix) before it sizes an
   // allocation, or a 28-byte frame could demand a multi-GB reserve.

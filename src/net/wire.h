@@ -26,11 +26,14 @@
 // whenever any body layout changes. A decoder that sees a version it does
 // not speak rejects the frame with InvalidArgument before reading the body
 // — there is no cross-version negotiation, replicas and routers are
-// deployed from the same build.
+// deployed from the same build. (v1 → v2: kLinkRequest gained the ontology
+// string between deadline_us and the token list.)
 //
 // Body layouts (request → response):
 //
-//   kLinkRequest:   u64 deadline_us (0 = none), u32 n, n × string token
+//   kLinkRequest:   u64 deadline_us (0 = none, clamped to kMaxDeadlineUs),
+//                   string ontology ("" = default tenant), u32 n,
+//                   n × string token
 //   kLinkResponse:  envelope, u64 snapshot_version, u64 server_request_id,
 //                   6 × f64 timings (queue_wait, batch_form, candgen, ed,
 //                   rank, total — serve::RequestTimings), u32 n,
@@ -59,11 +62,18 @@
 namespace ncl::net {
 
 inline constexpr uint16_t kMagic = 0x4E43;
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kHeaderSize = 16;
 /// Default body-size cap; a header announcing more is a decode error (it is
 /// a corrupt stream or a hostile peer, not a big request).
 inline constexpr uint32_t kDefaultMaxBodyBytes = 16u << 20;
+/// Ceiling applied to the wire deadline at decode. The field is an
+/// attacker-controlled u64; anything above serve::kMaxRequestDeadline would
+/// wrap `enqueued + deadline` in the service into the past (instant
+/// DeadlineExceeded at best, signed overflow at worst), so the decoder
+/// clamps rather than trusting the peer.
+inline constexpr uint64_t kMaxDeadlineUs =
+    static_cast<uint64_t>(serve::kMaxRequestDeadline.count());
 
 enum class MessageType : uint8_t {
   kLinkRequest = 1,
@@ -92,6 +102,10 @@ struct FrameHeader {
 
 struct LinkRequestMsg {
   uint64_t deadline_us = 0;  ///< propagated into serve::RequestOptions
+  /// Tenant (ontology id) the request scores against; "" = default tenant.
+  /// New in protocol v2. Routers key their rendezvous hash on
+  /// (ontology, tokens) so one tenant's keyspace never reshuffles another's.
+  std::string ontology;
   std::vector<std::string> tokens;
 };
 

@@ -69,8 +69,18 @@ std::atomic<uint64_t> g_next_request_id{1};
 }  // namespace
 
 LinkingService::LinkingService(SnapshotRegistry* registry, ServeConfig config)
-    : registry_(registry), config_(config) {
+    : registry_(registry), config_(std::move(config)) {
   NCL_CHECK(registry_ != nullptr);
+  Init();
+}
+
+LinkingService::LinkingService(TenantRegistry* tenants, ServeConfig config)
+    : tenants_(tenants), config_(std::move(config)) {
+  NCL_CHECK(tenants_ != nullptr);
+  Init();
+}
+
+void LinkingService::Init() {
   NCL_CHECK(config_.queue_capacity > 0) << "queue_capacity must be positive";
   NCL_CHECK(config_.max_batch > 0) << "max_batch must be positive";
   NCL_CHECK(config_.num_shards > 0) << "num_shards must be positive";
@@ -102,6 +112,30 @@ void LinkingService::PublishQueueDepthLocked() {
   GetServeMetrics().queue_depth->Set(static_cast<double>(queue_.size()));
 }
 
+LinkingService::TenantState* LinkingService::GetTenantStateLocked(
+    const std::string& tenant) {
+  auto it = tenant_states_.find(tenant);
+  if (it != tenant_states_.end()) return it->second.get();
+  auto state = std::make_unique<TenantState>();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = "ncl.serve." + tenant + ".";
+  state->m_admitted = registry.GetCounter(prefix + "admit");
+  state->m_rejected = registry.GetCounter(prefix + "reject");
+  state->m_shed = registry.GetCounter(prefix + "shed");
+  state->m_deadline_exceeded = registry.GetCounter(prefix + "deadline_exceeded");
+  state->m_completed = registry.GetCounter(prefix + "completed");
+  state->m_queue_depth = registry.GetGauge(prefix + "queue_depth");
+  state->m_e2e_us = registry.GetHistogram(prefix + "e2e_us");
+  return tenant_states_.emplace(tenant, std::move(state)).first->second.get();
+}
+
+std::shared_ptr<const ModelSnapshot> LinkingService::CurrentSnapshot(
+    const std::string& tenant) const {
+  // Single-registry services admit only the default tenant, so the lookup
+  // ignores the name; TenantRegistry resolves per tenant.
+  return registry_ != nullptr ? registry_->Current() : tenants_->Current(tenant);
+}
+
 std::future<LinkResult> LinkingService::SubmitLink(
     std::vector<std::string> query, RequestOptions options) {
   PendingRequest request;
@@ -111,9 +145,21 @@ std::future<LinkResult> LinkingService::SubmitLink(
   // marker finishes.
   NCL_TRACE_SPAN_FLOW("ncl.serve.admit", obs::RequestFlowId(request.id, 0), 0);
   request.query = std::move(query);
+  request.tenant = options.ontology.empty() ? std::string(kDefaultTenant)
+                                            : std::move(options.ontology);
+  if (registry_ != nullptr && request.tenant != kDefaultTenant) {
+    return MakeErrorFuture(
+        Status::NotFound("unknown ontology '" + request.tenant +
+                         "': this service hosts a single unnamed model"),
+        request.id);
+  }
   request.enqueued = std::chrono::steady_clock::now();
   std::chrono::microseconds deadline =
       options.deadline.count() > 0 ? options.deadline : config_.default_deadline;
+  // Defensive ceiling (the wire decoder clamps too): an absurd deadline
+  // must never wrap `enqueued + deadline` past the time_point's range and
+  // land in the past.
+  deadline = std::min(deadline, kMaxRequestDeadline);
   if (deadline.count() > 0) {
     request.deadline = request.enqueued + deadline;
     request.has_deadline = true;
@@ -125,12 +171,20 @@ std::future<LinkResult> LinkingService::SubmitLink(
     return MakeErrorFuture(
         Status::Unavailable("service is not accepting requests"), request.id);
   }
-  if (queue_.size() >= config_.queue_capacity) {
+  TenantState* state = GetTenantStateLocked(request.tenant);
+  request.tenant_state = state;
+  // Two admission limits: the shared queue bound and (when configured) this
+  // tenant's quota. The policy treats them alike, except that quota
+  // enforcement always acts *within* the tenant.
+  const auto over_limits = [this, state] {
+    return queue_.size() >= config_.queue_capacity ||
+           (config_.tenant_quota > 0 && state->queued >= config_.tenant_quota);
+  };
+  if (over_limits()) {
     switch (config_.policy) {
       case OverloadPolicy::kBlock:
-        cv_space_.wait(lock, [this] {
-          return !accepting_ || queue_.size() < config_.queue_capacity;
-        });
+        cv_space_.wait(lock,
+                       [this, &over_limits] { return !accepting_ || !over_limits(); });
         if (!accepting_) {
           return MakeErrorFuture(
               Status::Unavailable("service stopped while waiting for queue space"),
@@ -140,16 +194,40 @@ std::future<LinkResult> LinkingService::SubmitLink(
       case OverloadPolicy::kReject: {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         GetServeMetrics().rejected->Increment();
+        state->rejected.fetch_add(1, std::memory_order_relaxed);
+        state->m_rejected->Increment();
+        const bool tenant_limited =
+            config_.tenant_quota > 0 && state->queued >= config_.tenant_quota;
         return MakeErrorFuture(
-            Status::ResourceExhausted("admission queue full (capacity " +
-                                      std::to_string(config_.queue_capacity) + ")"),
+            tenant_limited
+                ? Status::ResourceExhausted(
+                      "tenant '" + request.tenant + "' at admission quota (" +
+                      std::to_string(config_.tenant_quota) + " queued)")
+                : Status::ResourceExhausted(
+                      "admission queue full (capacity " +
+                      std::to_string(config_.queue_capacity) + ")"),
             request.id);
       }
       case OverloadPolicy::kShedOldest: {
-        PendingRequest victim = std::move(queue_.front());
-        queue_.pop_front();
+        // Shed the submitting tenant's own oldest request when it has one
+        // queued (always true at quota) — a tenant over its limit pays with
+        // its own backlog, never a neighbour's. Only a tenant with nothing
+        // queued that finds the shared queue full evicts the global oldest.
+        auto victim_it =
+            std::find_if(queue_.begin(), queue_.end(),
+                         [state](const PendingRequest& queued) {
+                           return queued.tenant_state == state;
+                         });
+        if (victim_it == queue_.end()) victim_it = queue_.begin();
+        PendingRequest victim = std::move(*victim_it);
+        queue_.erase(victim_it);
+        victim.tenant_state->queued--;
+        victim.tenant_state->m_queue_depth->Set(
+            static_cast<double>(victim.tenant_state->queued));
         shed_.fetch_add(1, std::memory_order_relaxed);
         GetServeMetrics().shed->Increment();
+        victim.tenant_state->shed.fetch_add(1, std::memory_order_relaxed);
+        victim.tenant_state->m_shed->Increment();
         LinkResult shed_result;
         shed_result.status =
             Status::Unavailable("shed from admission queue under overload");
@@ -161,9 +239,13 @@ std::future<LinkResult> LinkingService::SubmitLink(
       }
     }
   }
+  state->queued++;
+  state->m_queue_depth->Set(static_cast<double>(state->queued));
   queue_.push_back(std::move(request));
   admitted_.fetch_add(1, std::memory_order_relaxed);
   GetServeMetrics().admitted->Increment();
+  state->admitted.fetch_add(1, std::memory_order_relaxed);
+  state->m_admitted->Increment();
   PublishQueueDepthLocked();
   lock.unlock();
   cv_work_.notify_one();
@@ -199,11 +281,15 @@ void LinkingService::ProcessSlice(
     if (requests[i].has_deadline && dispatched > requests[i].deadline) {
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       metrics.deadline_exceeded->Increment();
+      requests[i].tenant_state->deadline_exceeded.fetch_add(
+          1, std::memory_order_relaxed);
+      requests[i].tenant_state->m_deadline_exceeded->Increment();
       results[i].status = Status::DeadlineExceeded(
           "request spent its deadline waiting in the admission queue");
     } else if (snapshot == nullptr) {
-      results[i].status =
-          Status::FailedPrecondition("no model snapshot has been published");
+      results[i].status = Status::FailedPrecondition(
+          "no model snapshot has been published for ontology '" +
+          requests[i].tenant + "'");
     } else {
       live.push_back(i);
     }
@@ -267,6 +353,10 @@ void LinkingService::ProcessSlice(
       metrics.completed->Increment();
       metrics.service_us->RecordMicros(result.service_us);
       metrics.e2e_us->RecordMicros(result.queue_us + result.service_us);
+      TenantState* tenant = requests[live[r]].tenant_state;
+      tenant->completed.fetch_add(1, std::memory_order_relaxed);
+      tenant->m_completed->Increment();
+      tenant->m_e2e_us->RecordMicros(result.queue_us + result.service_us);
     }
     candidates->fetch_add(scored_candidates, std::memory_order_relaxed);
   }
@@ -310,7 +400,11 @@ void LinkingService::DispatchLoop() {
       const size_t take = std::min(effective, queue_.size());
       batch.reserve(take);
       for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
+        PendingRequest& front = queue_.front();
+        front.tenant_state->queued--;
+        front.tenant_state->m_queue_depth->Set(
+            static_cast<double>(front.tenant_state->queued));
+        batch.push_back(std::move(front));
         queue_.pop_front();
       }
       dispatch_busy_ = true;
@@ -325,10 +419,14 @@ void LinkingService::DispatchLoop() {
 
     batches_.fetch_add(1, std::memory_order_relaxed);
     metrics.batch_size->Record(batch.size());
-    // Pin the snapshot once per batch: every request in the tick scores
-    // against the same immutable model, and a concurrent Publish only
-    // affects the next tick.
-    std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+    // Group the tick's batch by tenant (stable: intra-tenant arrival order
+    // is preserved) so each group pins *one* snapshot and scores exactly as
+    // it would on a single-tenant service — a concurrent per-tenant Publish
+    // only affects the next tick.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const PendingRequest& a, const PendingRequest& b) {
+                       return a.tenant < b.tenant;
+                     });
     std::atomic<uint64_t> batch_candidates{0};
     {
       NCL_TRACE_SPAN("ncl.serve.batch");
@@ -341,17 +439,41 @@ void LinkingService::DispatchLoop() {
                               obs::RequestFlowId(request.id, 0));
         }
       }
-      // Contiguous slices, one per shard; each shard scores its slice as a
-      // single LinkBatch workload.
-      const size_t slices = std::min(config_.num_shards, batch.size());
-      if (slices <= 1) {
-        ProcessSlice(batch.data(), batch.size(), snapshot, &batch_candidates);
+      // Contiguous slices within each tenant group; every slice is one
+      // LinkBatch workload against its group's pinned snapshot, and all
+      // slices — across groups — fan out over the shard pool together.
+      struct SliceTask {
+        size_t begin = 0;
+        size_t count = 0;
+        size_t group = 0;  ///< index into `snapshots`
+      };
+      std::vector<std::shared_ptr<const ModelSnapshot>> snapshots;
+      std::vector<SliceTask> tasks;
+      size_t group_begin = 0;
+      while (group_begin < batch.size()) {
+        size_t group_end = group_begin + 1;
+        while (group_end < batch.size() &&
+               batch[group_end].tenant == batch[group_begin].tenant) {
+          ++group_end;
+        }
+        snapshots.push_back(CurrentSnapshot(batch[group_begin].tenant));
+        const size_t group_size = group_end - group_begin;
+        const size_t slices = std::min(config_.num_shards, group_size);
+        for (size_t s = 0; s < slices; ++s) {
+          const size_t begin = group_size * s / slices;
+          const size_t end = group_size * (s + 1) / slices;
+          tasks.push_back(
+              SliceTask{group_begin + begin, end - begin, snapshots.size() - 1});
+        }
+        group_begin = group_end;
+      }
+      if (tasks.size() <= 1) {
+        ProcessSlice(batch.data() + tasks[0].begin, tasks[0].count,
+                     snapshots[tasks[0].group], &batch_candidates);
       } else {
-        pool_->ParallelFor(slices, [&](size_t s) {
-          const size_t begin = batch.size() * s / slices;
-          const size_t end = batch.size() * (s + 1) / slices;
-          ProcessSlice(batch.data() + begin, end - begin, snapshot,
-                       &batch_candidates);
+        pool_->ParallelFor(tasks.size(), [&](size_t t) {
+          ProcessSlice(batch.data() + tasks[t].begin, tasks[t].count,
+                       snapshots[tasks[t].group], &batch_candidates);
         });
       }
     }
@@ -376,9 +498,13 @@ void LinkingService::StopInternal(bool fail_queued) {
       while (!queue_.empty()) {
         PendingRequest victim = std::move(queue_.front());
         queue_.pop_front();
+        victim.tenant_state->queued--;
+        victim.tenant_state->m_queue_depth->Set(
+            static_cast<double>(victim.tenant_state->queued));
         LinkResult result;
         result.status =
             Status::Unavailable("service shut down before the request was served");
+        result.request_id = victim.id;
         victim.promise.set_value(std::move(result));
       }
       PublishQueueDepthLocked();
@@ -423,6 +549,17 @@ ServeStats LinkingService::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   stats.queue_depth = queue_.size();
   stats.max_queue_depth = max_queue_depth_;
+  for (const auto& [name, state] : tenant_states_) {
+    TenantStats tenant;
+    tenant.admitted = state->admitted.load(std::memory_order_relaxed);
+    tenant.rejected = state->rejected.load(std::memory_order_relaxed);
+    tenant.shed = state->shed.load(std::memory_order_relaxed);
+    tenant.deadline_exceeded =
+        state->deadline_exceeded.load(std::memory_order_relaxed);
+    tenant.completed = state->completed.load(std::memory_order_relaxed);
+    tenant.queue_depth = state->queued;
+    stats.tenants.emplace(name, tenant);
+  }
   return stats;
 }
 

@@ -26,11 +26,22 @@
 //     out — which saturates the pool with far less synchronisation per unit
 //     of work.
 //
-//   * Snapshot pinning: each batch pins SnapshotRegistry::Current() once
-//     and every request in the batch scores against that immutable
+//   * Snapshot pinning: each batch pins the registry's current snapshot
+//     once and every request in the batch scores against that immutable
 //     snapshot, so a concurrent Publish (hot model swap) is torn-read-free
 //     by construction — in-flight batches finish on the old model, the next
 //     batch picks up the new one.
+//
+//   * Multi-tenancy: a service constructed over a TenantRegistry hosts one
+//     model per ontology behind one shared admission queue and shard pool.
+//     RequestOptions::ontology selects the tenant; each dispatch tick
+//     groups its drained batch by tenant and pins one snapshot per tenant
+//     group (per-tenant results are bit-identical to a single-tenant
+//     service hosting only that model). ServeConfig::tenant_quota caps each
+//     tenant's share of the queue, with the overload policy applied within
+//     the offending tenant — so one ontology's overload sheds its own
+//     requests, never a neighbour's — and every admission/shed/completion
+//     event is mirrored onto per-tenant `ncl.serve.<tenant>.*` metrics.
 //
 // Lifecycle: construct → (traffic) → Drain() *or* Shutdown(). Drain stops
 // admission and completes everything queued; Shutdown stops admission and
@@ -68,10 +79,12 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "linking/ncl_linker.h"
@@ -79,6 +92,12 @@
 #include "serve/slo.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+
+namespace ncl::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace ncl::obs
 
 namespace ncl::serve {
 
@@ -111,14 +130,34 @@ struct ServeConfig {
   size_t min_batch = 1;
   /// Deadline applied to requests that don't carry their own (zero = none).
   std::chrono::microseconds default_deadline{0};
+  /// Max queued requests *per tenant* (0 = no per-tenant cap). When a
+  /// tenant hits its quota, the overload policy is applied within that
+  /// tenant — kReject fails the new request, kShedOldest evicts the
+  /// tenant's own oldest queued request, kBlock waits for the tenant's
+  /// backlog to drop — so one ontology's overload never evicts a
+  /// neighbour's queued work.
+  size_t tenant_quota = 0;
   /// SLO watchdog + slow-request log (off by default; see serve/slo.h).
   SloConfig slo;
 };
 
+/// Ceiling on any per-request deadline (1 hour). Wire peers can send
+/// arbitrary u64 microsecond deadlines; values above this are clamped here
+/// (and at wire decode, see net/wire.h) so `enqueued + deadline` can never
+/// overflow the steady_clock time_point into the past.
+inline constexpr std::chrono::microseconds kMaxRequestDeadline{
+    3'600'000'000};  // 1 hour
+
 /// Per-request overrides.
 struct RequestOptions {
-  /// Overrides ServeConfig::default_deadline when non-zero.
+  /// Overrides ServeConfig::default_deadline when non-zero. Clamped to
+  /// kMaxRequestDeadline.
   std::chrono::microseconds deadline{0};
+  /// Which ontology's model scores this request (empty = kDefaultTenant).
+  /// Single-registry services accept only the default tenant; a
+  /// TenantRegistry-backed service dispatches to Current(ontology) and
+  /// fails FailedPrecondition when that tenant has never published.
+  std::string ontology;
 };
 
 /// Outcome of one request.
@@ -137,6 +176,16 @@ struct LinkResult {
   RequestTimings timings;
 };
 
+/// Per-tenant slice of ServeStats (events attributed to one ontology).
+struct TenantStats {
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t completed = 0;
+  size_t queue_depth = 0;  ///< this tenant's share of the admission queue
+};
+
 /// Point-in-time counters for tests and the load generator (the same events
 /// also feed the global `ncl.serve.*` metrics; these are per-instance).
 struct ServeStats {
@@ -148,15 +197,27 @@ struct ServeStats {
   uint64_t batches = 0;
   size_t queue_depth = 0;      ///< current
   size_t max_queue_depth = 0;  ///< high-water mark observed
+  /// Keyed by tenant id; only tenants that have submitted appear.
+  std::map<std::string, TenantStats> tenants;
 };
 
 /// \brief The service: admission queue -> micro-batcher -> worker shards.
 class LinkingService {
  public:
+  /// Single-tenant form: every request scores against `registry`'s current
+  /// snapshot and only the default (unnamed) ontology is accepted — a
+  /// request naming any other ontology fails NotFound at admission.
   /// \param registry source of scoring snapshots; must outlive the service.
   ///        Publishing before the first request is recommended — requests
   ///        dispatched with no snapshot fail FailedPrecondition.
   LinkingService(SnapshotRegistry* registry, ServeConfig config = {});
+
+  /// Multi-tenant form: requests carry RequestOptions::ontology and each
+  /// dispatch tick groups its batch by tenant, pinning one snapshot per
+  /// tenant group, so per-tenant results are bit-identical to a
+  /// single-tenant service hosting only that model. `tenants` must outlive
+  /// the service; tenants may publish before or after construction.
+  LinkingService(TenantRegistry* tenants, ServeConfig config = {});
   ~LinkingService();
 
   LinkingService(const LinkingService&) = delete;
@@ -193,16 +254,45 @@ class LinkingService {
   std::vector<SlowRequest> slow_requests() const;
 
  private:
+  /// Per-tenant admission/completion accounting plus the tenant's
+  /// `ncl.serve.<tenant>.*` metric handles, created on the tenant's first
+  /// request and never destroyed (pointers into tenant_states_ stay valid
+  /// for the service's lifetime). `queued` is guarded by mutex_; the event
+  /// counters are atomics because shards bump them without the lock.
+  struct TenantState {
+    size_t queued = 0;  ///< guarded by mutex_
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> deadline_exceeded{0};
+    std::atomic<uint64_t> completed{0};
+    obs::Counter* m_admitted = nullptr;
+    obs::Counter* m_rejected = nullptr;
+    obs::Counter* m_shed = nullptr;
+    obs::Counter* m_deadline_exceeded = nullptr;
+    obs::Counter* m_completed = nullptr;
+    obs::Gauge* m_queue_depth = nullptr;
+    obs::Histogram* m_e2e_us = nullptr;
+  };
+
   /// One queued request.
   struct PendingRequest {
     std::vector<std::string> query;
     std::promise<LinkResult> promise;
     uint64_t id = 0;  ///< process-unique, assigned at admission
+    std::string tenant;             ///< canonical (never empty)
+    TenantState* tenant_state = nullptr;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point drained{};  ///< left the queue
     std::chrono::steady_clock::time_point deadline{};
     bool has_deadline = false;
   };
+
+  /// Find-or-create the tenant's accounting state. Requires mutex_.
+  TenantState* GetTenantStateLocked(const std::string& tenant);
+  /// The snapshot that scores tenant `tenant`'s requests right now.
+  std::shared_ptr<const ModelSnapshot> CurrentSnapshot(
+      const std::string& tenant) const;
 
   void DispatchLoop();
   /// Score one contiguous micro-batch slice on the calling shard: enforce
@@ -212,10 +302,15 @@ class LinkingService {
   void ProcessSlice(PendingRequest* requests, size_t count,
                     const std::shared_ptr<const ModelSnapshot>& snapshot,
                     std::atomic<uint64_t>* candidates);
+  /// Shared constructor tail (config validation, pool + threads).
+  void Init();
   void StopInternal(bool fail_queued);
   void PublishQueueDepthLocked();
 
-  SnapshotRegistry* registry_;
+  /// Exactly one of these is set: registry_ for the single-tenant
+  /// constructor, tenants_ for the multi-tenant one.
+  SnapshotRegistry* registry_ = nullptr;
+  TenantRegistry* tenants_ = nullptr;
   const ServeConfig config_;
 
   mutable std::mutex mutex_;
@@ -227,6 +322,9 @@ class LinkingService {
   bool stopping_ = false;
   bool dispatch_busy_ = false;
   size_t max_queue_depth_ = 0;
+  /// Tenant id -> accounting state; entries are created on first use and
+  /// never erased (PendingRequest holds raw pointers into the values).
+  std::unordered_map<std::string, std::unique_ptr<TenantState>> tenant_states_;
 
   /// Per-instance event counts (mutex-free; read by stats()).
   std::atomic<uint64_t> admitted_{0};

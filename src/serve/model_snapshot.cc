@@ -1,5 +1,6 @@
 #include "serve/model_snapshot.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -100,6 +101,69 @@ uint64_t SnapshotRegistry::Publish(std::shared_ptr<ModelSnapshot> snapshot) {
 uint64_t SnapshotRegistry::current_version() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return current_ == nullptr ? 0 : current_->version();
+}
+
+std::shared_ptr<const ModelSnapshot> TenantRegistry::Current(
+    std::string_view tenant) const {
+  const SnapshotRegistry* registry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return nullptr;
+    registry = it->second.get();
+  }
+  return registry->Current();
+}
+
+SnapshotRegistry* TenantRegistry::registry(std::string_view tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(std::string(tenant), std::make_unique<SnapshotRegistry>())
+             .first;
+  }
+  return it->second.get();
+}
+
+uint64_t TenantRegistry::Publish(std::string_view tenant,
+                                 std::shared_ptr<ModelSnapshot> snapshot) {
+  return registry(tenant)->Publish(std::move(snapshot));
+}
+
+uint64_t TenantRegistry::current_version(std::string_view tenant) const {
+  const SnapshotRegistry* registry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return 0;
+    registry = it->second.get();
+  }
+  return registry->current_version();
+}
+
+uint64_t TenantRegistry::max_version() const {
+  std::vector<const SnapshotRegistry*> registries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    registries.reserve(tenants_.size());
+    for (const auto& [name, registry] : tenants_) {
+      registries.push_back(registry.get());
+    }
+  }
+  uint64_t version = 0;
+  for (const SnapshotRegistry* registry : registries) {
+    version = std::max(version, registry->current_version());
+  }
+  return version;
+}
+
+std::vector<std::string> TenantRegistry::Tenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, registry] : tenants_) names.push_back(name);
+  return names;
 }
 
 }  // namespace ncl::serve

@@ -26,9 +26,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "comaid/model.h"
@@ -164,6 +166,63 @@ class SnapshotRegistry {
   mutable std::mutex mutex_;
   std::shared_ptr<const ModelSnapshot> current_;
   uint64_t next_version_ = 1;
+};
+
+/// Tenant id used when a request names no ontology.
+inline constexpr std::string_view kDefaultTenant = "default";
+
+/// \brief A keyed family of SnapshotRegistry publication points — one per
+/// ontology (tenant).
+///
+/// One serving process holds one TenantRegistry; each tenant id ("icd9",
+/// "icd10", ...) maps to its own registry with its own monotone version
+/// sequence, so a feedback loop can hot-swap one ontology's model without
+/// touching its neighbours. Lookup of an unknown tenant is not an error at
+/// this layer: Current returns null (the service fails the request with
+/// FailedPrecondition, exactly like a pre-Publish single-tenant registry)
+/// and current_version returns 0. Registries are created on first Publish
+/// and never removed, so a pointer returned by registry() stays valid for
+/// the TenantRegistry's lifetime.
+class TenantRegistry {
+ public:
+  TenantRegistry() = default;
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// The live snapshot for `tenant`, pinned; null when the tenant is
+  /// unknown or has never published.
+  std::shared_ptr<const ModelSnapshot> Current(std::string_view tenant) const;
+
+  /// Publish `snapshot` as tenant `tenant`'s current model, creating the
+  /// tenant on first use. Returns the tenant-local version (monotone from 1
+  /// per tenant).
+  uint64_t Publish(std::string_view tenant,
+                   std::shared_ptr<ModelSnapshot> snapshot);
+
+  /// Tenant-local version of `tenant`'s live snapshot (0 when unknown or
+  /// never published).
+  uint64_t current_version(std::string_view tenant) const;
+
+  /// Newest live version across every tenant (0 when nothing is published).
+  /// This is what a single-number health report (wire kHealthResponse)
+  /// carries for a multi-tenant replica.
+  uint64_t max_version() const;
+
+  /// Ids of every tenant that has published, sorted.
+  std::vector<std::string> Tenants() const;
+
+  /// The per-tenant registry, created on demand. The pointer stays valid
+  /// for this TenantRegistry's lifetime; use it to hand a legacy
+  /// single-registry API one tenant's publication point.
+  SnapshotRegistry* registry(std::string_view tenant);
+
+ private:
+  mutable std::mutex mutex_;
+  /// std::map, not unordered: Tenants() comes out sorted and the
+  /// transparent std::less<> comparator lets string_view look up without an
+  /// allocation.
+  std::map<std::string, std::unique_ptr<SnapshotRegistry>, std::less<>>
+      tenants_;
 };
 
 }  // namespace ncl::serve

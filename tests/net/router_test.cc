@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -57,14 +58,15 @@ Endpoint TestEndpoint() {
 /// One in-process replica bound to a fixed endpoint; Restart() brings a new
 /// Server up on the same path (Server supports one Start per instance).
 struct Replica {
-  serve::SnapshotRegistry registry;
+  serve::TenantRegistry registry;
   std::unique_ptr<serve::LinkingService> service;
   std::unique_ptr<Server> server;
   Endpoint endpoint;
 
   explicit Replica(std::chrono::microseconds latency = 0us) {
     endpoint = TestEndpoint();
-    registry.Publish(std::make_shared<FakeSnapshot>(latency));
+    registry.Publish(serve::kDefaultTenant,
+                     std::make_shared<FakeSnapshot>(latency));
     service = std::make_unique<serve::LinkingService>(&registry);
     StartServer();
   }
@@ -97,6 +99,89 @@ RouterConfig MakeRouterConfig(const std::vector<Endpoint>& backends,
   config.health_interval_ms = health_interval_ms;
   config.connect_timeout_ms = 500;
   return config;
+}
+
+/// The rendezvous winner for `key` among `addresses`, computed exactly the
+/// way Router::PickBackend does — via the public primitives.
+std::string RendezvousWinner(const std::string& key,
+                             const std::vector<std::string>& addresses) {
+  const uint64_t key_hash = RouteHash(key);
+  std::string winner;
+  uint64_t best = 0;
+  for (const std::string& address : addresses) {
+    const uint64_t score = RendezvousScore(key_hash, RouteHash(address));
+    if (winner.empty() || score > best) {
+      best = score;
+      winner = address;
+    }
+  }
+  return winner;
+}
+
+std::vector<std::string> FleetAddresses(size_t n) {
+  std::vector<std::string> addresses;
+  for (size_t i = 0; i < n; ++i) {
+    addresses.push_back("unix:/var/run/ncl/replica_" + std::to_string(i) +
+                        ".sock");
+  }
+  return addresses;
+}
+
+TEST(RouterTest, RendezvousAgreesAcrossPermutedBackendLists) {
+  // Two routers given the same fleet in different config order must route
+  // every key identically — the score must mix the backend's *address*,
+  // not its index. (The index-mixing bug made each router consistent with
+  // itself but inconsistent with its peers, silently splitting per-key
+  // cache affinity across a redundant router pair.)
+  std::vector<std::string> fleet = FleetAddresses(5);
+  std::vector<std::string> permuted = {fleet[3], fleet[0], fleet[4],
+                                       fleet[1], fleet[2]};
+  std::vector<std::string> reversed(fleet.rbegin(), fleet.rend());
+  for (size_t q = 0; q < 200; ++q) {
+    const std::string key =
+        RouteKey(q % 2 == 0 ? "icd9" : "icd10", Query(1 + q % 9));
+    const std::string winner = RendezvousWinner(key, fleet);
+    EXPECT_EQ(RendezvousWinner(key, permuted), winner) << "key " << q;
+    EXPECT_EQ(RendezvousWinner(key, reversed), winner) << "key " << q;
+  }
+}
+
+TEST(RouterTest, RendezvousRemovalMovesOnlyTheVictimsKeys) {
+  // Minimal disruption: dropping one of N backends must remap exactly the
+  // keys that hashed to it (~1/N of the keyspace) and leave every other
+  // key on its original backend. Index-mixed scores break this: removal
+  // shifts every later backend's index and reshuffles most of the keyspace.
+  std::vector<std::string> fleet = FleetAddresses(4);
+  std::vector<std::string> survivors(fleet.begin() + 1, fleet.end());
+
+  constexpr size_t kKeys = 400;
+  size_t moved = 0, victims = 0;
+  for (size_t q = 0; q < kKeys; ++q) {
+    const std::string key =
+        RouteKey("icd9", {"query", std::to_string(q), "tokens"});
+    const std::string before = RendezvousWinner(key, fleet);
+    const std::string after = RendezvousWinner(key, survivors);
+    if (before == fleet[0]) {
+      ++victims;  // its backend vanished; it must land somewhere new
+    } else {
+      EXPECT_EQ(after, before) << "unrelated key remapped by removal";
+      if (after != before) ++moved;
+    }
+  }
+  EXPECT_EQ(moved, 0u);
+  // Sanity: the victim share is roughly 1/4 of the keyspace, so the test
+  // actually exercised both branches.
+  EXPECT_GT(victims, kKeys / 10);
+  EXPECT_LT(victims, kKeys / 2);
+}
+
+TEST(RouterTest, RouteKeySeparatesOntologyFromTokens) {
+  // The delimiter layout must keep distinct (ontology, tokens) tuples
+  // distinct — "icd9" + ["x"] vs "icd" + ["9x"] and token-boundary shifts.
+  EXPECT_NE(RouteKey("icd9", {"x"}), RouteKey("icd", {"9x"}));
+  EXPECT_NE(RouteKey("icd9", {"ab", "c"}), RouteKey("icd9", {"a", "bc"}));
+  EXPECT_NE(RouteKey("", {"icd9"}), RouteKey("icd9", {}));
+  EXPECT_EQ(RouteKey("icd9", {"a", "b"}), RouteKey("icd9", {"a", "b"}));
 }
 
 TEST(RouterTest, RoutesAndAnswersThroughBackends) {

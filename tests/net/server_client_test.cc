@@ -26,22 +26,26 @@ namespace {
 
 using namespace std::chrono_literals;
 
-/// Snapshot with controllable latency; concept_id echoes the token count so
-/// payload integrity is checkable end to end.
+/// Snapshot with controllable latency; concept_id echoes the token count
+/// (plus a per-snapshot offset, so tenants are distinguishable) and payload
+/// integrity is checkable end to end.
 class FakeSnapshot : public serve::ModelSnapshot {
  public:
-  explicit FakeSnapshot(std::chrono::microseconds latency = 0us)
-      : latency_(latency) {}
+  explicit FakeSnapshot(std::chrono::microseconds latency = 0us,
+                        int concept_offset = 0)
+      : latency_(latency), concept_offset_(concept_offset) {}
 
   std::vector<linking::ScoredCandidate> Link(
       const std::vector<std::string>& query) const override {
     if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
     return {linking::ScoredCandidate{
-        static_cast<ontology::ConceptId>(query.size()), -1.0, 1.0}};
+        static_cast<ontology::ConceptId>(concept_offset_ + query.size()),
+        -1.0, 1.0}};
   }
 
  private:
   std::chrono::microseconds latency_;
+  int concept_offset_;
 };
 
 std::vector<std::string> Query(size_t words) {
@@ -59,13 +63,14 @@ Endpoint TestEndpoint() {
 }
 
 struct Replica {
-  serve::SnapshotRegistry registry;
+  serve::TenantRegistry registry;
   std::unique_ptr<serve::LinkingService> service;
   std::unique_ptr<Server> server;
 
   explicit Replica(std::chrono::microseconds latency = 0us,
                    serve::ServeConfig config = {}) {
-    registry.Publish(std::make_shared<FakeSnapshot>(latency));
+    registry.Publish(serve::kDefaultTenant,
+                     std::make_shared<FakeSnapshot>(latency));
     service = std::make_unique<serve::LinkingService>(&registry, config);
     ServerConfig server_config;
     server_config.endpoint = TestEndpoint();
@@ -110,7 +115,7 @@ TEST(ServerClientTest, LinkOverWireMatchesInProcessBitExact) {
 TEST(ServerClientTest, StatusCodeSurvivesErrorEnvelope) {
   // No snapshot published: the service fails FailedPrecondition, and that
   // exact code must come back through the wire envelope.
-  serve::SnapshotRegistry empty_registry;
+  serve::TenantRegistry empty_registry;
   serve::LinkingService service(&empty_registry);
   ServerConfig config;
   config.endpoint = TestEndpoint();
@@ -259,6 +264,80 @@ TEST(ServerClientTest, DrainFlushesQueuedResponsesThenRefuses) {
     EXPECT_EQ(code, StatusCode::kUnavailable);
   }
   replica.server->Stop();
+}
+
+TEST(ServerClientTest, RetryBudgetIsEndToEndNotPerAttempt) {
+  // A live server whose service refuses everything with Unavailable: each
+  // attempt is retryable, so an unbudgeted client with these settings would
+  // burn ~10 backoffs (20+40+80+... ms ≈ 20 s). The end-to-end budget must
+  // cut that off: total wall-clock stays near the budget, not near the sum
+  // of per-attempt deadlines, and the caller gets DeadlineExceeded.
+  Replica replica;
+  ASSERT_TRUE(replica.server->Start().ok());
+  replica.service->Shutdown();  // admission now fails Unavailable, server up
+
+  ClientConfig config;
+  config.max_retries = 10;
+  config.initial_backoff_ms = 20;
+  auto client = Client::Connect(replica.server->bound_endpoint(), config);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  constexpr uint64_t kBudgetUs = 100'000;  // 100 ms end to end
+  const auto started = std::chrono::steady_clock::now();
+  auto response = (*client)->Link(Query(2), kBudgetUs);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded)
+      << response.status().ToString();
+  EXPECT_NE(response.status().message().find("budget"), std::string::npos)
+      << response.status().ToString();
+  // Generous ceiling (CI jitter) that is still far below the ~20 s an
+  // unbudgeted retry loop would take — the regression this test pins.
+  EXPECT_LT(elapsed, 2s);
+  EXPECT_GE(elapsed, std::chrono::microseconds(kBudgetUs) / 2);
+}
+
+TEST(ServerClientTest, OntologySelectsTenantModelOverWire) {
+  serve::TenantRegistry registry;
+  registry.Publish("icd9", std::make_shared<FakeSnapshot>(0us, 900));
+  registry.Publish("icd10", std::make_shared<FakeSnapshot>(0us, 1000));
+  registry.Publish("icd9", std::make_shared<FakeSnapshot>(0us, 900));
+  serve::LinkingService service(&registry);
+  ServerConfig server_config;
+  server_config.endpoint = TestEndpoint();
+  Server server(&service, &registry, server_config);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect(server.bound_endpoint());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto nine = (*client)->Link(Query(3), /*deadline_us=*/0, "icd9");
+  ASSERT_TRUE(nine.ok()) << nine.status().ToString();
+  ASSERT_TRUE(nine->status.ok()) << nine->status.ToString();
+  ASSERT_EQ(nine->candidates.size(), 1u);
+  EXPECT_EQ(nine->candidates[0].concept_id, 903);
+
+  auto ten = (*client)->Link(Query(3), /*deadline_us=*/0, "icd10");
+  ASSERT_TRUE(ten.ok()) << ten.status().ToString();
+  ASSERT_TRUE(ten->status.ok()) << ten->status.ToString();
+  ASSERT_EQ(ten->candidates.size(), 1u);
+  EXPECT_EQ(ten->candidates[0].concept_id, 1003);
+
+  // No default tenant published: an ontology-less request fails like a
+  // pre-Publish replica, with the code intact through the envelope.
+  auto unnamed = (*client)->Link(Query(2));
+  ASSERT_TRUE(unnamed.ok()) << unnamed.status().ToString();
+  EXPECT_EQ(unnamed->status.code(), StatusCode::kFailedPrecondition);
+  auto unknown = (*client)->Link(Query(2), /*deadline_us=*/0, "snomed");
+  ASSERT_TRUE(unknown.ok()) << unknown.status().ToString();
+  EXPECT_EQ(unknown->status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(unknown->status.message().find("snomed"), std::string::npos);
+
+  // Health reports the newest version across tenants (icd9 republished).
+  auto health = (*client)->Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->snapshot_version, 2u);
+  server.Stop();
 }
 
 TEST(ServerClientTest, ConnectToDownEndpointIsUnavailable) {

@@ -16,6 +16,7 @@ namespace {
 LinkRequestMsg MakeLinkRequest() {
   LinkRequestMsg msg;
   msg.deadline_us = 2500;
+  msg.ontology = "icd10";
   msg.tokens = {"iron", "deficiency", "anemia", ""};  // empty token is legal
   return msg;
 }
@@ -86,7 +87,42 @@ TEST(WireTest, LinkRequestRoundTrip) {
   auto decoded = DecodeLinkRequest(std::string_view(frame).substr(kHeaderSize));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->deadline_us, msg.deadline_us);
+  EXPECT_EQ(decoded->ontology, msg.ontology);
   EXPECT_EQ(decoded->tokens, msg.tokens);
+
+  // The default tenant travels as the empty string.
+  LinkRequestMsg unnamed = msg;
+  unnamed.ontology.clear();
+  auto decoded_unnamed = DecodeLinkRequest(
+      std::string_view(EncodeLinkRequest(9, unnamed)).substr(kHeaderSize));
+  ASSERT_TRUE(decoded_unnamed.ok());
+  EXPECT_TRUE(decoded_unnamed->ontology.empty());
+}
+
+TEST(WireTest, DecoderClampsHostileDeadline) {
+  // deadline_us comes off the wire attacker-controlled; an unclamped
+  // UINT64_MAX would wrap `enqueued + deadline` into the past and fail the
+  // request with an instant (and bogus) DeadlineExceeded. The decoder must
+  // clamp to kMaxDeadlineUs instead of passing the raw value through.
+  LinkRequestMsg msg = MakeLinkRequest();
+  msg.deadline_us = UINT64_MAX;
+  auto decoded = DecodeLinkRequest(
+      std::string_view(EncodeLinkRequest(1, msg)).substr(kHeaderSize));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->deadline_us, kMaxDeadlineUs);
+
+  msg.deadline_us = kMaxDeadlineUs + 1;
+  decoded = DecodeLinkRequest(
+      std::string_view(EncodeLinkRequest(1, msg)).substr(kHeaderSize));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->deadline_us, kMaxDeadlineUs);
+
+  // At or below the cap the value is untouched.
+  msg.deadline_us = kMaxDeadlineUs;
+  decoded = DecodeLinkRequest(
+      std::string_view(EncodeLinkRequest(1, msg)).substr(kHeaderSize));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->deadline_us, kMaxDeadlineUs);
 }
 
 TEST(WireTest, LinkResponseRoundTripBitExact) {
@@ -205,7 +241,8 @@ TEST(WireTest, DecodersRejectHugeElementCountsWithoutAllocating) {
     for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
   };
   std::string request_body;
-  request_body.append(8, '\0');  // deadline_us = 0
+  request_body.append(8, '\0');         // deadline_us = 0
+  put_u32(&request_body, 0);            // ontology = "" (default tenant)
   put_u32(&request_body, 0xFFFFFFFFu);  // token count with no tokens behind it
   auto request = DecodeLinkRequest(request_body);
   ASSERT_FALSE(request.ok());

@@ -34,17 +34,25 @@
 //       --connect <endpoint> drives a remote replica (or router) over the
 //       ncl::net wire protocol instead of an in-process service: each client
 //       thread opens its own connection. --deadline-us <N> stamps every wire
-//       request with a deadline; --drain sends a fleet drain after the run
-//       and waits for the acknowledgement.
+//       request with a deadline; --ontology <tenant> stamps every request
+//       with a tenant id (multi-tenant replicas score it with that
+//       ontology's model); --drain sends a fleet drain after the run and
+//       waits for the acknowledgement.
 //
-//   ncl serve-net <dir> --listen <endpoint> [--k K] [--shards N]
-//                 [--max-batch B] [--ngram-index] [--ready-file <path>]
-//       Run one replica: load the trained artifacts, publish them as a
-//       snapshot and serve LinkingService over the endpoint
-//       ("tcp:HOST:PORT" or "unix:/path"). Exits cleanly on SIGINT/SIGTERM
-//       or after a wire Drain has been served and flushed. --ready-file is
-//       written with the bound endpoint once serving (ephemeral TCP ports
-//       resolved) — scripts wait on it instead of sleeping.
+//   ncl serve-net [<dir>] --listen <endpoint> [--model <tenant>=<dir>]...
+//                 [--k K] [--shards N] [--max-batch B] [--ngram-index]
+//                 [--ready-file <path>]
+//       Run one replica: load the trained artifacts, publish them as
+//       snapshots and serve LinkingService over the endpoint
+//       ("tcp:HOST:PORT" or "unix:/path"). The positional <dir> (if given)
+//       is published as the default tenant; every --model <tenant>=<dir>
+//       (repeatable) publishes that workspace under the named ontology, so
+//       one process serves e.g. ICD-9 and ICD-10 side by side — clients
+//       select a model with the wire request's ontology field. Exits
+//       cleanly on SIGINT/SIGTERM or after a wire Drain has been served and
+//       flushed. --ready-file is written with the bound endpoint once
+//       serving (ephemeral TCP ports resolved) — scripts wait on it instead
+//       of sleeping.
 //
 //   ncl route --listen <endpoint> --backends <ep1,ep2,...>
 //             [--health-interval-ms N] [--ready-file <path>]
@@ -122,10 +130,11 @@ int Usage() {
       "  ncl link <dir> [--k K] [--ngram-index] \"query text\"...\n"
       "  ncl eval <dir> [--k K] [--ngram-index]\n"
       "  ncl serve-eval <dir> [--k K] [--shards N] [--clients C] [--max-batch B]\n"
-      "                 [--ngram-index] [--slow-log-n N]\n"
+      "                 [--ngram-index] [--slow-log-n N] [--ontology T]\n"
       "                 [--connect EP] [--deadline-us N] [--drain]\n"
-      "  ncl serve-net <dir> --listen EP [--k K] [--shards N] [--max-batch B]\n"
-      "                 [--ngram-index] [--ready-file PATH]\n"
+      "  ncl serve-net [<dir>] --listen EP [--model T=DIR]... [--k K]\n"
+      "                 [--shards N] [--max-batch B] [--ngram-index]\n"
+      "                 [--ready-file PATH]\n"
       "  ncl route --listen EP --backends EP1,EP2,... [--health-interval-ms N]\n"
       "                 [--ready-file PATH]\n"
       "  (endpoints EP are \"tcp:HOST:PORT\" or \"unix:/path\")\n"
@@ -139,15 +148,25 @@ int Usage() {
 }
 
 /// Pulls "--name value" / "--name=value" pairs out of argv; returns
-/// positional arguments.
+/// positional arguments. `--model` is repeatable (one replica can host many
+/// tenants), so its values accumulate in `model_specs` instead of the map —
+/// a map entry would silently keep only the last one.
 std::vector<std::string> ParseFlags(int argc, char** argv,
-                                    std::unordered_map<std::string, std::string>* flags) {
+                                    std::unordered_map<std::string, std::string>* flags,
+                                    std::vector<std::string>* model_specs) {
   std::vector<std::string> positional;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       size_t equals = arg.find('=');
-      if (equals != std::string::npos) {
+      if (arg.rfind("--model", 0) == 0 &&
+          (arg.size() == 7 || arg[7] == '=')) {
+        if (equals != std::string::npos) {
+          model_specs->push_back(arg.substr(equals + 1));
+        } else if (i + 1 < argc) {
+          model_specs->push_back(argv[++i]);
+        }
+      } else if (equals != std::string::npos) {
         (*flags)[arg.substr(2, equals - 2)] = arg.substr(equals + 1);
       } else if (arg == "--mimic") {
         (*flags)["mimic"] = "1";
@@ -319,6 +338,21 @@ bool FlagNgramIndex(const std::unordered_map<std::string, std::string>& flags) {
   return FlagInt(flags, "ngram-index", 0) != 0;
 }
 
+/// Wraps a Serving bundle as a publishable snapshot. The bundle owns the
+/// components and outlives the service, so the snapshot aliases without
+/// deleting.
+std::shared_ptr<serve::NclSnapshot> MakeSnapshot(
+    const Serving& serving, const linking::NclConfig& link_config) {
+  return std::make_shared<serve::NclSnapshot>(
+      std::shared_ptr<const comaid::ComAidModel>(
+          serving.model.get(), [](const comaid::ComAidModel*) {}),
+      std::shared_ptr<const linking::CandidateGenerator>(
+          serving.candidates.get(), [](const linking::CandidateGenerator*) {}),
+      std::shared_ptr<const linking::QueryRewriter>(
+          serving.rewriter.get(), [](const linking::QueryRewriter*) {}),
+      link_config, /*warm_cache=*/true);
+}
+
 int CmdLink(const std::vector<std::string>& args,
             const std::unordered_map<std::string, std::string>& flags) {
   if (args.size() < 2) return Usage();
@@ -391,31 +425,48 @@ Status WriteReadyFile(const std::string& path, const net::Endpoint& endpoint) {
 }
 
 int CmdServeNet(const std::vector<std::string>& args,
-                const std::unordered_map<std::string, std::string>& flags) {
-  if (args.empty() || !flags.contains("listen")) return Usage();
-  const std::string& dir = args[0];
+                const std::unordered_map<std::string, std::string>& flags,
+                const std::vector<std::string>& model_specs) {
+  if ((args.empty() && model_specs.empty()) || !flags.contains("listen")) {
+    return Usage();
+  }
   auto endpoint = net::Endpoint::Parse(flags.at("listen"));
   if (!endpoint.ok()) return Fail(endpoint.status());
 
-  auto serving = LoadServing(dir, FlagNgramIndex(flags));
-  if (!serving.ok()) return Fail(serving.status());
+  // tenant id -> workspace dir: the positional dir (if any) serves the
+  // default tenant, each --model <tenant>=<dir> adds a named ontology.
+  std::vector<std::pair<std::string, std::string>> tenant_dirs;
+  if (!args.empty()) {
+    tenant_dirs.emplace_back(std::string(serve::kDefaultTenant), args[0]);
+  }
+  for (const std::string& spec : model_specs) {
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      return Fail(Status::InvalidArgument(
+          "--model expects <tenant>=<dir>, got \"" + spec + "\""));
+    }
+    tenant_dirs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+  }
 
   linking::NclConfig link_config = serve::NclSnapshot::MakeServingConfig();
   link_config.k = static_cast<size_t>(FlagInt(flags, "k", 20));
-  serve::SnapshotRegistry registry;
-  registry.Publish(std::make_shared<serve::NclSnapshot>(
-      std::shared_ptr<const comaid::ComAidModel>(
-          (*serving)->model.get(), [](const comaid::ComAidModel*) {}),
-      std::shared_ptr<const linking::CandidateGenerator>(
-          (*serving)->candidates.get(), [](const linking::CandidateGenerator*) {}),
-      std::shared_ptr<const linking::QueryRewriter>(
-          (*serving)->rewriter.get(), [](const linking::QueryRewriter*) {}),
-      link_config, /*warm_cache=*/true));
+  serve::TenantRegistry registry;
+  std::vector<std::unique_ptr<Serving>> bundles;  // outlive the service
+  for (const auto& [tenant, dir] : tenant_dirs) {
+    auto serving = LoadServing(dir, FlagNgramIndex(flags));
+    if (!serving.ok()) return Fail(serving.status());
+    registry.Publish(tenant, MakeSnapshot(**serving, link_config));
+    std::cerr << "serve-net: tenant \"" << tenant << "\" serves " << dir
+              << "\n";
+    bundles.push_back(std::move(*serving));
+  }
 
   serve::ServeConfig serve_config;
   serve_config.num_shards = static_cast<size_t>(FlagInt(flags, "shards", 4));
   serve_config.max_batch = static_cast<size_t>(
       FlagInt(flags, "max-batch", 2 * static_cast<int64_t>(serve_config.num_shards)));
+  serve_config.tenant_quota =
+      static_cast<size_t>(FlagInt(flags, "tenant-quota", 0));
   serve::LinkingService service(&registry, serve_config);
 
   net::ServerConfig server_config;
@@ -517,6 +568,8 @@ int CmdServeEvalNet(const std::string& dir,
       std::max<size_t>(1, static_cast<size_t>(FlagInt(flags, "clients", 4)));
   const uint64_t deadline_us =
       static_cast<uint64_t>(FlagInt(flags, "deadline-us", 0));
+  const std::string ontology =
+      flags.contains("ontology") ? flags.at("ontology") : "";
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> answered{0};
@@ -535,7 +588,7 @@ int CmdServeEvalNet(const std::string& dir,
       }
       for (size_t i = c; i < queries->size(); i += num_clients) {
         const auto& q = (*queries)[i];
-        auto response = (*client)->Link(q.tokens, deadline_us);
+        auto response = (*client)->Link(q.tokens, deadline_us, ontology);
         if (!response.ok() || !response->status.ok()) {
           errors.fetch_add(1, std::memory_order_relaxed);
           continue;
@@ -602,14 +655,7 @@ int CmdServeEval(const std::vector<std::string>& args,
   linking::NclConfig link_config = serve::NclSnapshot::MakeServingConfig();
   link_config.k = static_cast<size_t>(FlagInt(flags, "k", 20));
   serve::SnapshotRegistry registry;
-  registry.Publish(std::make_shared<serve::NclSnapshot>(
-      std::shared_ptr<const comaid::ComAidModel>(
-          (*serving)->model.get(), [](const comaid::ComAidModel*) {}),
-      std::shared_ptr<const linking::CandidateGenerator>(
-          (*serving)->candidates.get(), [](const linking::CandidateGenerator*) {}),
-      std::shared_ptr<const linking::QueryRewriter>(
-          (*serving)->rewriter.get(), [](const linking::QueryRewriter*) {}),
-      link_config, /*warm_cache=*/true));
+  registry.Publish(MakeSnapshot(**serving, link_config));
 
   serve::ServeConfig serve_config;
   serve_config.num_shards = static_cast<size_t>(FlagInt(flags, "shards", 4));
@@ -625,6 +671,8 @@ int CmdServeEval(const std::vector<std::string>& args,
 
   const size_t num_clients =
       std::max<size_t>(1, static_cast<size_t>(FlagInt(flags, "clients", 4)));
+  const std::string ontology =
+      flags.contains("ontology") ? flags.at("ontology") : "";
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> errors{0};
   std::atomic<double> mrr_sum{0.0};
@@ -634,7 +682,9 @@ int CmdServeEval(const std::vector<std::string>& args,
     clients.emplace_back([&, c] {
       for (size_t i = c; i < queries->size(); i += num_clients) {
         const auto& q = (*queries)[i];
-        serve::LinkResult result = service.Link(q.tokens);
+        serve::RequestOptions options;
+        options.ontology = ontology;
+        serve::LinkResult result = service.Link(q.tokens, options);
         if (!result.status.ok()) {
           errors.fetch_add(1, std::memory_order_relaxed);
           continue;
@@ -695,7 +745,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   std::unordered_map<std::string, std::string> flags;
-  std::vector<std::string> positional = ParseFlags(argc - 2, argv + 2, &flags);
+  std::vector<std::string> model_specs;
+  std::vector<std::string> positional =
+      ParseFlags(argc - 2, argv + 2, &flags, &model_specs);
 
   const std::string metrics_path =
       flags.contains("metrics-json") ? flags.at("metrics-json") : "";
@@ -725,7 +777,7 @@ int main(int argc, char** argv) {
   } else if (command == "serve-eval") {
     exit_code = CmdServeEval(positional, flags);
   } else if (command == "serve-net") {
-    exit_code = CmdServeNet(positional, flags);
+    exit_code = CmdServeNet(positional, flags, model_specs);
   } else if (command == "route") {
     exit_code = CmdRoute(positional, flags);
   } else {
